@@ -1,0 +1,133 @@
+"""FIG1 — role dependency through prerequisite roles (paper Fig. 1).
+
+Reconstructs the figure's shape — service C's activation rule requiring
+RMCs from services A, B and C — and then stretches it: chains of
+prerequisite roles of depth 1..16.  Measures:
+
+* wall-clock cost of activating the deepest role (the engine must match
+  the whole prerequisite chain among all held RMCs);
+* wall-clock cost of building the entire session;
+* the series: activation work (validations performed) as depth grows —
+  written to ``benchmarks/results/FIG1.txt``.
+
+Expected shape (the paper gives no numbers): linear growth in depth,
+microseconds-to-milliseconds per activation on commodity hardware.
+"""
+
+import pytest
+
+from repro.core import (
+    ActivationRule,
+    OasisService,
+    Presentation,
+    PrerequisiteRole,
+    Principal,
+    RoleTemplate,
+    ServiceId,
+    ServicePolicy,
+    ServiceRegistry,
+    Var,
+)
+from repro.events import EventBroker
+
+from workloads import ChainWorld, record_result
+
+DEPTHS = [1, 2, 4, 8, 16]
+
+
+def make_fig1_abc():
+    """The literal figure: C requires RMCs issued by A, B and C itself."""
+    broker = EventBroker()
+    registry = ServiceRegistry()
+    services = {}
+    templates = {}
+    for name in ("A", "B"):
+        policy = ServicePolicy(ServiceId("dom", name))
+        role = policy.define_role("member", 1)
+        policy.add_activation_rule(
+            ActivationRule(RoleTemplate(role, (Var("u"),))))
+        services[name] = OasisService(policy, broker, registry)
+        templates[name] = RoleTemplate(role, (Var("u"),))
+    policy_c = ServicePolicy(ServiceId("dom", "C"))
+    basic_c = policy_c.define_role("member", 1)
+    policy_c.add_activation_rule(
+        ActivationRule(RoleTemplate(basic_c, (Var("u"),))))
+    privileged = policy_c.define_role("privileged", 1)
+    policy_c.add_activation_rule(ActivationRule(
+        RoleTemplate(privileged, (Var("u"),)),
+        (PrerequisiteRole(templates["A"], membership=True),
+         PrerequisiteRole(templates["B"], membership=True),
+         PrerequisiteRole(RoleTemplate(basic_c, (Var("u"),)),
+                          membership=True))))
+    services["C"] = OasisService(policy_c, broker, registry)
+    return services
+
+
+def test_fig1_literal_three_service_rule(benchmark):
+    """Activate C.privileged holding RMCs from A, B and C (Fig. 1 paths).
+
+    The credential list is fixed so each round does identical work.
+    """
+    services = make_fig1_abc()
+    principal = Principal("P")
+    session = principal.start_session(services["A"], "member", ["P"])
+    session.activate(services["B"], "member", ["P"])
+    session.activate(services["C"], "member", ["P"])
+    credentials = [Presentation(rmc) for rmc in session.active_rmcs()]
+
+    benchmark(lambda: services["C"].activate_role(
+        principal.id, "privileged", None, credentials))
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_fig1_activate_deepest_role(benchmark, depth):
+    """Cost of one activation whose rule sits atop a depth-N chain.
+
+    All chain RMCs are presented; the engine must select the right
+    prerequisite among them.
+    """
+    world = ChainWorld(depth)
+    session, rmcs = world.build_session()
+    deepest = world.services[-1]
+    principal_id = session.principal.id
+    credentials = [Presentation(rmc) for rmc in rmcs]
+
+    benchmark(lambda: deepest.activate_role(principal_id, "role", None,
+                                            credentials))
+
+
+@pytest.mark.parametrize("depth", [4, 16])
+def test_fig1_build_entire_session(benchmark, depth):
+    """Cost of building the whole dependency tree from the initial role."""
+    world = ChainWorld(depth)
+    counter = [0]
+
+    def build():
+        counter[0] += 1
+        principal = Principal(f"user-{counter[0]}")
+        session = principal.start_session(world.services[0], "role",
+                                          [principal.id.value])
+        for service in world.services[1:]:
+            session.activate(service, "role")
+
+    benchmark.pedantic(build, rounds=10, iterations=1, warmup_rounds=1)
+
+
+def test_fig1_series(benchmark):
+    """Record the depth series: validations and RMCs per full session."""
+    rows = ["FIG1: role dependency chains (Fig. 1)",
+            "depth  rmcs_issued  validations(local+callback)"]
+    for depth in DEPTHS:
+        world = ChainWorld(depth)
+        world.build_session()
+        local = sum(s.stats.validations_local for s in world.services)
+        callbacks = sum(s.stats.callbacks_served for s in world.services)
+        rmcs = sum(s.stats.rmcs_issued for s in world.services)
+        rows.append(f"{depth:5d}  {rmcs:11d}  {local + callbacks:10d}")
+    record_result("FIG1", rows)
+
+    world = ChainWorld(4)
+    session, rmcs = world.build_session()
+    credentials = [Presentation(rmc) for rmc in rmcs]
+    benchmark(lambda: world.services[-1].activate_role(
+        session.principal.id, "role", None, credentials))

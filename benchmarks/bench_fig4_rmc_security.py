@@ -1,0 +1,137 @@
+"""FIG4 — RMC design and the Sect. 4.1 security properties (paper Fig. 4).
+
+Measures the certificate machinery itself:
+
+* sign / verify cost of the HMAC construction (with and without a bound
+  session key), and of appointment certificates;
+* RSA session-key operations (keygen, challenge-response round);
+* the security properties as *rates*: over randomized attack attempts —
+  tampered fields, forged signatures, stolen certificates presented by the
+  wrong principal — the rejection rate must be exactly 100%.
+
+Series in ``benchmarks/results/FIG4.txt``.
+"""
+
+import dataclasses
+import secrets
+
+import pytest
+
+from repro.core import (
+    AppointmentCertificate,
+    CredentialRef,
+    PrincipalId,
+    Role,
+    RoleMembershipCertificate,
+    RoleName,
+    ServiceId,
+    SignatureInvalid,
+)
+from repro.crypto import (
+    ChallengeResponseClient,
+    ChallengeResponseServer,
+    ServiceSecret,
+    generate_keypair,
+)
+
+from workloads import record_result
+
+SVC = ServiceId("hospital", "records")
+SECRET = ServiceSecret.generate()
+ROLE = Role(RoleName(SVC, "treating_doctor"), ("d1", "p1"))
+REF = CredentialRef(SVC, 1)
+ALICE = PrincipalId("alice")
+
+
+def issue_rmc(bound_key=None):
+    return RoleMembershipCertificate.issue(SECRET, SVC, ROLE, REF, ALICE,
+                                           0.0, bound_key)
+
+
+def test_fig4_rmc_sign(benchmark):
+    benchmark(issue_rmc)
+
+
+def test_fig4_rmc_verify(benchmark):
+    rmc = issue_rmc()
+    benchmark(lambda: rmc.verify(SECRET, ALICE))
+
+
+def test_fig4_rmc_sign_with_session_key(benchmark):
+    keys = generate_keypair(bits=256)
+    fingerprint = keys.fingerprint()
+    benchmark(lambda: issue_rmc(bound_key=fingerprint))
+
+
+def test_fig4_appointment_sign(benchmark):
+    benchmark(lambda: AppointmentCertificate.issue(
+        SECRET, SVC, "allocated", ("d1", "p1"), REF, 0.0, holder="d1"))
+
+
+def test_fig4_appointment_verify(benchmark):
+    cert = AppointmentCertificate.issue(
+        SECRET, SVC, "allocated", ("d1", "p1"), REF, 0.0, holder="d1")
+    benchmark(lambda: cert.verify(SECRET, "d1"))
+
+
+def test_fig4_rsa_keygen_512(benchmark):
+    benchmark(lambda: generate_keypair(bits=512))
+
+
+def test_fig4_challenge_response_round(benchmark):
+    keys = generate_keypair(bits=512)
+    server = ChallengeResponseServer()
+    client = ChallengeResponseClient(keys)
+
+    def round_trip():
+        issued = server.issue(client.public_key)
+        return server.verify(issued.challenge_id, client.respond(issued))
+
+    benchmark(round_trip)
+
+
+def test_fig4_security_property_rates(benchmark):
+    """Randomized attack harness: every attack class must fail, always."""
+    trials = 300
+    rejected = {"tamper": 0, "forgery": 0, "theft": 0}
+    for trial in range(trials):
+        owner = PrincipalId(f"owner-{trial}")
+        role = Role(RoleName(SVC, "r"),
+                    (secrets.token_hex(4), secrets.token_hex(4)))
+        rmc = RoleMembershipCertificate.issue(
+            SECRET, SVC, role, CredentialRef(SVC, trial), owner, 0.0)
+
+        # tamper: flip a parameter
+        tampered = dataclasses.replace(
+            rmc, role=Role(role.role_name,
+                           (role.parameters[0], secrets.token_hex(4))))
+        try:
+            tampered.verify(SECRET, owner)
+        except SignatureInvalid:
+            rejected["tamper"] += 1
+
+        # forgery: sign with a random secret
+        forged = RoleMembershipCertificate.issue(
+            ServiceSecret.generate(), SVC, role, rmc.ref, owner, 0.0)
+        try:
+            forged.verify(SECRET, owner)
+        except SignatureInvalid:
+            rejected["forgery"] += 1
+
+        # theft: present under a different principal id
+        thief = PrincipalId(f"thief-{trial}")
+        try:
+            rmc.verify(SECRET, thief)
+        except SignatureInvalid:
+            rejected["theft"] += 1
+
+    rows = ["FIG4: security property rejection rates "
+            f"({trials} randomized trials each)",
+            "attack    rejected  rate"]
+    for attack, count in rejected.items():
+        rows.append(f"{attack:8s}  {count:8d}  {100 * count / trials:.1f}%")
+        assert count == trials, f"{attack} got through!"
+    record_result("FIG4", rows)
+
+    rmc = issue_rmc()
+    benchmark(lambda: rmc.verify(SECRET, ALICE))

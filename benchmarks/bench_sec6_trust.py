@@ -1,0 +1,140 @@
+"""SEC6 — audit certificates and the web of trust (paper Sect. 6).
+
+The paper speculates that audit certificates "might form the basis for
+interaction between mutually unknown parties" but warns of collusion and
+rogue domains, asking for "an approach which will allow a trust
+infrastructure to evolve despite Byzantine behaviour by a minority of the
+principals".  This experiment quantifies exactly that:
+
+* a population of honest entities builds history through contracted
+  encounters; a Byzantine fraction fabricates history via a rogue CIV and
+  defaults when trusted;
+* sweep the Byzantine fraction and measure decision quality: the
+  false-accept rate on Byzantine parties and the false-reject rate on
+  honest veterans.
+
+Series in ``benchmarks/results/SEC6.txt``.  Expected shape: with domain
+weighting + per-counterparty and per-domain caps, false-accepts stay near
+zero for minority Byzantine fractions; honest parties keep transacting.
+"""
+
+import pytest
+
+from repro.core import Outcome, TrustEvaluator, TrustPolicy
+from repro.domains import (
+    CivService,
+    RogueCivService,
+    RovingEntity,
+    negotiate_encounter,
+)
+
+from workloads import record_result
+
+
+def build_population(honest_count, byzantine_count, seed_interactions=6):
+    civ = CivService("healthcare-uk", replicas=1)
+    rogue = RogueCivService("shady")
+    policy = TrustPolicy.with_weights(
+        {"healthcare-uk": 1.0, "shady": 0.05},
+        default_domain_weight=0.2, threshold=0.6)
+    civs = {"healthcare-uk": civ, "shady": rogue}
+
+    honest = []
+    for index in range(honest_count):
+        entity = RovingEntity(f"honest-{index}", policy, dict(civs))
+        for j in range(seed_interactions):
+            cert, _ = civ.certify_interaction(
+                entity.identity, f"seed-partner-{index}-{j}", "seed",
+                Outcome.FULFILLED, Outcome.FULFILLED)
+            entity.record(cert)
+        honest.append(entity)
+
+    byzantine = []
+    for index in range(byzantine_count):
+        entity = RovingEntity(f"byz-{index}", policy, dict(civs))
+        for cert in rogue.fabricate_history(entity.identity, 30):
+            entity.record(cert)
+        byzantine.append(entity)
+    return civ, rogue, honest, byzantine
+
+
+def test_sec6_trust_evaluation_cost(benchmark):
+    """Wall cost of scoring a 100-certificate history with validation."""
+    civ, rogue, honest, _ = build_population(1, 0, seed_interactions=100)
+    veteran = honest[0]
+    assessor = RovingEntity("assessor", veteran.policy,
+                            {"healthcare-uk": civ})
+
+    benchmark(lambda: assessor.assess(veteran))
+
+
+def test_sec6_encounter_negotiation_cost(benchmark):
+    """Wall cost of a full mutual-assessment encounter."""
+    civ, rogue, honest, _ = build_population(2, 0)
+    a, b = honest[0], honest[1]
+
+    benchmark(lambda: negotiate_encounter(a, b, civ, "bench contract"))
+
+
+def test_sec6_byzantine_fraction_sweep(benchmark):
+    """Decision quality vs Byzantine fraction."""
+    rows = ["SEC6: web of trust under Byzantine minorities (Sect. 6)",
+            "population 40; Byzantine parties fabricate 30-cert histories "
+            "via a rogue CIV (weight 0.05)",
+            "byz_frac  false_accept_rate  honest_accept_rate"]
+    population = 40
+    for fraction in (0.0, 0.1, 0.3, 0.5):
+        byz_count = int(population * fraction)
+        civ, rogue, honest, byzantine = build_population(
+            population - byz_count, byz_count)
+        assessor = RovingEntity(
+            "assessor",
+            TrustPolicy.with_weights({"healthcare-uk": 1.0, "shady": 0.05},
+                                     threshold=0.6),
+            {"healthcare-uk": civ, "shady": rogue})
+        false_accepts = sum(
+            1 for entity in byzantine if assessor.assess(entity).accept)
+        honest_accepts = sum(
+            1 for entity in honest if assessor.assess(entity).accept)
+        rows.append(
+            f"{fraction:8.1f}  "
+            f"{false_accepts / max(1, len(byzantine)):17.2f}  "
+            f"{honest_accepts / max(1, len(honest)):18.2f}")
+    record_result("SEC6", rows)
+
+    civ, rogue, honest, byzantine = build_population(5, 5)
+    assessor = RovingEntity("assessor", honest[0].policy,
+                            {"healthcare-uk": civ, "shady": rogue})
+    benchmark(lambda: [assessor.assess(entity).accept
+                       for entity in byzantine])
+
+
+def test_sec6_civ_validation_after_failover(benchmark):
+    """Availability claim of [10]: validation cost is unchanged after the
+    primary fails (a backup serves with complete state)."""
+    civ = CivService("healthcare-uk", replicas=2)
+    cert, _ = civ.certify_interaction("a", "s", "c", Outcome.FULFILLED,
+                                      Outcome.FULFILLED)
+    civ.fail_node(0)
+    assert civ.validate_audit(cert)
+
+    benchmark(lambda: civ.validate_audit(cert))
+
+
+def test_sec6_trust_evolves_through_encounters(benchmark):
+    """The web evolves: a newcomer earns acceptance through small jobs."""
+    civ, rogue, honest, _ = build_population(3, 0)
+    lenient = TrustPolicy.with_weights({"healthcare-uk": 1.0},
+                                       threshold=0.4)
+
+    def bootstrap():
+        newcomer = RovingEntity("newcomer", lenient,
+                                {"healthcare-uk": civ})
+        partner = RovingEntity("partner", lenient, {"healthcare-uk": civ})
+        for round_number in range(5):
+            negotiate_encounter(newcomer, partner, civ,
+                                f"job {round_number}")
+        return honest[0].assess(newcomer).accept
+
+    result = benchmark(bootstrap)
+    assert result  # the strict assessor now accepts the newcomer

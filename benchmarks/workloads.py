@@ -1,0 +1,155 @@
+"""Shared workload builders and result recording for the benchmark harness.
+
+Every ``bench_*.py`` module regenerates one experiment from DESIGN.md's
+index.  Experiments report two kinds of numbers:
+
+* **wall-clock micro-benchmarks** via pytest-benchmark (the usual table);
+* **experiment series** — simulated time, message counts, admin operations,
+  decision quality — written as small text tables to
+  ``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can quote them.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.core import (
+    ActivationRule,
+    AppointmentCondition,
+    AppointmentRule,
+    AuthorizationRule,
+    ConstraintCondition,
+    DatabaseLookupConstraint,
+    OasisService,
+    PrerequisiteRole,
+    Principal,
+    RoleTemplate,
+    ServiceId,
+    ServicePolicy,
+    ServiceRegistry,
+    Var,
+)
+from repro.db import Database
+from repro.events import EventBroker
+from repro.net import Scheduler, SimClock
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def record_result(experiment: str, lines: Sequence[str]) -> None:
+    """Write an experiment's series table to benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{experiment}.txt")
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+
+class HospitalWorld:
+    """The conftest hospital, rebuilt standalone for benchmarks."""
+
+    def __init__(self, cache_validations: bool = True) -> None:
+        self.clock = SimClock()
+        self.scheduler = Scheduler(self.clock)
+        self.broker = EventBroker()
+        self.registry = ServiceRegistry()
+        self.db = Database("hospital-db")
+        self.db.create_table("registered", ["doctor", "patient"])
+        self.db.create_table("excluded", ["patient", "doctor"])
+
+        login_policy = ServicePolicy(ServiceId("hospital", "login"))
+        self.logged_in = login_policy.define_role("logged_in_user", 1)
+        login_policy.add_activation_rule(
+            ActivationRule(RoleTemplate(self.logged_in, (Var("u"),))))
+        self.login = OasisService(login_policy, self.broker, self.registry,
+                                  self.clock,
+                                  cache_validations=cache_validations)
+
+        admin_policy = ServicePolicy(ServiceId("hospital", "admin"))
+        administrator = admin_policy.define_role("administrator", 1)
+        admin_policy.add_activation_rule(ActivationRule(
+            RoleTemplate(administrator, (Var("u"),)),
+            (PrerequisiteRole(RoleTemplate(self.logged_in, (Var("u"),)),
+                              membership=True),)))
+        admin_policy.add_appointment_rule(AppointmentRule(
+            "allocated", (Var("d"), Var("p")),
+            (PrerequisiteRole(RoleTemplate(administrator, (Var("a"),))),)))
+        self.admin = OasisService(admin_policy, self.broker, self.registry,
+                                  self.clock,
+                                  cache_validations=cache_validations)
+
+        records_policy = ServicePolicy(ServiceId("hospital", "records"))
+        treating = records_policy.define_role("treating_doctor", 2)
+        records_policy.add_activation_rule(ActivationRule(
+            RoleTemplate(treating, (Var("d"), Var("p"))),
+            (PrerequisiteRole(RoleTemplate(self.logged_in, (Var("d"),)),
+                              membership=True),
+             AppointmentCondition(self.admin.id, "allocated",
+                                  (Var("d"), Var("p")), membership=True),
+             ConstraintCondition(DatabaseLookupConstraint.exists(
+                 "main", "registered", doctor=Var("d"), patient=Var("p")),
+                 membership=True))))
+        records_policy.add_authorization_rule(AuthorizationRule(
+            "read_record", (Var("p"),),
+            (PrerequisiteRole(RoleTemplate(treating,
+                                           (Var("d"), Var("p")))),
+             ConstraintCondition(DatabaseLookupConstraint.not_exists(
+                 "main", "excluded", patient=Var("p"), doctor=Var("d"))))))
+        self.records = OasisService(records_policy, self.broker,
+                                    self.registry, self.clock,
+                                    databases={"main": self.db},
+                                    cache_validations=cache_validations)
+        self.records.register_method("read_record",
+                                     lambda pat: f"EHR[{pat}]")
+
+    def new_doctor(self, doctor_id: str, patient_id: str) -> Principal:
+        self.db.insert("registered", doctor=doctor_id, patient=patient_id)
+        admin_principal = Principal(f"admin-of-{doctor_id}")
+        session = admin_principal.start_session(
+            self.login, "logged_in_user", [admin_principal.id.value])
+        session.activate(self.admin, "administrator",
+                         [admin_principal.id.value])
+        certificate = session.issue_appointment(
+            self.admin, "allocated", [doctor_id, patient_id],
+            holder=doctor_id)
+        doctor = Principal(doctor_id)
+        doctor.store_appointment(certificate)
+        return doctor
+
+
+class ChainWorld:
+    """A chain of services: svc-i's role requires svc-(i-1)'s (Fig. 1)."""
+
+    def __init__(self, depth: int,
+                 cache_validations: bool = True) -> None:
+        self.clock = SimClock()
+        self.broker = EventBroker()
+        self.registry = ServiceRegistry()
+        self.depth = depth
+
+        login_policy = ServicePolicy(ServiceId("dom", "svc-0"))
+        root = login_policy.define_role("role", 1)
+        login_policy.add_activation_rule(
+            ActivationRule(RoleTemplate(root, (Var("u"),))))
+        self.services: List[OasisService] = [
+            OasisService(login_policy, self.broker, self.registry,
+                         self.clock, cache_validations=cache_validations)]
+        previous = RoleTemplate(root, (Var("u"),))
+        for level in range(1, depth + 1):
+            policy = ServicePolicy(ServiceId("dom", f"svc-{level}"))
+            role = policy.define_role("role", 1)
+            policy.add_activation_rule(ActivationRule(
+                RoleTemplate(role, (Var("u"),)),
+                (PrerequisiteRole(previous, membership=True),)))
+            self.services.append(
+                OasisService(policy, self.broker, self.registry, self.clock,
+                             cache_validations=cache_validations))
+            previous = RoleTemplate(role, (Var("u"),))
+
+    def build_session(self, user: str = "user"):
+        principal = Principal(user)
+        session = principal.start_session(self.services[0], "role", [user])
+        rmcs = [session.root_rmc]
+        for service in self.services[1:]:
+            rmcs.append(session.activate(service, "role"))
+        return session, rmcs

@@ -1,0 +1,70 @@
+"""A tour of the active security environment (Sect. 4, Fig. 5).
+
+Run:  python examples/active_security_tour.py
+
+Shows all the "active" machinery working together on the healthcare
+scenario:
+
+* push-based deactivation: the doctor's session learns of a collapse the
+  instant a registration is retracted — no polling;
+* issuer heartbeats and the holder-side fail-safe: a silent issuer makes
+  cached validations suspect;
+* the middleware event log as an audit trail of a revocation cascade;
+* the per-service access log identifying every doctor who touched a
+  record, with denials and reasons.
+"""
+
+from repro.core import AccessKind
+from repro.domains import Deployment
+from repro.events import CREDENTIAL_REVOKED, EventLog
+from repro.scenarios import build_hospital
+
+
+def main() -> None:
+    deployment = Deployment()
+    hospital = build_hospital(deployment)
+    hospital.ehr_store["p1"] = ["baseline bloods"]
+    log = EventLog(deployment.broker)
+
+    # --- push-based deactivation --------------------------------------------
+    doctor = hospital.admit_doctor("dr-day", "p1")
+    session = hospital.treating_session(doctor)
+    session.on_deactivation(
+        lambda rmc, reason: print(
+            f"  [session notified] {rmc.role.role_name.name} deactivated: "
+            f"{reason}"))
+    print("doctor active; now the patient is de-registered...")
+    hospital.db.delete("registered", doctor="dr-day", patient="p1")
+    print(f"  active roles now: "
+          f"{[r.role_name.name for r in session.active_roles()]}")
+
+    # --- issuer heartbeats / holder fail-safe ---------------------------------
+    print("\nheartbeats: the login service beats every 2 s; the records "
+          "service distrusts 10 s of silence")
+    cancel = hospital.login.start_heartbeats(deployment.scheduler,
+                                             interval=2.0)
+    deployment.run_for(20.0)
+    print(f"  heartbeats sent so far: "
+          f"{hospital.login.stats.heartbeats_sent}")
+    cancel()  # the login service "dies"
+    deployment.run_for(30.0)
+    print(f"  after 30 s of silence, records would treat cached login "
+          f"validations as suspect")
+
+    # --- the event log as middleware audit trail ------------------------------
+    print("\nmiddleware event log (revocation cascade above):")
+    for event in log.events(topic=CREDENTIAL_REVOKED):
+        print(f"  t={event.timestamp:.3f}  revoked "
+              f"{event.get('credential_ref')}: {event.get('reason')}")
+
+    # --- the service access log -----------------------------------------------
+    print("\nrecords-service access log:")
+    for record in hospital.records.access_log:
+        print(f"  {record}")
+    denials = hospital.records.access_log.denials()
+    print(f"({len(hospital.records.access_log)} records, "
+          f"{len(denials)} denials)")
+
+
+if __name__ == "__main__":
+    main()

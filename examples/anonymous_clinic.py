@@ -1,0 +1,94 @@
+"""Sect. 5 anonymity: anonymous genetic tests under insurance membership.
+
+Run:  python examples/anonymous_clinic.py
+
+"The insurance company must not know the results of the genetic test, or
+even that it has taken place.  The clinic, for accounting purposes, must
+ensure that the test is authorised under the scheme."
+
+The member's card is an *anonymous* appointment certificate (no holder
+binding) carrying only the expiry date.  The clinic's activation rule for
+``paid_up_patient`` validates the card by callback to the insurer (a
+trusted third party) and checks the date constraint locally — the insurer
+learns only that its certificate was validated, never by whom or why.
+"""
+
+from repro.core import (
+    ActivationDenied,
+    ActivationRule,
+    AppointmentCondition,
+    AppointmentRule,
+    AuthorizationRule,
+    BeforeDeadlineConstraint,
+    ConstraintCondition,
+    PrerequisiteRole,
+    Principal,
+    RoleTemplate,
+    ServicePolicy,
+    Var,
+)
+from repro.domains import Deployment
+
+
+def main() -> None:
+    deployment = Deployment()
+    insurer_domain = deployment.create_domain("insurer")
+    clinic_domain = deployment.create_domain("clinic")
+
+    # The insurer's enrolment desk issues membership cards.
+    insurer_policy = ServicePolicy(insurer_domain.service_id("membership"))
+    desk = insurer_policy.define_role("enrolment_desk", 0)
+    insurer_policy.add_activation_rule(ActivationRule(RoleTemplate(desk)))
+    insurer_policy.add_appointment_rule(AppointmentRule(
+        "insured", (Var("expiry"),),
+        (PrerequisiteRole(RoleTemplate(desk)),)))
+    insurer = insurer_domain.add_service(insurer_policy)
+
+    # The clinic: paid_up_patient <- insured(e)*, now < e.
+    clinic_policy = ServicePolicy(clinic_domain.service_id("genetics"))
+    patient = clinic_policy.define_role("paid_up_patient", 0)
+    clinic_policy.add_activation_rule(ActivationRule(
+        RoleTemplate(patient),
+        (AppointmentCondition(insurer.id, "insured", (Var("e"),),
+                              membership=True),
+         ConstraintCondition(BeforeDeadlineConstraint(Var("e"))))))
+    clinic_policy.add_authorization_rule(AuthorizationRule(
+        "take_genetic_test", (),
+        (PrerequisiteRole(RoleTemplate(patient)),)))
+    clinic = clinic_domain.add_service(clinic_policy)
+    tests_run = []
+    clinic.register_method(
+        "take_genetic_test",
+        lambda: tests_run.append("test") or "results sealed for patient")
+
+    # Enrolment: the desk issues an ANONYMOUS card (holder=None).
+    desk_session = Principal("insurer-desk").start_session(
+        insurer, "enrolment_desk")
+    card = desk_session.issue_appointment(
+        insurer, "insured", [365.0])  # expiry day 365, no holder binding
+    print(f"membership card issued: insured(expiry={card.parameters[0]}), "
+          f"holder={card.holder!r} (anonymous)")
+
+    # The member visits the clinic, proving membership but not identity.
+    member = Principal("whoever-presents-the-card")
+    session = member.start_session(clinic, "paid_up_patient",
+                                   use_appointments=[card])
+    print(f"clinic role active: {session.root_rmc.role}")
+    print(f"test: {session.invoke(clinic, 'take_genetic_test')}")
+
+    # What did the insurer learn?  Only a validation callback count.
+    print(f"insurer saw: {insurer.stats.callbacks_served} validation "
+          f"callback(s); it cannot link them to a test or an identity")
+
+    # After expiry, the environmental constraint fails activation.
+    deployment.clock.advance(366.0)
+    late = Principal("late-member")
+    try:
+        late.start_session(clinic, "paid_up_patient",
+                           use_appointments=[card])
+    except ActivationDenied:
+        print("after expiry: activation denied by the date constraint")
+
+
+if __name__ == "__main__":
+    main()

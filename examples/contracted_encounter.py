@@ -1,0 +1,95 @@
+"""Sect. 6's formal approach: negotiated contracts, co-signed outcomes.
+
+Run:  python examples/contracted_encounter.py
+
+"A formal approach might be for the parties to negotiate a contract before
+the service is undertaken, and together sign a certificate recording the
+outcome."
+
+Flow demonstrated:
+
+1. a roving client and an unknown service agree terms (ContractDraft) and
+   both endorse them with RSA signatures;
+2. after performance they co-sign an OutcomeStatement;
+3. a CIV verifies both endorsements and countersigns the statement into
+   the pair of audit certificates that feed the web of trust;
+4. attempted cheating — whitewashing a defaulted outcome, replaying an
+   outcome against different terms — fails the signature checks.
+"""
+
+import dataclasses
+
+from repro.core import Outcome, TrustEvaluator, TrustPolicy
+from repro.crypto import generate_keypair
+from repro.domains import (
+    CivService,
+    ContractDraft,
+    ContractError,
+    OutcomeStatement,
+    certify_outcome,
+)
+
+
+def main() -> None:
+    civ = CivService("healthcare-uk", replicas=1)
+    alice_keys = generate_keypair(bits=256)
+    shop_keys = generate_keypair(bits=256)
+
+    # 1. Negotiate and co-sign the contract.
+    draft = ContractDraft(
+        client="alice", service="genome-data-shop",
+        description="one anonymised cohort extract",
+        client_obligation="pay 25 credits on delivery",
+        service_obligation="deliver within 24h, no re-identification",
+        nonce="2026-07-06/0001")
+    contract = draft.signed_by(alice_keys, shop_keys)
+    contract.verify()
+    print("contract co-signed and verified:")
+    print(f"  {draft.description!r}")
+    print(f"  client obliges:  {draft.client_obligation}")
+    print(f"  service obliges: {draft.service_obligation}")
+
+    # 2. Performance happens; both co-sign the outcome.
+    statement = OutcomeStatement(
+        contract, Outcome.FULFILLED, Outcome.FULFILLED
+    ).signed_by(alice_keys, shop_keys)
+    statement.verify()
+    print("outcome co-signed: both parties fulfilled")
+
+    # 3. The CIV countersigns into audit certificates.
+    client_copy, service_copy = certify_outcome(civ, statement)
+    print(f"CIV issued audit certificates: {client_copy.ref}, "
+          f"{service_copy.ref}")
+    print(f"  validate(client copy) = {civ.validate_audit(client_copy)}")
+
+    # The certificates feed the trust calculus directly.
+    policy = TrustPolicy.with_weights({"healthcare-uk": 1.0},
+                                      threshold=0.4)
+    decision = TrustEvaluator(policy).evaluate("alice", [client_copy])
+    print(f"  a lenient assessor now scores alice: {decision}")
+
+    # 4a. Whitewashing: the shop defaulted but tries to flip the record.
+    bad_statement = OutcomeStatement(
+        contract, Outcome.FULFILLED, Outcome.DEFAULTED
+    ).signed_by(alice_keys, shop_keys)
+    whitewashed = dataclasses.replace(bad_statement,
+                                      service_outcome=Outcome.FULFILLED)
+    try:
+        certify_outcome(civ, whitewashed)
+    except ContractError as error:
+        print(f"whitewashing refused by the CIV: {error}")
+
+    # 4b. Replay: reusing a signed outcome against different terms.
+    other_terms = dataclasses.replace(draft, nonce="2026-07-06/0002",
+                                      client_obligation="pay 1 credit")
+    other_contract = other_terms.signed_by(alice_keys, shop_keys)
+    replayed = dataclasses.replace(statement, contract=other_contract)
+    try:
+        replayed.verify()
+    except ContractError:
+        print("outcome replay against different terms refused: the "
+              "signatures bind outcome to contract")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Sect. 6: audit certificates and trust between mutually unknown parties.
+
+Run:  python examples/web_of_trust.py
+
+Roving entities accumulate CIV-signed audit certificates from contracted
+interactions.  Before dealing with a stranger, each party validates the
+other's history by callback to the issuing CIVs and scores it; both must
+accept.  The demo shows (a) trust being built up from nothing, (b) a
+defaulter being squeezed out, and (c) the collusion defence: a fabricated
+history from a rogue CIV buys nothing.
+"""
+
+from repro.core import Outcome, TrustPolicy
+from repro.domains import (
+    CivService,
+    RogueCivService,
+    RovingEntity,
+    negotiate_encounter,
+)
+
+
+def main() -> None:
+    civ = CivService("healthcare-uk", replicas=2)
+    policy = TrustPolicy.with_weights(
+        {"healthcare-uk": 1.0, "shady": 0.05},
+        default_domain_weight=0.2, threshold=0.6)
+
+    def entity(name):
+        return RovingEntity(name, policy, {"healthcare-uk": civ})
+
+    # (a) Bootstrap: two newcomers with a lenient policy do small business
+    # first, accumulating history.
+    lenient = TrustPolicy.with_weights({"healthcare-uk": 1.0},
+                                       threshold=0.4)
+    alice = RovingEntity("alice", lenient, {"healthcare-uk": civ})
+    shop = RovingEntity("data-shop", lenient, {"healthcare-uk": civ})
+    for round_number in range(6):
+        result = negotiate_encounter(alice, shop, civ,
+                                     f"small job {round_number}")
+        assert result.proceeded
+    print(f"(a) alice built a history of {len(alice.history)} certified "
+          f"interactions")
+
+    # A cautious stranger now accepts alice on the strength of it.
+    cautious = entity("cautious-library")
+    decision = cautious.assess(alice)
+    print(f"    cautious stranger assesses alice: {decision}")
+
+    # (b) A defaulter poisons its own history.
+    mallory = RovingEntity("mallory", lenient, {"healthcare-uk": civ})
+    partner = RovingEntity("partner", lenient, {"healthcare-uk": civ})
+    for round_number in range(6):
+        negotiate_encounter(mallory, partner, civ,
+                            f"job {round_number}",
+                            client_conduct=Outcome.DEFAULTED)
+    decision = cautious.assess(mallory)
+    print(f"(b) after 6 defaults, mallory is assessed: {decision}")
+
+    # (c) Collusion: a rogue CIV fabricates a glowing history.
+    rogue = RogueCivService("shady")
+    con_artist = entity("con-artist")
+    con_artist.learn_civ(rogue)
+    for certificate in rogue.fabricate_history("con-artist", 100):
+        con_artist.record(certificate)
+    assessor = entity("assessor")
+    assessor.learn_civ(rogue)  # can validate — but barely credits
+    decision = assessor.assess(con_artist)
+    print(f"(c) con-artist presents 100 fabricated certificates from a "
+          f"rogue CIV: {decision}")
+    print("    (every certificate validates; reputation of the auditing "
+          "domain is the only defence, as the paper observes)")
+
+    # CIV availability: the record store survives a node failure.
+    civ.fail_node(0)
+    sample = alice.history.certificates()[0]
+    print(f"(d) CIV primary failed; validation still works: "
+          f"{civ.validate_audit(sample)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Setup shim for offline editable installs (no `wheel` available)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "OASIS: role-based access control for widely distributed services "
+        "(Bacon, Moody & Yao, Middleware 2001) - full reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,87 @@
+"""OASIS: Access Control and Trust in the Use of Widely Distributed Services.
+
+A full reproduction of Bacon, Moody & Yao (Middleware 2001): a decentralised
+role-based access control architecture with parametrised roles, Horn-clause
+activation rules, appointment certificates instead of privilege delegation,
+session-bound role membership certificates, and active revocation over
+event-based middleware.
+
+Top-level convenience re-exports cover the most common API surface; the
+subpackages are:
+
+* :mod:`repro.core` — the OASIS model, engine, services, sessions, audit;
+* :mod:`repro.lang` — the policy definition language;
+* :mod:`repro.events` — the active middleware substrate;
+* :mod:`repro.crypto` — signatures, RSA, challenge-response;
+* :mod:`repro.net` — simulated clock, scheduler and network;
+* :mod:`repro.domains` — domains, service-level agreements, CIV services;
+* :mod:`repro.db` — the lookup store backing environmental constraints;
+* :mod:`repro.baselines` — ACL / flat-RBAC / delegation comparators.
+"""
+
+from .core import (
+    ActivationDenied,
+    ActivationRule,
+    AppointmentCertificate,
+    AppointmentCondition,
+    AppointmentRule,
+    AuthorizationRule,
+    ConstraintCondition,
+    CredentialInvalid,
+    CredentialRevoked,
+    EvaluationContext,
+    InvocationDenied,
+    OasisError,
+    OasisService,
+    Presentation,
+    PrerequisiteRole,
+    Principal,
+    PrincipalId,
+    Role,
+    RoleMembershipCertificate,
+    RoleName,
+    RoleTemplate,
+    ServiceId,
+    ServicePolicy,
+    ServiceRegistry,
+    Session,
+    Var,
+)
+from .events import EventBroker
+from .net import Scheduler, SimClock, SimNetwork
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActivationDenied",
+    "ActivationRule",
+    "AppointmentCertificate",
+    "AppointmentCondition",
+    "AppointmentRule",
+    "AuthorizationRule",
+    "ConstraintCondition",
+    "CredentialInvalid",
+    "CredentialRevoked",
+    "EvaluationContext",
+    "EventBroker",
+    "InvocationDenied",
+    "OasisError",
+    "OasisService",
+    "Presentation",
+    "PrerequisiteRole",
+    "Principal",
+    "PrincipalId",
+    "Role",
+    "RoleMembershipCertificate",
+    "RoleName",
+    "RoleTemplate",
+    "Scheduler",
+    "ServiceId",
+    "ServicePolicy",
+    "ServiceRegistry",
+    "Session",
+    "SimClock",
+    "SimNetwork",
+    "Var",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Baseline access-control schemes OASIS is compared against.
+
+* :class:`AclSystem` — per-object access control lists;
+* :class:`Rbac0System` / :class:`Rbac1System` — flat and hierarchical RBAC
+  (Sandhu et al., the paper's ref [15]);
+* :class:`DelegationSystem` — RBDM0-style user-to-user delegation (refs
+  [3, 4]), the mechanism OASIS replaces with appointment;
+* :class:`PollingValidator` — periodic-polling revocation, the design the
+  event-based architecture avoids.
+"""
+
+from .acl import AclSystem
+from .rbac import Rbac0System, Rbac1System
+from .delegation import DelegationError, DelegationSystem
+from .polling import PollingValidator
+
+__all__ = [
+    "AclSystem",
+    "Rbac0System",
+    "Rbac1System",
+    "DelegationError",
+    "DelegationSystem",
+    "PollingValidator",
+]

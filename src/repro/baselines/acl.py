@@ -1,0 +1,78 @@
+"""Access-control-list baseline.
+
+Sect. 1: "RBAC ... provides a means of expressing access control which is
+scalable to large numbers of principals.  The detailed management of large
+numbers of access control lists, as people change their employment or
+function, is avoided."  This module is the strawman being avoided: a
+classic per-object ACL store with explicit (principal, permission) entries.
+
+The point of the baseline is *administrative cost*: every policy-relevant
+change (a doctor hired, a patient reassigned) translates into per-object
+entry updates, counted in :attr:`AclSystem.admin_operations` and compared
+against OASIS in ``benchmarks/bench_baselines.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+__all__ = ["AclSystem"]
+
+
+class AclSystem:
+    """Per-object access control lists with an admin-cost meter."""
+
+    def __init__(self) -> None:
+        self._acls: Dict[str, Set[Tuple[str, str]]] = {}
+        self.admin_operations = 0
+
+    def create_object(self, obj: str) -> None:
+        if obj in self._acls:
+            raise ValueError(f"object {obj!r} already exists")
+        self._acls[obj] = set()
+        self.admin_operations += 1
+
+    def grant(self, principal: str, obj: str, permission: str) -> None:
+        """Add an ACL entry; one administrative operation."""
+        if obj not in self._acls:
+            raise KeyError(f"no object {obj!r}")
+        entry = (principal, permission)
+        if entry not in self._acls[obj]:
+            self._acls[obj].add(entry)
+            self.admin_operations += 1
+
+    def revoke(self, principal: str, obj: str, permission: str) -> bool:
+        """Remove an ACL entry; one administrative operation."""
+        entries = self._acls.get(obj, set())
+        entry = (principal, permission)
+        if entry in entries:
+            entries.remove(entry)
+            self.admin_operations += 1
+            return True
+        return False
+
+    def revoke_principal_everywhere(self, principal: str) -> int:
+        """Remove a departing principal from every object's ACL.
+
+        This is the management burden the paper cites: the cost is linear
+        in the number of objects the principal could access.
+        """
+        removed = 0
+        for entries in self._acls.values():
+            stale = [entry for entry in entries if entry[0] == principal]
+            for entry in stale:
+                entries.remove(entry)
+                removed += 1
+        self.admin_operations += removed
+        return removed
+
+    def check(self, principal: str, obj: str, permission: str) -> bool:
+        return (principal, permission) in self._acls.get(obj, set())
+
+    @property
+    def entry_count(self) -> int:
+        return sum(len(entries) for entries in self._acls.values())
+
+    @property
+    def object_count(self) -> int:
+        return len(self._acls)

@@ -1,0 +1,148 @@
+"""Role-based delegation baseline (Barka & Sandhu's RBDM0 shape, refs [3,4]).
+
+The paper rejects privilege delegation in favour of appointment: "there is
+no reason why the holder of the appointer role should be entitled to the
+privileges conferred by the certificates".  This baseline implements what
+OASIS rejects, so the difference is testable:
+
+* in RBDM0-style delegation, a delegator must be a *member of the role
+  being delegated* — the hospital administrator cannot give out the
+  ``doctor`` role without being a doctor;
+* delegation chains are bounded by a depth limit and revocation cascades
+  down the chain.
+
+``can_appoint_without_membership`` always returns False here and True for
+OASIS appointment — the behavioural distinction
+``tests/baselines/test_delegation.py`` and the BASE benchmark pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = ["DelegationSystem", "DelegationError"]
+
+
+class DelegationError(PermissionError):
+    """An illegal delegation (non-member delegator, depth exceeded...)."""
+
+
+@dataclass
+class _Delegation:
+    role: str
+    delegator: str
+    delegatee: str
+    depth: int
+
+
+class DelegationSystem:
+    """User-to-user delegation of role membership with cascade revocation."""
+
+    def __init__(self, max_depth: int = 2) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        self.max_depth = max_depth
+        self._original_members: Dict[str, Set[str]] = {}
+        self._delegations: List[_Delegation] = []
+        self.admin_operations = 0
+
+    # -- membership administration -------------------------------------------
+    def add_role(self, role: str) -> None:
+        if role in self._original_members:
+            raise ValueError(f"role {role!r} already exists")
+        self._original_members[role] = set()
+        self.admin_operations += 1
+
+    def assign(self, user: str, role: str) -> None:
+        """Make ``user`` an original member of ``role``."""
+        self._require_role(role)
+        members = self._original_members[role]
+        if user not in members:
+            members.add(user)
+            self.admin_operations += 1
+
+    def is_member(self, user: str, role: str) -> bool:
+        """Membership through original assignment or a live delegation."""
+        self._require_role(role)
+        if user in self._original_members[role]:
+            return True
+        return any(d.role == role and d.delegatee == user
+                   for d in self._delegations)
+
+    # -- delegation ------------------------------------------------------------
+    def can_appoint_without_membership(self) -> bool:
+        """The structural difference from OASIS appointment: always False.
+
+        A delegator must hold the role it hands on.  OASIS appointment has
+        no such coupling — the appointer's role merely carries the right to
+        issue the certificate.
+        """
+        return False
+
+    def delegate(self, delegator: str, delegatee: str, role: str) -> None:
+        """Delegate role membership; delegator must be a member."""
+        self._require_role(role)
+        if not self.is_member(delegator, role):
+            raise DelegationError(
+                f"{delegator!r} is not a member of {role!r} and so cannot "
+                f"delegate it (contrast: OASIS appointment)")
+        depth = self._depth_of(delegator, role) + 1
+        if depth > self.max_depth:
+            raise DelegationError(
+                f"delegation depth {depth} exceeds limit {self.max_depth}")
+        if self.is_member(delegatee, role):
+            raise DelegationError(
+                f"{delegatee!r} is already a member of {role!r}")
+        self._delegations.append(
+            _Delegation(role, delegator, delegatee, depth))
+        self.admin_operations += 1
+
+    def _depth_of(self, user: str, role: str) -> int:
+        if user in self._original_members.get(role, set()):
+            return 0
+        for delegation in self._delegations:
+            if delegation.role == role and delegation.delegatee == user:
+                return delegation.depth
+        raise DelegationError(f"{user!r} is not a member of {role!r}")
+
+    def revoke_delegation(self, delegator: str, delegatee: str,
+                          role: str) -> bool:
+        """Revoke one delegation; cascades to sub-delegations."""
+        found = [d for d in self._delegations
+                 if (d.role, d.delegator, d.delegatee)
+                 == (role, delegator, delegatee)]
+        if not found:
+            return False
+        self._remove_cascading(found[0])
+        return True
+
+    def _remove_cascading(self, delegation: _Delegation) -> None:
+        self._delegations.remove(delegation)
+        self.admin_operations += 1
+        children = [d for d in self._delegations
+                    if d.role == delegation.role
+                    and d.delegator == delegation.delegatee]
+        for child in children:
+            self._remove_cascading(child)
+
+    def deassign(self, user: str, role: str) -> None:
+        """Remove an original member; their delegations cascade away."""
+        self._require_role(role)
+        members = self._original_members[role]
+        if user in members:
+            members.remove(user)
+            self.admin_operations += 1
+            children = [d for d in self._delegations
+                        if d.role == role and d.delegator == user]
+            for child in children:
+                self._remove_cascading(child)
+
+    def delegation_count(self, role: Optional[str] = None) -> int:
+        if role is None:
+            return len(self._delegations)
+        return sum(1 for d in self._delegations if d.role == role)
+
+    def _require_role(self, role: str) -> None:
+        if role not in self._original_members:
+            raise KeyError(f"no role {role!r}")

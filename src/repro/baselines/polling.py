@@ -1,0 +1,70 @@
+"""Polling-based revocation baseline for FIG5/ABL1.
+
+The paper's active architecture notifies services of credential revocation
+over event channels "without any requirement for periodic polling"
+(Sect. 4).  This baseline is the alternative being avoided: a validator
+that re-checks cached validations by callback every ``interval`` simulated
+seconds.  Between polls a revoked credential is still honoured — the
+*staleness window* — and every poll costs callbacks whether anything
+changed or not.
+
+``benchmarks/bench_fig5_active_revocation.py`` drives both designs over the
+same revocation workload and reports staleness and message cost.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..core.credentials import CredentialRef
+from ..core.exceptions import CredentialInvalid
+from ..core.service import OasisService
+from ..net import Scheduler
+
+__all__ = ["PollingValidator"]
+
+
+class PollingValidator:
+    """Caches validity of credentials, refreshed only by periodic polling."""
+
+    def __init__(self, scheduler: Scheduler, interval: float,
+                 lookup: Callable[[CredentialRef], OasisService]) -> None:
+        if interval <= 0:
+            raise ValueError("polling interval must be positive")
+        self.interval = interval
+        self._scheduler = scheduler
+        self._lookup = lookup
+        self._valid: Dict[CredentialRef, bool] = {}
+        self.polls = 0
+        self.callbacks_made = 0
+        self._cancel: Optional[Callable[[], None]] = None
+
+    def start(self) -> None:
+        if self._cancel is not None:
+            return
+        self._cancel = self._scheduler.schedule_periodic(
+            self.interval, self.poll_now)
+
+    def stop(self) -> None:
+        if self._cancel is not None:
+            self._cancel()
+            self._cancel = None
+
+    def watch(self, ref: CredentialRef) -> None:
+        """Track a credential; validity is refreshed on the next poll."""
+        self._valid[ref] = self._check(ref)
+
+    def is_valid(self, ref: CredentialRef) -> bool:
+        """Answer from the cache — stale until the next poll."""
+        return self._valid.get(ref, False)
+
+    def poll_now(self) -> None:
+        """One polling sweep: callback per watched credential."""
+        self.polls += 1
+        for ref in list(self._valid):
+            self._valid[ref] = self._check(ref)
+
+    def _check(self, ref: CredentialRef) -> bool:
+        self.callbacks_made += 1
+        issuer = self._lookup(ref)
+        return issuer.is_active(ref)

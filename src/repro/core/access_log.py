@@ -1,0 +1,122 @@
+"""Per-service access audit log.
+
+The paper requires auditability throughout: the national EHR service
+records "the identity of the original requester ... for audit" (Sect. 3),
+and "it is vital that doctors who access patient records may be identified
+individually" (Sect. 2).  An :class:`AccessLog` attached to an
+:class:`~repro.core.service.OasisService` records every security-relevant
+event — activations, invocations, appointment issues, revocations and the
+corresponding denials — as immutable :class:`AccessRecord` entries that can
+be filtered by principal, kind or time window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, List, Optional, Tuple
+
+__all__ = ["AccessRecord", "AccessLog"]
+
+
+class AccessKind:
+    """Record kinds, as string constants."""
+
+    ACTIVATION = "activation"
+    ACTIVATION_DENIED = "activation-denied"
+    INVOCATION = "invocation"
+    INVOCATION_DENIED = "invocation-denied"
+    APPOINTMENT = "appointment"
+    APPOINTMENT_DENIED = "appointment-denied"
+    REVOCATION = "revocation"
+    VALIDATION_FAILED = "validation-failed"
+
+    ALL = (ACTIVATION, ACTIVATION_DENIED, INVOCATION, INVOCATION_DENIED,
+           APPOINTMENT, APPOINTMENT_DENIED, REVOCATION, VALIDATION_FAILED)
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """One audited access-control decision."""
+
+    timestamp: float
+    kind: str
+    principal: str          # requesting principal (or original requester)
+    subject: str            # role name / method / appointment / CRR
+    detail: Tuple[Any, ...] = ()
+    reason: Optional[str] = None
+
+    def __str__(self) -> str:
+        parts = [f"t={self.timestamp:.3f}", self.kind, self.principal,
+                 self.subject]
+        if self.detail:
+            parts.append(repr(self.detail))
+        if self.reason:
+            parts.append(f"({self.reason})")
+        return " ".join(parts)
+
+
+class AccessLog:
+    """An append-only log of access records with simple querying.
+
+    ``capacity`` bounds memory: the oldest records are discarded once the
+    bound is hit (deployments would spill to stable storage instead).
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._records: List[AccessRecord] = []
+        self.discarded = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[AccessRecord]:
+        return iter(self._records)
+
+    def append(self, record: AccessRecord) -> None:
+        self._records.append(record)
+        if self._capacity is not None \
+                and len(self._records) > self._capacity:
+            overflow = len(self._records) - self._capacity
+            del self._records[:overflow]
+            self.discarded += overflow
+
+    def record(self, timestamp: float, kind: str, principal: str,
+               subject: str, detail: Tuple[Any, ...] = (),
+               reason: Optional[str] = None) -> None:
+        if kind not in AccessKind.ALL:
+            raise ValueError(f"unknown access record kind {kind!r}")
+        self.append(AccessRecord(timestamp, kind, principal, subject,
+                                 detail, reason))
+
+    # -- querying --------------------------------------------------------------
+    def query(self, kind: Optional[str] = None,
+              principal: Optional[str] = None,
+              subject: Optional[str] = None,
+              since: Optional[float] = None,
+              until: Optional[float] = None) -> List[AccessRecord]:
+        """All records matching every given filter."""
+        results = []
+        for record in self._records:
+            if kind is not None and record.kind != kind:
+                continue
+            if principal is not None and record.principal != principal:
+                continue
+            if subject is not None and record.subject != subject:
+                continue
+            if since is not None and record.timestamp < since:
+                continue
+            if until is not None and record.timestamp >= until:
+                continue
+            results.append(record)
+        return results
+
+    def denials(self) -> List[AccessRecord]:
+        return [record for record in self._records
+                if record.kind.endswith("denied")
+                or record.kind == AccessKind.VALIDATION_FAILED]
+
+    def principals_seen(self) -> List[str]:
+        return sorted({record.principal for record in self._records})

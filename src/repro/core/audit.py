@@ -1,0 +1,262 @@
+"""Audit certificates and trust assessment between unknown parties (Sect. 6).
+
+The paper's speculative extension: "a certified record of an interaction
+between a principal and a service could contribute to the evidence of the
+trustworthiness of both parties.  Such certificates might be exchanged and
+validated before a principal uses a previously unknown service."
+
+This module provides:
+
+* :class:`AuditCertificate` — issued by a CIV service after an interaction
+  subject to contract, to *both* parties, recording the outcome each way;
+* :class:`InteractionHistory` — a party's accumulated certificates;
+* :class:`TrustPolicy` / :class:`TrustEvaluator` — the risk calculus the
+  paper sketches.  It addresses the snags the paper itself raises:
+
+  - *collusion* ("a client and service might collude to build up a false
+    history"): per-counterparty contributions are capped, so a thousand
+    glowing certificates from one friendly service count little more than a
+    handful;
+  - *rogue domains* ("a rogue domain might provide valueless audit
+    certificates"): each certificate is weighted by the reputation of the
+    CIV domain that issued it — "the domain of the auditing service for a
+    certificate is a factor that must be taken into account when assessing
+    the risk".
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..crypto.hmac_sig import ServiceSecret, sign_fields, verify_fields
+from .credentials import CredentialRef
+from .exceptions import SignatureInvalid
+from .types import ServiceId
+
+__all__ = [
+    "Outcome",
+    "AuditCertificate",
+    "InteractionHistory",
+    "TrustPolicy",
+    "TrustDecision",
+    "TrustEvaluator",
+]
+
+
+class Outcome:
+    """How an interaction subject to contract concluded, per party.
+
+    ``FULFILLED`` — the party met its side of the contract.
+    ``DEFAULTED`` — the party exploited resources, failed to pay, breached
+    confidentiality, or delivered poor/partial fulfilment (the risks listed
+    in Sect. 6).
+    ``DISPUTED`` — the parties did not agree on the outcome.
+    """
+
+    FULFILLED = "fulfilled"
+    DEFAULTED = "defaulted"
+    DISPUTED = "disputed"
+
+    ALL = (FULFILLED, DEFAULTED, DISPUTED)
+
+
+@dataclass(frozen=True)
+class AuditCertificate:
+    """A certified record of one interaction, signed by a CIV service.
+
+    ``subject`` is the party this copy testifies about; ``counterparty`` is
+    the other side.  The CIV issues one certificate per party per
+    interaction ("which it issues to both parties and validates on
+    request").  ``ref`` lets a verifier locate the issuing CIV for callback
+    validation, exactly like any other OASIS certificate.
+    """
+
+    issuer: ServiceId          # the CIV service
+    subject: str               # principal id or service id string
+    counterparty: str
+    outcome: str               # Outcome of the *subject's* conduct
+    contract: str              # short description of the agreed contract
+    ref: CredentialRef = field(default=None)  # type: ignore[assignment]
+    issued_at: float = 0.0
+    signature: bytes = field(default=b"", repr=False)
+
+    def __post_init__(self) -> None:
+        if self.outcome not in Outcome.ALL:
+            raise ValueError(f"unknown outcome {self.outcome!r}")
+
+    def protected_fields(self) -> Tuple:
+        return ("audit", self.subject, self.counterparty, self.outcome,
+                self.contract, self.ref.as_field() if self.ref else None,
+                self.issued_at)
+
+    @classmethod
+    def issue(cls, secret: ServiceSecret, issuer: ServiceId, subject: str,
+              counterparty: str, outcome: str, contract: str,
+              ref: CredentialRef, issued_at: float) -> "AuditCertificate":
+        unsigned = cls(issuer=issuer, subject=subject,
+                       counterparty=counterparty, outcome=outcome,
+                       contract=contract, ref=ref, issued_at=issued_at)
+        signature = sign_fields(secret, subject, unsigned.protected_fields())
+        return replace(unsigned, signature=signature)
+
+    def verify(self, secret: ServiceSecret) -> None:
+        if not verify_fields(secret, self.subject, self.protected_fields(),
+                             self.signature):
+            raise SignatureInvalid(f"audit certificate {self.ref} invalid")
+
+
+class InteractionHistory:
+    """A party's accumulated audit certificates (about itself)."""
+
+    def __init__(self, owner: str) -> None:
+        self.owner = owner
+        self._certificates: List[AuditCertificate] = []
+
+    def add(self, certificate: AuditCertificate) -> None:
+        if certificate.subject != self.owner:
+            raise ValueError(
+                f"certificate testifies about {certificate.subject!r}, "
+                f"not {self.owner!r}")
+        self._certificates.append(certificate)
+
+    def certificates(self) -> List[AuditCertificate]:
+        return list(self._certificates)
+
+    def __len__(self) -> int:
+        return len(self._certificates)
+
+
+@dataclass(frozen=True)
+class TrustPolicy:
+    """Parameters of the trust calculus.
+
+    ``domain_weights`` maps a CIV domain name to the credence given to its
+    certificates, in [0, 1]; ``default_domain_weight`` applies to domains
+    not listed (the cautious default is low, not zero — an unknown auditor
+    is weak evidence, not no evidence).  ``per_counterparty_cap`` bounds the
+    *effective number* of certificates counted from any single counterparty
+    (collusion resistance: a client and service "might collude to build up
+    a false history").  ``per_domain_cap`` bounds the total evidence
+    creditable to any single auditing domain, *scaled by that domain's
+    weight* — a barely-trusted CIV can never underwrite much trust, no
+    matter how many certificates it signs or how many shill counterparties
+    appear in them (the rogue-domain snag).  ``prior_successes`` /
+    ``prior_failures`` are the Beta prior of the score — pessimistic priors
+    mean short histories earn little trust.  ``threshold`` must be
+    *strictly exceeded* for a positive decision — evidence that only just
+    reaches the bar (e.g. a low-weight domain saturating its cap with
+    uniform praise) is not enough.
+    """
+
+    domain_weights: Tuple[Tuple[str, float], ...] = ()
+    default_domain_weight: float = 0.2
+    per_counterparty_cap: float = 3.0
+    per_domain_cap: float = 8.0
+    prior_successes: float = 1.0
+    prior_failures: float = 1.0
+    threshold: float = 0.6
+    disputed_failure_fraction: float = 0.5
+
+    def weight_for_domain(self, domain: str) -> float:
+        for name, weight in self.domain_weights:
+            if name == domain:
+                return weight
+        return self.default_domain_weight
+
+    @classmethod
+    def with_weights(cls, weights: Dict[str, float],
+                     **kwargs) -> "TrustPolicy":
+        return cls(domain_weights=tuple(sorted(weights.items())), **kwargs)
+
+
+@dataclass(frozen=True)
+class TrustDecision:
+    """The outcome of evaluating a counterparty's history."""
+
+    score: float
+    accept: bool
+    evidence_weight: float
+    counterparties: int
+    discarded: int  # certificates rejected (bad signature, wrong subject)
+
+    def __str__(self) -> str:
+        verdict = "ACCEPT" if self.accept else "REJECT"
+        return (f"{verdict} score={self.score:.3f} "
+                f"evidence={self.evidence_weight:.2f} "
+                f"counterparties={self.counterparties}")
+
+
+class TrustEvaluator:
+    """Scores a presented interaction history under a :class:`TrustPolicy`.
+
+    ``civ_secrets`` maps CIV service ids to their verification secrets —
+    in a deployment this is callback validation to the CIV; the evaluator
+    accepts a validator callable for exactly that, see ``validator``.
+    Certificates that fail validation are discarded, not merely
+    down-weighted: a bad signature is forgery, not weak evidence.
+    """
+
+    def __init__(self, policy: TrustPolicy,
+                 validator=None) -> None:
+        self.policy = policy
+        self._validator = validator
+
+    def evaluate(self, subject: str,
+                 certificates: Iterable[AuditCertificate]) -> TrustDecision:
+        """Evaluate ``subject``'s presented certificates.
+
+        Implements a weighted Beta-Bernoulli estimate: each valid
+        certificate contributes ``domain_weight`` (capped per counterparty)
+        of a success or failure observation; the score is the posterior
+        mean, accepted iff it reaches the policy threshold.
+        """
+        policy = self.policy
+        successes = policy.prior_successes
+        failures = policy.prior_failures
+        per_counterparty: Dict[str, float] = defaultdict(float)
+        per_domain: Dict[str, float] = defaultdict(float)
+        discarded = 0
+        evidence = 0.0
+        for certificate in certificates:
+            if certificate.subject != subject:
+                discarded += 1
+                continue
+            if self._validator is not None:
+                try:
+                    self._validator(certificate)
+                except Exception:
+                    discarded += 1
+                    continue
+            domain = certificate.issuer.domain
+            weight = policy.weight_for_domain(domain)
+            if weight <= 0:
+                discarded += 1
+                continue
+            counterparty_room = (policy.per_counterparty_cap
+                                 - per_counterparty[certificate.counterparty])
+            domain_room = (policy.per_domain_cap * weight
+                           - per_domain[domain])
+            room = min(counterparty_room, domain_room)
+            if room <= 0:
+                continue
+            effective = min(weight, room)
+            per_counterparty[certificate.counterparty] += effective
+            per_domain[domain] += effective
+            evidence += effective
+            if certificate.outcome == Outcome.FULFILLED:
+                successes += effective
+            elif certificate.outcome == Outcome.DEFAULTED:
+                failures += effective
+            else:  # DISPUTED splits per policy
+                failures += effective * policy.disputed_failure_fraction
+                successes += effective * (1 - policy.disputed_failure_fraction)
+        score = successes / (successes + failures)
+        return TrustDecision(
+            score=score,
+            accept=score > policy.threshold,
+            evidence_weight=evidence,
+            counterparties=len(per_counterparty),
+            discarded=discarded,
+        )

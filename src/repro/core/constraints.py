@@ -1,0 +1,349 @@
+"""Environmental constraints for role activation and service invocation.
+
+Sect. 2 of the paper admits three kinds of side condition in rules:
+prerequisite roles, appointment credentials and *environmental constraints*.
+The examples it gives are all realised here:
+
+* "the time of day" — :class:`TimeWindowConstraint`;
+* "the location or name of a computer" — :class:`EnvironmentEquals` over the
+  evaluation context's environment map;
+* "the user is a member of a group ... ascertained by database lookup" —
+  :class:`DatabaseLookupConstraint`;
+* "parameters are related in a specified way; for example the doctor has the
+  patient registered as under his/her care" — :class:`DatabaseLookupConstraint`
+  with parameter-bound criteria, or :class:`ComparisonConstraint`;
+* "the user is a specified exception to a general category" — a *negated*
+  :class:`DatabaseLookupConstraint` (``expect_exists=False``) over an
+  exclusion table;
+* the anonymity scenario's "date of the test is before the expiry date of
+  the membership" — :class:`BeforeDeadlineConstraint`.
+
+Constraints evaluate against an :class:`EvaluationContext` carrying the
+clock, databases and ambient environment, under a parameter binding
+produced by rule unification.  Constraints included in a *membership rule*
+must be re-checkable: :meth:`EnvironmentalConstraint.watched_tables` tells
+the membership monitor which database tables can invalidate the constraint
+so retracting a fact triggers immediate re-evaluation (Fig. 5 semantics).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, Mapping, Optional, Tuple
+
+from ..db import Database
+from .exceptions import PolicyError
+from .terms import Substitution, Term, Var, is_ground
+
+__all__ = [
+    "EvaluationContext",
+    "EnvironmentalConstraint",
+    "PredicateConstraint",
+    "ComparisonConstraint",
+    "TimeWindowConstraint",
+    "BeforeDeadlineConstraint",
+    "NotBeforeConstraint",
+    "EnvironmentEquals",
+    "DatabaseLookupConstraint",
+    "ConstraintRegistry",
+]
+
+
+@dataclass
+class EvaluationContext:
+    """Ambient state a constraint may consult.
+
+    ``clock`` returns the current time (simulated or real).  ``databases``
+    maps logical database names to :class:`~repro.db.Database` instances.
+    ``environment`` carries request-scoped facts such as the caller's host
+    name or location.
+    """
+
+    clock: Callable[[], float] = field(default=lambda: 0.0)
+    databases: Dict[str, Database] = field(default_factory=dict)
+    environment: Dict[str, Any] = field(default_factory=dict)
+
+    def database(self, name: str) -> Database:
+        try:
+            return self.databases[name]
+        except KeyError:
+            raise PolicyError(f"evaluation context has no database {name!r}") \
+                from None
+
+    def with_environment(self, **extra: Any) -> "EvaluationContext":
+        """A copy of this context with additional environment entries."""
+        merged = dict(self.environment)
+        merged.update(extra)
+        return EvaluationContext(clock=self.clock, databases=self.databases,
+                                 environment=merged)
+
+
+class EnvironmentalConstraint(abc.ABC):
+    """A side condition in an activation or authorization rule."""
+
+    @abc.abstractmethod
+    def evaluate(self, subst: Substitution, context: EvaluationContext) -> bool:
+        """Return True when the constraint holds under ``subst``."""
+
+    def free_variables(self) -> FrozenSet[Var]:
+        """Variables that must be bound before evaluation."""
+        return frozenset()
+
+    def watched_tables(self) -> FrozenSet[Tuple[str, str]]:
+        """``(database, table)`` pairs whose changes may flip this constraint.
+
+        The membership monitor re-evaluates the constraint whenever a watched
+        table changes.  Time-based constraints return nothing here; they are
+        re-checked on the monitor's periodic sweep instead.
+        """
+        return frozenset()
+
+    def _resolve(self, subst: Substitution, term: Term) -> Term:
+        value = subst.apply(term)
+        if not is_ground(value):
+            raise PolicyError(
+                f"constraint {self!r} evaluated with unbound term {value!r}")
+        return value
+
+
+@dataclass(frozen=True)
+class PredicateConstraint(EnvironmentalConstraint):
+    """An arbitrary predicate over bound parameter values.
+
+    The escape hatch for application-specific conditions; ``terms`` are
+    resolved under the substitution and passed positionally to ``predicate``.
+    """
+
+    name: str
+    terms: Tuple[Term, ...]
+    predicate: Callable[..., bool]
+
+    def evaluate(self, subst: Substitution, context: EvaluationContext) -> bool:
+        values = [self._resolve(subst, term) for term in self.terms]
+        return bool(self.predicate(*values))
+
+    def free_variables(self) -> FrozenSet[Var]:
+        return frozenset(v for term in self.terms
+                         for v in _vars_of(term))
+
+    def __repr__(self) -> str:
+        return f"PredicateConstraint({self.name})"
+
+
+def _vars_of(term: Term):
+    from .terms import variables_in
+
+    return variables_in(term)
+
+
+_COMPARATORS: Dict[str, Callable[[Any, Any], bool]] = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class ComparisonConstraint(EnvironmentalConstraint):
+    """Relate two terms: ``left OP right`` with OP in ==, !=, <, <=, >, >=."""
+
+    left: Term
+    op: str
+    right: Term
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise PolicyError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, subst: Substitution, context: EvaluationContext) -> bool:
+        left = self._resolve(subst, self.left)
+        right = self._resolve(subst, self.right)
+        try:
+            return _COMPARATORS[self.op](left, right)
+        except TypeError:
+            return False
+
+    def free_variables(self) -> FrozenSet[Var]:
+        return frozenset([*_vars_of(self.left), *_vars_of(self.right)])
+
+    def __repr__(self) -> str:
+        return f"ComparisonConstraint({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class TimeWindowConstraint(EnvironmentalConstraint):
+    """The clock, reduced modulo ``period``, lies within [start, end).
+
+    With the default daily period and the clock in seconds, this is the
+    paper's "time of day" constraint: ``TimeWindowConstraint(9*3600,
+    17*3600)`` is office hours.  Windows may wrap midnight (start > end).
+    """
+
+    start: float
+    end: float
+    period: float = 86400.0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise PolicyError("period must be positive")
+        if not (0 <= self.start < self.period and 0 <= self.end <= self.period):
+            raise PolicyError("window bounds must lie within the period")
+
+    def evaluate(self, subst: Substitution, context: EvaluationContext) -> bool:
+        moment = context.clock() % self.period
+        if self.start <= self.end:
+            return self.start <= moment < self.end
+        return moment >= self.start or moment < self.end
+
+    def __repr__(self) -> str:
+        return f"TimeWindowConstraint({self.start}, {self.end})"
+
+
+@dataclass(frozen=True)
+class BeforeDeadlineConstraint(EnvironmentalConstraint):
+    """The current time is strictly before the deadline carried in a term.
+
+    Realises the anonymity scenario's rule "the date of the (start of the)
+    test is before the expiry date of the insurance scheme membership" — the
+    deadline is typically a certificate parameter bound by unification.
+    """
+
+    deadline: Term
+
+    def evaluate(self, subst: Substitution, context: EvaluationContext) -> bool:
+        deadline = self._resolve(subst, self.deadline)
+        if not isinstance(deadline, (int, float)) or isinstance(deadline, bool):
+            return False
+        return context.clock() < deadline
+
+    def free_variables(self) -> FrozenSet[Var]:
+        return frozenset(_vars_of(self.deadline))
+
+    def __repr__(self) -> str:
+        return f"BeforeDeadlineConstraint({self.deadline!r})"
+
+
+@dataclass(frozen=True)
+class NotBeforeConstraint(EnvironmentalConstraint):
+    """The current time is at or after the given instant.
+
+    The complement of :class:`BeforeDeadlineConstraint`; together they
+    bracket validity windows (e.g. a service-level agreement's effective
+    period, enforced at every activation under its rules).
+    """
+
+    start: Term
+
+    def evaluate(self, subst: Substitution, context: EvaluationContext) -> bool:
+        start = self._resolve(subst, self.start)
+        if not isinstance(start, (int, float)) or isinstance(start, bool):
+            return False
+        return context.clock() >= start
+
+    def free_variables(self) -> FrozenSet[Var]:
+        return frozenset(_vars_of(self.start))
+
+    def __repr__(self) -> str:
+        return f"NotBeforeConstraint({self.start!r})"
+
+
+@dataclass(frozen=True)
+class EnvironmentEquals(EnvironmentalConstraint):
+    """A request-environment entry equals the given term.
+
+    ``EnvironmentEquals("location", "ward-3")`` expresses the paper's
+    "location or name of a computer" conditions.  A missing key fails the
+    constraint (closed-world).
+    """
+
+    key: str
+    expected: Term
+
+    def evaluate(self, subst: Substitution, context: EvaluationContext) -> bool:
+        if self.key not in context.environment:
+            return False
+        return context.environment[self.key] == self._resolve(
+            subst, self.expected)
+
+    def free_variables(self) -> FrozenSet[Var]:
+        return frozenset(_vars_of(self.expected))
+
+    def __repr__(self) -> str:
+        return f"EnvironmentEquals({self.key!r}, {self.expected!r})"
+
+
+@dataclass(frozen=True)
+class DatabaseLookupConstraint(EnvironmentalConstraint):
+    """(Non-)existence of a row matching parameter-bound criteria.
+
+    ``criteria`` maps column names to terms; terms are resolved under the
+    substitution before the lookup.  With ``expect_exists=True`` this is
+    "the doctor has the patient registered"; with ``expect_exists=False`` it
+    is an exception list: "Fred Smith may not access my health record".
+    """
+
+    database: str
+    table: str
+    criteria: Tuple[Tuple[str, Term], ...]
+    expect_exists: bool = True
+
+    @classmethod
+    def exists(cls, database: str, table: str,
+               **criteria: Term) -> "DatabaseLookupConstraint":
+        return cls(database, table, tuple(sorted(criteria.items())), True)
+
+    @classmethod
+    def not_exists(cls, database: str, table: str,
+                   **criteria: Term) -> "DatabaseLookupConstraint":
+        return cls(database, table, tuple(sorted(criteria.items())), False)
+
+    def evaluate(self, subst: Substitution, context: EvaluationContext) -> bool:
+        resolved = {column: self._resolve(subst, term)
+                    for column, term in self.criteria}
+        found = context.database(self.database).exists(self.table, **resolved)
+        return found if self.expect_exists else not found
+
+    def free_variables(self) -> FrozenSet[Var]:
+        return frozenset(v for _, term in self.criteria
+                         for v in _vars_of(term))
+
+    def watched_tables(self) -> FrozenSet[Tuple[str, str]]:
+        return frozenset({(self.database, self.table)})
+
+    def __repr__(self) -> str:
+        polarity = "exists" if self.expect_exists else "not-exists"
+        return (f"DatabaseLookup({polarity} {self.database}.{self.table} "
+                f"{dict(self.criteria)!r})")
+
+
+class ConstraintRegistry:
+    """Named constraint factories for the policy language.
+
+    The policy DSL (:mod:`repro.lang`) refers to constraints by name, e.g.
+    ``where registered(doc, pat)``; deployments register the corresponding
+    factory here.  A factory receives the argument terms from the policy
+    text and returns an :class:`EnvironmentalConstraint`.
+    """
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, Callable[..., EnvironmentalConstraint]] = {}
+
+    def register(self, name: str,
+                 factory: Callable[..., EnvironmentalConstraint]) -> None:
+        if name in self._factories:
+            raise PolicyError(f"constraint {name!r} already registered")
+        self._factories[name] = factory
+
+    def build(self, name: str, *terms: Term) -> EnvironmentalConstraint:
+        try:
+            factory = self._factories[name]
+        except KeyError:
+            raise PolicyError(f"unknown constraint {name!r}") from None
+        return factory(*terms)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories

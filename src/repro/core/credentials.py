@@ -1,0 +1,253 @@
+"""Certificates and credential records (Fig. 4 and Sect. 4 of the paper).
+
+Two certificate kinds exist in OASIS:
+
+* :class:`RoleMembershipCertificate` (RMC) — returned on successful role
+  activation, valid only within the issuing session, *principal-specific*:
+  the principal id enters the signature but is not a visible field, so a
+  stolen RMC cannot be used without also forging the id (Sect. 4.1).
+* :class:`AppointmentCertificate` — potentially long-lived credential
+  (qualification, employment, membership) whose lifetime is independent of
+  any session.  It may be bound to a persistent principal id or a public
+  key, or be anonymous (the genetic-clinic membership card of Sect. 5).
+
+Both carry a *credential record reference* (CRR, :class:`CredentialRef`)
+"allow[ing] the issuer and the CR to be located" for callback validation.
+The issuer keeps a :class:`CredentialRecord` per certificate "including its
+current validity"; revocation flips the record and is pushed over the
+credential's event channel (Fig. 5).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from ..crypto.hmac_sig import FieldValue, ServiceSecret, sign_fields, verify_fields
+from .exceptions import CredentialError, SignatureInvalid
+from .terms import Term, is_ground
+from .types import PrincipalId, Role, RoleName, ServiceId
+
+__all__ = [
+    "CredentialRef",
+    "RoleMembershipCertificate",
+    "AppointmentCertificate",
+    "CredentialRecord",
+    "CredentialStatus",
+    "CredentialRefAllocator",
+    "encode_parameters",
+]
+
+
+def encode_parameters(parameters: Tuple[Term, ...]) -> Tuple[FieldValue, ...]:
+    """Re-check that parameters are ground and signable, pass them through."""
+    for param in parameters:
+        if not is_ground(param):
+            raise CredentialError(f"certificate parameter {param!r} not ground")
+    return tuple(parameters)  # ground terms are valid field values
+
+
+@dataclass(frozen=True, order=True)
+class CredentialRef:
+    """The CRR of Fig. 4: locates the issuing service and the CR.
+
+    ``serial`` is unique per issuer; the triple is globally unique without
+    any central allocation, in keeping with the paper's decentralisation.
+    """
+
+    service: ServiceId
+    serial: int
+
+    def __str__(self) -> str:
+        return f"{self.service}#{self.serial}"
+
+    def as_field(self) -> str:
+        return str(self)
+
+
+@dataclass(frozen=True)
+class RoleMembershipCertificate:
+    """An RMC per Fig. 4.
+
+    ``bound_key`` optionally carries the fingerprint of a public session key
+    (Sect. 4.1 "Integration with PKC") which the service may challenge at
+    any time.  The signature covers the protected fields *and* the principal
+    id, which is deliberately not stored in the certificate.
+    """
+
+    issuer: ServiceId
+    role: Role
+    ref: CredentialRef
+    issued_at: float
+    bound_key: Optional[str] = None
+    signature: bytes = field(default=b"", repr=False)
+
+    def protected_fields(self) -> Tuple[FieldValue, ...]:
+        """The field sequence entering the signature (order is part of the
+        wire format and must never change)."""
+        return (
+            "rmc",
+            str(self.role.role_name),
+            encode_parameters(self.role.parameters),
+            self.ref.as_field(),
+            self.issued_at,
+            self.bound_key,
+        )
+
+    @classmethod
+    def issue(cls, secret: ServiceSecret, issuer: ServiceId, role: Role,
+              ref: CredentialRef, principal: PrincipalId, issued_at: float,
+              bound_key: Optional[str] = None) -> "RoleMembershipCertificate":
+        """Sign and return an RMC for ``principal``."""
+        unsigned = cls(issuer=issuer, role=role, ref=ref,
+                       issued_at=issued_at, bound_key=bound_key)
+        signature = sign_fields(secret, principal.value,
+                                unsigned.protected_fields())
+        return replace(unsigned, signature=signature)
+
+    def verify(self, secret: ServiceSecret, principal: PrincipalId) -> None:
+        """Raise :class:`SignatureInvalid` unless the signature checks out
+        for this ``principal`` — theft shows up as a wrong principal here."""
+        if not verify_fields(secret, principal.value,
+                             self.protected_fields(), self.signature):
+            raise SignatureInvalid(
+                f"RMC {self.ref} signature invalid for principal {principal}")
+
+    @property
+    def role_name(self) -> RoleName:
+        return self.role.role_name
+
+
+@dataclass(frozen=True)
+class AppointmentCertificate:
+    """A long-lived (or transient) appointment certificate.
+
+    ``holder`` distinguishes the three binding modes of Sect. 4.1/5:
+
+    * a persistent principal id (string form) — principal-specific;
+    * a public-key fingerprint prefixed ``"key:"`` — key-bound, checkable by
+      challenge-response;
+    * ``None`` — anonymous (proof of membership without identity).
+
+    ``secret_generation`` records which generation of the issuer's secret
+    signed the certificate, so rotation ("re-issued, encrypted with a new
+    server secret") makes stale certificates detectable.
+    """
+
+    issuer: ServiceId
+    name: str
+    parameters: Tuple[Term, ...]
+    ref: CredentialRef
+    issued_at: float
+    expires_at: Optional[float] = None
+    holder: Optional[str] = None
+    secret_generation: int = 0
+    signature: bytes = field(default=b"", repr=False)
+
+    def protected_fields(self) -> Tuple[FieldValue, ...]:
+        return (
+            "appointment",
+            self.name,
+            encode_parameters(self.parameters),
+            self.ref.as_field(),
+            self.issued_at,
+            self.expires_at,
+            self.holder,
+        )
+
+    @classmethod
+    def issue(cls, secret: ServiceSecret, issuer: ServiceId, name: str,
+              parameters: Tuple[Term, ...], ref: CredentialRef,
+              issued_at: float, expires_at: Optional[float] = None,
+              holder: Optional[str] = None) -> "AppointmentCertificate":
+        unsigned = cls(issuer=issuer, name=name, parameters=parameters,
+                       ref=ref, issued_at=issued_at, expires_at=expires_at,
+                       holder=holder, secret_generation=secret.generation)
+        # Anonymous certificates MAC the empty principal id.
+        signature = sign_fields(secret, unsigned.holder or "",
+                                unsigned.protected_fields())
+        return replace(unsigned, signature=signature)
+
+    def verify(self, secret: ServiceSecret,
+               presented_holder: Optional[str] = None) -> None:
+        """Verify signature and holder binding.
+
+        For a holder-bound certificate the presenter must claim the matching
+        holder identity; anonymous certificates verify for any presenter.
+        """
+        if self.secret_generation != secret.generation:
+            raise SignatureInvalid(
+                f"appointment {self.ref} signed under secret generation "
+                f"{self.secret_generation}, issuer now at {secret.generation} "
+                f"(certificate must be re-issued)")
+        if self.holder is not None and presented_holder != self.holder:
+            raise SignatureInvalid(
+                f"appointment {self.ref} is bound to holder {self.holder!r}")
+        if not verify_fields(secret, self.holder or "",
+                             self.protected_fields(), self.signature):
+            raise SignatureInvalid(
+                f"appointment {self.ref} signature invalid")
+
+    def is_expired(self, now: float) -> bool:
+        return self.expires_at is not None and now >= self.expires_at
+
+    def reissued(self, secret: ServiceSecret,
+                 issued_at: float) -> "AppointmentCertificate":
+        """Re-sign under a (rotated) secret — Sect. 4.1's mitigation for the
+        greater theft exposure of long-lived certificates."""
+        return AppointmentCertificate.issue(
+            secret, self.issuer, self.name, self.parameters, self.ref,
+            issued_at, self.expires_at, self.holder)
+
+
+class CredentialStatus:
+    """Status values of a credential record."""
+
+    ACTIVE = "active"
+    REVOKED = "revoked"
+
+
+@dataclass
+class CredentialRecord:
+    """Issuer-side record of a certificate's current validity (the CR).
+
+    ``membership_dependencies`` lists the CRRs of credentials that appear in
+    the *membership rule* of the activation that produced this credential:
+    when any of them is revoked, this credential must be revoked too —
+    that is the dependency edge of Fig. 1/Fig. 5 along which cascades run.
+    """
+
+    ref: CredentialRef
+    kind: str  # "rmc" | "appointment"
+    principal: Optional[PrincipalId]
+    issued_at: float
+    status: str = CredentialStatus.ACTIVE
+    revoked_reason: Optional[str] = None
+    revoked_at: Optional[float] = None
+    membership_dependencies: Tuple[CredentialRef, ...] = ()
+    session_id: Optional[str] = None
+
+    @property
+    def active(self) -> bool:
+        return self.status == CredentialStatus.ACTIVE
+
+    def revoke(self, reason: str, at: float) -> bool:
+        """Mark revoked; returns False when already revoked (idempotent)."""
+        if not self.active:
+            return False
+        self.status = CredentialStatus.REVOKED
+        self.revoked_reason = reason
+        self.revoked_at = at
+        return True
+
+
+class CredentialRefAllocator:
+    """Allocates per-service unique CRRs."""
+
+    def __init__(self, service: ServiceId) -> None:
+        self._service = service
+        self._counter = itertools.count(1)
+
+    def next(self) -> CredentialRef:
+        return CredentialRef(self._service, next(self._counter))

@@ -1,0 +1,315 @@
+"""Rule evaluation: matching presented credentials against Horn clauses.
+
+The engine answers one question: *given a rule and a set of already
+validated credentials, is there a way to satisfy the rule's body, and under
+what parameter binding?*  It is deliberately independent of certificate
+cryptography and networking — the service layer validates certificates
+(signatures, callbacks, expiry) first and hands the engine plain
+credential *facts*.
+
+Evaluation is backtracking search.  Credential conditions are choice
+points: each presented credential with the right name and arity is a
+candidate, and unification against the condition's parameter terms prunes
+candidates and binds rule variables.  Environmental constraints are
+evaluated once their variables are bound; the engine evaluates all
+credential conditions before any constraint, so a rule author never has to
+think about condition order (the logic is conjunctive, so this reordering
+is sound).
+
+The result of a successful evaluation is a :class:`RuleMatch`, which records
+the binding plus *which credential satisfied which condition*.  The service
+layer reads the membership-flagged rows out of the match to wire up the
+revocation dependencies of Fig. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+from .constraints import EvaluationContext
+from .credentials import AppointmentCertificate, CredentialRef, RoleMembershipCertificate
+from .exceptions import ActivationDenied, PolicyError
+from .rules import (
+    ActivationRule,
+    AppointmentCondition,
+    AppointmentRule,
+    AuthorizationRule,
+    Condition,
+    ConstraintCondition,
+    PrerequisiteRole,
+)
+from .terms import EMPTY_SUBSTITUTION, Substitution, Term, is_ground, unify_sequences
+from .types import Role
+
+__all__ = ["PresentedCredential", "RuleMatch", "MatchedCondition", "RuleEngine"]
+
+Certificate = Union[RoleMembershipCertificate, AppointmentCertificate]
+
+
+@dataclass(frozen=True)
+class PresentedCredential:
+    """A validated credential fact, as seen by the engine.
+
+    Exactly one of the two certificate shapes, already past signature and
+    callback validation.  ``ref`` is the credential's CRR — the handle the
+    membership monitor subscribes on.
+    """
+
+    certificate: Certificate
+
+    @property
+    def ref(self) -> CredentialRef:
+        return self.certificate.ref
+
+    @property
+    def is_rmc(self) -> bool:
+        return isinstance(self.certificate, RoleMembershipCertificate)
+
+    @property
+    def is_appointment(self) -> bool:
+        return isinstance(self.certificate, AppointmentCertificate)
+
+    def matches_prerequisite(self, condition: PrerequisiteRole) -> bool:
+        if not self.is_rmc:
+            return False
+        role = self.certificate.role
+        return (role.role_name == condition.template.role_name
+                and role.arity == condition.template.arity)
+
+    def matches_appointment(self, condition: AppointmentCondition) -> bool:
+        if not self.is_appointment:
+            return False
+        cert = self.certificate
+        return (cert.issuer == condition.issuer
+                and cert.name == condition.name
+                and len(cert.parameters) == len(condition.parameters))
+
+    def parameters(self) -> Tuple[Term, ...]:
+        if self.is_rmc:
+            return self.certificate.role.parameters
+        return self.certificate.parameters
+
+
+@dataclass(frozen=True)
+class MatchedCondition:
+    """One satisfied rule condition and the credential that satisfied it
+    (None for constraints)."""
+
+    condition: Condition
+    credential: Optional[PresentedCredential]
+
+    @property
+    def in_membership_rule(self) -> bool:
+        return self.condition.membership
+
+
+@dataclass(frozen=True)
+class RuleMatch:
+    """A successful rule evaluation."""
+
+    substitution: Substitution
+    matched: Tuple[MatchedCondition, ...]
+
+    def membership_credential_refs(self) -> Tuple[CredentialRef, ...]:
+        """CRRs of credentials satisfying membership-flagged conditions —
+        the revocation dependencies of the new credential."""
+        refs = []
+        for row in self.matched:
+            if row.in_membership_rule and row.credential is not None:
+                refs.append(row.credential.ref)
+        return tuple(refs)
+
+    def membership_constraints(self) -> Tuple[ConstraintCondition, ...]:
+        """Membership-flagged constraints, for periodic / DB-triggered
+        re-evaluation under this match's substitution."""
+        return tuple(row.condition for row in self.matched
+                     if row.in_membership_rule
+                     and isinstance(row.condition, ConstraintCondition))
+
+    def credentials_used(self) -> Tuple[PresentedCredential, ...]:
+        return tuple(row.credential for row in self.matched
+                     if row.credential is not None)
+
+
+class RuleEngine:
+    """Evaluates activation, authorization and appointment rules."""
+
+    def __init__(self, context: EvaluationContext) -> None:
+        self.context = context
+
+    # -- public entry points -------------------------------------------------
+    def match_activation(self, rule: ActivationRule,
+                         requested_parameters: Optional[Sequence[Term]],
+                         credentials: Sequence[PresentedCredential],
+                         context: Optional[EvaluationContext] = None,
+                         ) -> Optional[Tuple[RuleMatch, Role]]:
+        """Try to satisfy an activation rule.
+
+        ``requested_parameters`` (when given) must have the rule's arity;
+        ground values pin the corresponding role parameters, while None
+        entries leave them to be bound by credentials.  Returns the match
+        and the ground target role, or None when the rule cannot be
+        satisfied.  Raises :class:`ActivationDenied` if the body is
+        satisfiable but leaves a role parameter unbound — the caller must
+        then supply it explicitly.
+        """
+        context = context or self.context
+        unbound_error: Optional[ActivationDenied] = None
+        for match, role in self.enumerate_activations(
+                rule, credentials, context, requested_parameters):
+            if role is None:
+                unbound_error = ActivationDenied(
+                    f"rule for {rule.target.role_name} satisfied but leaves "
+                    f"parameters unbound; supply them in the activation "
+                    f"request")
+                continue
+            return match, role
+        if unbound_error is not None:
+            raise unbound_error
+        return None
+
+    def enumerate_activations(self, rule: ActivationRule,
+                              credentials: Sequence[PresentedCredential],
+                              context: Optional[EvaluationContext] = None,
+                              requested_parameters:
+                              Optional[Sequence[Term]] = None,
+                              ) -> Iterator[Tuple[RuleMatch,
+                                                  Optional[Role]]]:
+        """Yield every satisfying match of an activation rule.
+
+        Each item is ``(match, role)``; ``role`` is None when the body is
+        satisfiable but leaves head parameters unbound.  Used by the model
+        checker (:mod:`repro.lang.model_check`) to enumerate all ground
+        roles a credential endowment can reach, and by
+        :meth:`match_activation` which takes the first ground solution.
+        """
+        context = context or self.context
+        subst = self._bind_head(rule.target.parameters,
+                                requested_parameters)
+        if subst is None:
+            return
+        for match in self._solve(rule.conditions, subst, credentials,
+                                 context):
+            parameters = match.substitution.apply(
+                tuple(rule.target.parameters))
+            if is_ground(parameters):
+                yield match, Role(rule.target.role_name, parameters)
+            else:
+                yield match, None
+
+    def match_authorization(self, rule: AuthorizationRule,
+                            arguments: Sequence[Term],
+                            credentials: Sequence[PresentedCredential],
+                            context: Optional[EvaluationContext] = None,
+                            ) -> Optional[RuleMatch]:
+        """Try to satisfy an authorization rule for a ground argument list."""
+        context = context or self.context
+        if len(arguments) != len(rule.parameters):
+            return None
+        for argument in arguments:
+            if not is_ground(argument):
+                raise PolicyError(
+                    f"invocation argument {argument!r} is not ground")
+        subst = unify_sequences(rule.parameters, arguments)
+        if subst is None:
+            return None
+        for match in self._solve(rule.conditions, subst, credentials, context):
+            return match
+        return None
+
+    def match_appointment(self, rule: AppointmentRule,
+                          requested_parameters: Sequence[Term],
+                          credentials: Sequence[PresentedCredential],
+                          context: Optional[EvaluationContext] = None,
+                          ) -> Optional[RuleMatch]:
+        """Try to satisfy an appointment-issuing rule.
+
+        Appointment parameters are supplied by the appointer (they describe
+        the appointee and the appointment's scope), so all must be ground
+        after unification with the request.
+        """
+        context = context or self.context
+        if len(requested_parameters) != len(rule.parameters):
+            return None
+        subst = unify_sequences(rule.parameters, requested_parameters)
+        if subst is None:
+            return None
+        for match in self._solve(rule.conditions, subst, credentials, context):
+            parameters = match.substitution.apply(tuple(rule.parameters))
+            if not is_ground(parameters):
+                raise PolicyError(
+                    f"appointment {rule.name} parameters {parameters!r} not "
+                    f"fully specified by request and credentials")
+            return match
+        return None
+
+    # -- internals -----------------------------------------------------------
+    @staticmethod
+    def _bind_head(head: Tuple[Term, ...],
+                   requested: Optional[Sequence[Term]]
+                   ) -> Optional[Substitution]:
+        if requested is None:
+            return EMPTY_SUBSTITUTION
+        if len(requested) != len(head):
+            return None
+        subst: Optional[Substitution] = EMPTY_SUBSTITUTION
+        for head_term, requested_term in zip(head, requested):
+            if requested_term is None:
+                continue  # parameter left for credentials to bind
+            if not is_ground(requested_term):
+                raise PolicyError(
+                    f"requested parameter {requested_term!r} is not ground")
+            from .terms import unify
+
+            subst = unify(head_term, requested_term, subst)
+            if subst is None:
+                return None
+        return subst
+
+    def _solve(self, conditions: Sequence[Condition], subst: Substitution,
+               credentials: Sequence[PresentedCredential],
+               context: EvaluationContext) -> Iterator[RuleMatch]:
+        # Credential conditions first so constraint variables are bound;
+        # sound because the body is a conjunction.
+        credential_conditions = [c for c in conditions
+                                 if not isinstance(c, ConstraintCondition)]
+        constraint_conditions = [c for c in conditions
+                                 if isinstance(c, ConstraintCondition)]
+        ordered = credential_conditions + constraint_conditions
+        yield from self._solve_ordered(ordered, subst, credentials, context, [])
+
+    def _solve_ordered(self, conditions: List[Condition], subst: Substitution,
+                       credentials: Sequence[PresentedCredential],
+                       context: EvaluationContext,
+                       matched: List[MatchedCondition]) -> Iterator[RuleMatch]:
+        if not conditions:
+            yield RuleMatch(substitution=subst, matched=tuple(matched))
+            return
+        condition, rest = conditions[0], conditions[1:]
+
+        if isinstance(condition, ConstraintCondition):
+            if condition.constraint.evaluate(subst, context):
+                matched.append(MatchedCondition(condition, None))
+                yield from self._solve_ordered(rest, subst, credentials,
+                                               context, matched)
+                matched.pop()
+            return
+
+        for credential in credentials:
+            if isinstance(condition, PrerequisiteRole):
+                if not credential.matches_prerequisite(condition):
+                    continue
+                pattern = condition.template.parameters
+            else:
+                assert isinstance(condition, AppointmentCondition)
+                if not credential.matches_appointment(condition):
+                    continue
+                pattern = condition.parameters
+            extended = unify_sequences(pattern, credential.parameters(), subst)
+            if extended is None:
+                continue
+            matched.append(MatchedCondition(condition, credential))
+            yield from self._solve_ordered(rest, extended, credentials,
+                                           context, matched)
+            matched.pop()

@@ -1,0 +1,77 @@
+"""Exception hierarchy for the OASIS core.
+
+All library errors derive from :class:`OasisError` so callers can catch the
+whole family.  Authorisation *denials* are exceptions too — the paper's
+architecture treats failed role activation / invocation as a refused
+request, and callers need the reason for audit.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "OasisError",
+    "PolicyError",
+    "CredentialError",
+    "CredentialInvalid",
+    "CredentialRevoked",
+    "CredentialExpired",
+    "SignatureInvalid",
+    "ActivationDenied",
+    "InvocationDenied",
+    "AppointmentDenied",
+    "UnknownRole",
+    "UnknownMethod",
+    "SessionError",
+]
+
+
+class OasisError(Exception):
+    """Base class for all OASIS errors."""
+
+
+class PolicyError(OasisError):
+    """A policy is malformed (bad rule, unknown role, unsafe variable...)."""
+
+
+class CredentialError(OasisError):
+    """Base class for credential problems."""
+
+
+class CredentialInvalid(CredentialError):
+    """A presented credential failed validation at its issuer."""
+
+
+class CredentialRevoked(CredentialInvalid):
+    """The credential's record exists but has been revoked."""
+
+
+class CredentialExpired(CredentialInvalid):
+    """The credential is past its expiry time."""
+
+
+class SignatureInvalid(CredentialInvalid):
+    """The credential's signature does not verify (tamper/forgery/theft)."""
+
+
+class ActivationDenied(OasisError):
+    """No activation rule for the requested role is satisfied."""
+
+
+class InvocationDenied(OasisError):
+    """No authorization rule for the requested method is satisfied."""
+
+
+class AppointmentDenied(OasisError):
+    """The requester may not issue the requested appointment."""
+
+
+class UnknownRole(PolicyError):
+    """The service defines no such role."""
+
+
+class UnknownMethod(OasisError):
+    """The service exposes no such method."""
+
+
+class SessionError(OasisError):
+    """Session life-cycle misuse (double start, use after termination...)."""

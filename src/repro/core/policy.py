@@ -1,0 +1,200 @@
+"""Per-service policy: role definitions and the rules that govern them.
+
+"Services name their client roles and enforce policy for role activation
+and service invocation, expressed in terms of their own and other services'
+roles" (Sect. 1).  A :class:`ServicePolicy` therefore belongs to exactly one
+service and contains:
+
+* the roles the service *defines* (name + arity),
+* activation rules for those roles,
+* authorization rules for the service's methods,
+* appointment rules saying which roles may issue which appointments.
+
+:meth:`ServicePolicy.validate` performs the static well-formedness checks a
+deployment tool would run: every rule targets a declared role with matching
+arity, at least one initial role exists if any role is reachable, and local
+prerequisite chains are acyclic (a cycle among this service's own roles
+would make the roles unactivatable, since activation strictly builds a tree
+rooted at an initial role).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .exceptions import PolicyError, UnknownRole
+from .rules import (
+    ActivationRule,
+    AppointmentRule,
+    AuthorizationRule,
+    PrerequisiteRole,
+)
+from .types import RoleName, RoleTemplate, ServiceId
+
+__all__ = ["ServicePolicy"]
+
+
+class ServicePolicy:
+    """The complete access-control policy of one OASIS service."""
+
+    def __init__(self, service: ServiceId) -> None:
+        self.service = service
+        self._role_arity: Dict[str, int] = {}
+        self._activation_rules: Dict[str, List[ActivationRule]] = {}
+        self._authorization_rules: Dict[str, List[AuthorizationRule]] = {}
+        self._appointment_rules: Dict[str, List[AppointmentRule]] = {}
+
+    # -- role definitions ----------------------------------------------------
+    def define_role(self, name: str, arity: int = 0) -> RoleName:
+        """Declare a role this service defines; returns its qualified name."""
+        if not name:
+            raise PolicyError("role name must be non-empty")
+        if arity < 0:
+            raise PolicyError("role arity must be non-negative")
+        existing = self._role_arity.get(name)
+        if existing is not None and existing != arity:
+            raise PolicyError(
+                f"role {name!r} already defined with arity {existing}")
+        self._role_arity[name] = arity
+        return RoleName(self.service, name)
+
+    def defines_role(self, name: str) -> bool:
+        return name in self._role_arity
+
+    def role_arity(self, name: str) -> int:
+        try:
+            return self._role_arity[name]
+        except KeyError:
+            raise UnknownRole(
+                f"service {self.service} defines no role {name!r}") from None
+
+    @property
+    def role_names(self) -> List[str]:
+        return sorted(self._role_arity)
+
+    # -- rules ---------------------------------------------------------------
+    def add_activation_rule(self, rule: ActivationRule) -> None:
+        """Add an activation rule; its target must be a role of this service."""
+        target = rule.target.role_name
+        if target.service != self.service:
+            raise PolicyError(
+                f"activation rule targets {target}, which is not defined by "
+                f"{self.service} — services control only their own roles")
+        if not self.defines_role(target.name):
+            raise UnknownRole(f"role {target.name!r} not defined; call "
+                              f"define_role first")
+        if rule.target.arity != self.role_arity(target.name):
+            raise PolicyError(
+                f"rule for {target.name!r} has arity {rule.target.arity}, "
+                f"role declared with arity {self.role_arity(target.name)}")
+        self._activation_rules.setdefault(target.name, []).append(rule)
+
+    def add_authorization_rule(self, rule: AuthorizationRule) -> None:
+        self._authorization_rules.setdefault(rule.method, []).append(rule)
+
+    def add_appointment_rule(self, rule: AppointmentRule) -> None:
+        self._appointment_rules.setdefault(rule.name, []).append(rule)
+
+    def activation_rules_for(self, role_name: str) -> List[ActivationRule]:
+        if not self.defines_role(role_name):
+            raise UnknownRole(
+                f"service {self.service} defines no role {role_name!r}")
+        return list(self._activation_rules.get(role_name, []))
+
+    def authorization_rules_for(self, method: str) -> List[AuthorizationRule]:
+        return list(self._authorization_rules.get(method, []))
+
+    def appointment_rules_for(self, name: str) -> List[AppointmentRule]:
+        return list(self._appointment_rules.get(name, []))
+
+    @property
+    def guarded_methods(self) -> List[str]:
+        return sorted(self._authorization_rules)
+
+    @property
+    def appointment_names(self) -> List[str]:
+        return sorted(self._appointment_rules)
+
+    # -- analysis ------------------------------------------------------------
+    def initial_roles(self) -> List[str]:
+        """Roles with at least one rule lacking prerequisite roles."""
+        return sorted(
+            name for name, rules in self._activation_rules.items()
+            if any(rule.is_initial for rule in rules))
+
+    def local_prerequisites(self, role_name: str) -> Set[str]:
+        """Names of this service's own roles prerequisite to ``role_name``."""
+        result: Set[str] = set()
+        for rule in self._activation_rules.get(role_name, []):
+            for prereq in rule.prerequisite_roles():
+                target = prereq.template.role_name
+                if target.service == self.service:
+                    result.add(target.name)
+        return result
+
+    def _find_local_cycle(self) -> Optional[List[str]]:
+        """Return a cycle among local prerequisite edges, if any."""
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour = {name: WHITE for name in self._role_arity}
+        stack: List[str] = []
+
+        def visit(name: str) -> Optional[List[str]]:
+            colour[name] = GREY
+            stack.append(name)
+            for dep in sorted(self.local_prerequisites(name)):
+                if colour.get(dep, WHITE) == GREY:
+                    return stack[stack.index(dep):] + [dep]
+                if colour.get(dep, WHITE) == WHITE:
+                    cycle = visit(dep)
+                    if cycle is not None:
+                        return cycle
+            stack.pop()
+            colour[name] = BLACK
+            return None
+
+        for name in sorted(self._role_arity):
+            if colour[name] == WHITE:
+                cycle = visit(name)
+                if cycle is not None:
+                    return cycle
+        return None
+
+    def validate(self) -> None:
+        """Raise :class:`PolicyError` on any well-formedness violation."""
+        for name in self._role_arity:
+            if name not in self._activation_rules:
+                raise PolicyError(
+                    f"role {name!r} declared but has no activation rule — "
+                    f"it can never be activated")
+        cycle = self._find_local_cycle()
+        if cycle is not None:
+            raise PolicyError(
+                "cyclic local prerequisite chain: " + " -> ".join(cycle))
+        needs_initial = any(
+            not rule.is_initial
+            for rules in self._activation_rules.values() for rule in rules)
+        has_cross_service_prereq = any(
+            prereq.template.role_name.service != self.service
+            for rules in self._activation_rules.values() for rule in rules
+            for prereq in rule.prerequisite_roles())
+        if needs_initial and not self.initial_roles() \
+                and not has_cross_service_prereq:
+            raise PolicyError(
+                f"service {self.service} has dependent roles but no initial "
+                f"role and no cross-service prerequisites — no session could "
+                f"ever activate anything here")
+
+    def describe(self) -> str:
+        """A human-readable dump of the whole policy."""
+        lines = [f"policy of {self.service}"]
+        for name in self.role_names:
+            lines.append(f"  role {name}/{self.role_arity(name)}")
+            for rule in self._activation_rules.get(name, []):
+                lines.append(f"    {rule}")
+        for method in self.guarded_methods:
+            for rule in self._authorization_rules[method]:
+                lines.append(f"  {rule}")
+        for app in self.appointment_names:
+            for rule in self._appointment_rules[app]:
+                lines.append(f"  {rule}")
+        return "\n".join(lines)

@@ -1,0 +1,722 @@
+"""The OASIS-secured service (Fig. 2) and its active security machinery.
+
+An :class:`OasisService` implements the full life-cycle of Fig. 2:
+
+* **path 1/2 — role entry**: a client presents credentials; the service
+  validates them (local signature checks for its own certificates, callback
+  to the issuer for foreign ones), evaluates its activation rules, and on
+  success issues a signed RMC backed by a credential record (CR);
+* **path 3/4 — service use**: invocation of a registered method is guarded
+  by authorization rules over presented RMCs and constraints;
+* **appointment**: principals active in appointer roles may be granted
+  appointment certificates for third parties;
+* **active security (Fig. 5)**: every credential has an event channel;
+  issuing a credential whose activation used membership-flagged credentials
+  subscribes the new CR to their revocation events, so revocation cascades
+  along the role-dependency edges — across services — without polling.
+  Membership-flagged *constraints* are re-evaluated when a watched database
+  table changes and on explicit sweeps (for time-based conditions).
+* **validation caching**: validation of a foreign credential may be cached;
+  the service then holds an *external CR proxy* (ECR) — a subscription to
+  the issuer's revocation channel that drops the cache entry the moment the
+  credential dies.  This is the paper's "cache the certificate and the
+  result of validation in order to reduce the communication overhead of
+  repeated callback", and ABL1 measures exactly this trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..db import Database
+from ..events import (
+    CREDENTIAL_REISSUED,
+    CREDENTIAL_REVOKED,
+    CredentialChannel,
+    Event,
+    EventBroker,
+    HeartbeatMonitor,
+    Subscription,
+)
+from ..crypto.hmac_sig import ServiceSecret
+from .constraints import EvaluationContext
+from .credentials import (
+    AppointmentCertificate,
+    CredentialRecord,
+    CredentialRef,
+    CredentialRefAllocator,
+    RoleMembershipCertificate,
+)
+from .engine import PresentedCredential, RuleEngine, RuleMatch
+from .access_log import AccessKind, AccessLog
+from .exceptions import (
+    ActivationDenied,
+    AppointmentDenied,
+    CredentialExpired,
+    CredentialInvalid,
+    CredentialRevoked,
+    InvocationDenied,
+    SignatureInvalid,
+    UnknownMethod,
+)
+from .policy import ServicePolicy
+from .rules import ConstraintCondition
+from .terms import Substitution, Term
+from .types import PrincipalId, Role, ServiceId
+
+__all__ = [
+    "ServiceRegistry",
+    "OasisService",
+    "ServiceStats",
+    "Presentation",
+    "VALIDATE_ENDPOINT",
+]
+
+Certificate = Union[RoleMembershipCertificate, AppointmentCertificate]
+
+#: Network endpoint suffix under which services expose callback validation.
+VALIDATE_ENDPOINT = "oasis.validate"
+
+
+def _endpoint_name(service: ServiceId) -> str:
+    return f"{VALIDATE_ENDPOINT}/{service.name}"
+
+
+@dataclass
+class ServiceStats:
+    """Operational counters, consumed by the benchmark harness."""
+
+    rmcs_issued: int = 0
+    appointments_issued: int = 0
+    invocations: int = 0
+    activations_denied: int = 0
+    invocations_denied: int = 0
+    validations_local: int = 0
+    callbacks_made: int = 0
+    callbacks_served: int = 0
+    cache_hits: int = 0
+    cache_invalidations: int = 0
+    revocations: int = 0
+    cascade_revocations: int = 0
+    membership_rechecks: int = 0
+    heartbeats_sent: int = 0
+
+    def reset(self) -> None:
+        for name in vars(self):
+            setattr(self, name, 0)
+
+
+@dataclass(frozen=True)
+class Presentation:
+    """A certificate as presented by a client.
+
+    ``holder`` is the identity the presenter claims for holder-bound
+    appointment certificates (a persistent principal id or ``"key:<fp>"``
+    after a challenge-response proof); RMCs ignore it — their binding is the
+    presenting principal id itself.
+
+    ``on_behalf_of`` supports the Fig. 3 cross-domain protocol: a gateway
+    service forwarding another principal's RMC attests the *original
+    requester's* identity ("service level agreements ... would establish a
+    protocol to validate local RMCs so that the identity of the original
+    requester can be recorded for audit", Sect. 3).  The issuer still
+    verifies that the RMC really is bound to that identity — the gateway
+    can forward, not forge.
+    """
+
+    certificate: Certificate
+    holder: Optional[str] = None
+    on_behalf_of: Optional[str] = None
+
+
+@dataclass
+class _MembershipWatch:
+    """Per-credential record of membership constraints to re-check."""
+
+    ref: CredentialRef
+    constraints: Tuple[ConstraintCondition, ...]
+    substitution: Substitution
+    environment: Dict[str, Any]
+    watched_tables: Set[Tuple[str, str]] = field(default_factory=set)
+
+
+class ServiceRegistry:
+    """Maps service ids to live services for direct (in-process) callback.
+
+    When a :class:`~repro.net.SimNetwork` is supplied to services, foreign
+    validation goes over the network and pays simulated latency; otherwise
+    it falls back to this registry.  Either way the *logical* protocol is
+    the same callback of Sect. 4.
+    """
+
+    def __init__(self) -> None:
+        self._services: Dict[ServiceId, "OasisService"] = {}
+
+    def register(self, service: "OasisService") -> None:
+        if service.id in self._services:
+            raise ValueError(f"service {service.id} already registered")
+        self._services[service.id] = service
+
+    def lookup(self, service_id: ServiceId) -> "OasisService":
+        try:
+            return self._services[service_id]
+        except KeyError:
+            raise CredentialInvalid(
+                f"cannot validate: unknown issuer {service_id}") from None
+
+    def __contains__(self, service_id: ServiceId) -> bool:
+        return service_id in self._services
+
+    def all_services(self) -> List["OasisService"]:
+        return list(self._services.values())
+
+
+class OasisService:
+    """A service secured by OASIS access control (Fig. 2)."""
+
+    def __init__(self, policy: ServicePolicy, broker: EventBroker,
+                 registry: ServiceRegistry,
+                 clock: Callable[[], float] = lambda: 0.0,
+                 databases: Optional[Dict[str, Database]] = None,
+                 network: Optional[Any] = None,
+                 cache_validations: bool = True,
+                 secret: Optional[ServiceSecret] = None,
+                 heartbeat_timeout: Optional[float] = None,
+                 access_log: Optional[AccessLog] = None) -> None:
+        self.policy = policy
+        self.id: ServiceId = policy.service
+        self.broker = broker
+        self.registry = registry
+        self.clock = clock
+        self.network = network
+        self.cache_validations = cache_validations
+        self.secret = secret or ServiceSecret.generate()
+        self.stats = ServiceStats()
+        #: Audit trail of access-control decisions ("the identity of the
+        #: original requester can be recorded for audit", Sect. 3).
+        self.access_log = access_log if access_log is not None \
+            else AccessLog(capacity=100_000)
+
+        self.context = EvaluationContext(clock=clock,
+                                         databases=dict(databases or {}))
+        self._engine = RuleEngine(self.context)
+        self._refs = CredentialRefAllocator(self.id)
+        self._records: Dict[CredentialRef, CredentialRecord] = {}
+        self._channels: Dict[CredentialRef, CredentialChannel] = {}
+        self._dependency_subs: Dict[CredentialRef, List[Subscription]] = {}
+        self._watches: Dict[CredentialRef, _MembershipWatch] = {}
+        self._methods: Dict[str, Callable[..., Any]] = {}
+        # validation cache: (ref, requester, holder-claim); presence = valid
+        self._validation_cache: Dict[
+            Tuple[CredentialRef, str, Optional[str]], bool] = {}
+        self._ecr_subs: Dict[CredentialRef, List[Subscription]] = {}
+        # Fig. 5 heartbeat fail-safe: when a timeout is configured, cached
+        # validations are only trusted while the issuer's heartbeats keep
+        # arriving; silence forces a fresh callback.
+        self._heartbeats: Optional[HeartbeatMonitor] = (
+            HeartbeatMonitor(broker, heartbeat_timeout, clock)
+            if heartbeat_timeout is not None else None)
+
+        registry.register(self)
+        if network is not None:
+            network.register(self.id.domain, _endpoint_name(self.id),
+                             self._serve_validation)
+        for database in self.context.databases.values():
+            database.add_listener(self._on_database_change)
+
+    def _audit(self, kind: str, principal: str, subject: str,
+               detail: Tuple[Any, ...] = (),
+               reason: Optional[str] = None) -> None:
+        self.access_log.record(self.clock(), kind, principal, subject,
+                               detail, reason)
+
+    # ------------------------------------------------------------------
+    # Role activation (Fig. 2 paths 1-2)
+    # ------------------------------------------------------------------
+    def activate_role(self, principal: PrincipalId, role_name: str,
+                      parameters: Optional[Sequence[Term]] = None,
+                      credentials: Sequence[Presentation] = (),
+                      environment: Optional[Dict[str, Any]] = None,
+                      session_id: Optional[str] = None,
+                      bound_key: Optional[str] = None,
+                      ) -> RoleMembershipCertificate:
+        """Attempt role activation; returns a signed RMC on success.
+
+        Raises :class:`ActivationDenied` when no activation rule for the
+        role is satisfied by the presented credentials, and the relevant
+        :class:`CredentialInvalid` subclass when a presented certificate
+        fails validation.
+        """
+        presented = self._validate_presentations(principal, credentials)
+        context = self.context.with_environment(**(environment or {}))
+        last_denial: Optional[ActivationDenied] = None
+        for rule in self.policy.activation_rules_for(role_name):
+            try:
+                result = self._engine.match_activation(
+                    rule, parameters, presented, context)
+            except ActivationDenied as denial:
+                last_denial = denial
+                continue
+            if result is None:
+                continue
+            match, role = result
+            return self._issue_rmc(principal, role, match,
+                                   environment or {}, session_id, bound_key)
+        self.stats.activations_denied += 1
+        denial = last_denial or ActivationDenied(
+            f"{principal} cannot activate {self.id}:{role_name} with the "
+            f"presented credentials")
+        self._audit(AccessKind.ACTIVATION_DENIED, principal.value,
+                    role_name, reason=str(denial))
+        raise denial
+
+    def _issue_rmc(self, principal: PrincipalId, role: Role, match: RuleMatch,
+                   environment: Dict[str, Any], session_id: Optional[str],
+                   bound_key: Optional[str]) -> RoleMembershipCertificate:
+        ref = self._refs.next()
+        now = self.clock()
+        rmc = RoleMembershipCertificate.issue(
+            self.secret, self.id, role, ref, principal, now, bound_key)
+        record = CredentialRecord(
+            ref=ref, kind="rmc", principal=principal, issued_at=now,
+            membership_dependencies=match.membership_credential_refs(),
+            session_id=session_id)
+        self._install_record(record, match, environment)
+        self.stats.rmcs_issued += 1
+        self._audit(AccessKind.ACTIVATION, principal.value,
+                    str(role.role_name), detail=role.parameters)
+        return rmc
+
+    # ------------------------------------------------------------------
+    # Service invocation (Fig. 2 paths 3-4)
+    # ------------------------------------------------------------------
+    def register_method(self, name: str, handler: Callable[..., Any]) -> None:
+        """Expose an application method, to be guarded by authorization
+        rules for ``name``."""
+        if not name:
+            raise ValueError("method name must be non-empty")
+        if name in self._methods:
+            raise ValueError(f"method {name!r} already registered")
+        self._methods[name] = handler
+
+    def invoke(self, principal: PrincipalId, method: str,
+               arguments: Sequence[Term] = (),
+               credentials: Sequence[Presentation] = (),
+               environment: Optional[Dict[str, Any]] = None) -> Any:
+        """Invoke ``method`` under OASIS access control.
+
+        The invocation proceeds only if some authorization rule for the
+        method is satisfied (closed world: a method with no satisfiable
+        rule, or no rules at all, is denied).
+        """
+        if method not in self._methods:
+            raise UnknownMethod(f"{self.id} has no method {method!r}")
+        presented = self._validate_presentations(principal, credentials)
+        context = self.context.with_environment(**(environment or {}))
+        for rule in self.policy.authorization_rules_for(method):
+            match = self._engine.match_authorization(
+                rule, list(arguments), presented, context)
+            if match is not None:
+                self.stats.invocations += 1
+                self._audit(AccessKind.INVOCATION, principal.value,
+                            method, detail=tuple(arguments))
+                return self._methods[method](*arguments)
+        self.stats.invocations_denied += 1
+        self._audit(AccessKind.INVOCATION_DENIED, principal.value,
+                    method, detail=tuple(arguments))
+        raise InvocationDenied(
+            f"{principal} may not invoke {self.id}.{method}{tuple(arguments)!r}")
+
+    # ------------------------------------------------------------------
+    # Appointment (Sect. 2)
+    # ------------------------------------------------------------------
+    def issue_appointment(self, appointer: PrincipalId, name: str,
+                          parameters: Sequence[Term],
+                          credentials: Sequence[Presentation] = (),
+                          holder: Optional[str] = None,
+                          expires_at: Optional[float] = None,
+                          environment: Optional[Dict[str, Any]] = None,
+                          ) -> AppointmentCertificate:
+        """Issue an appointment certificate if the appointer satisfies an
+        appointment rule.
+
+        ``holder`` binds the certificate (persistent principal id or
+        ``"key:<fingerprint>"``); None issues an anonymous certificate.
+        The certificate's lifetime is independent of the appointer's
+        session: revoking the appointer's RMC does *not* cascade here.
+        """
+        presented = self._validate_presentations(appointer, credentials)
+        context = self.context.with_environment(**(environment or {}))
+        rules = self.policy.appointment_rules_for(name)
+        if not rules:
+            raise AppointmentDenied(
+                f"{self.id} defines no appointment {name!r}")
+        for rule in rules:
+            match = self._engine.match_appointment(
+                rule, list(parameters), presented, context)
+            if match is None:
+                continue
+            ground = match.substitution.apply(tuple(parameters))
+            ref = self._refs.next()
+            now = self.clock()
+            certificate = AppointmentCertificate.issue(
+                self.secret, self.id, name, ground, ref, now,
+                expires_at, holder)
+            record = CredentialRecord(
+                ref=ref, kind="appointment",
+                principal=PrincipalId(holder) if holder else None,
+                issued_at=now)
+            self._records[ref] = record
+            self._channels[ref] = CredentialChannel(self.broker, str(ref))
+            self.stats.appointments_issued += 1
+            self._audit(AccessKind.APPOINTMENT, appointer.value, name,
+                        detail=tuple(ground),
+                        reason=f"holder={holder!r}")
+            return certificate
+        self._audit(AccessKind.APPOINTMENT_DENIED, appointer.value, name)
+        raise AppointmentDenied(
+            f"{appointer} may not issue appointment {name!r} at {self.id}")
+
+    def rotate_secret(self) -> None:
+        """Rotate the service secret (Sect. 4.1).
+
+        Certificates signed under the old secret stop verifying and must be
+        re-issued via :meth:`reissue_appointment`.  A ``CREDENTIAL_REISSUED``
+        event is published for every live appointment so that holders of
+        cached validations drop them immediately — without it, a cache
+        would keep honouring old-secret certificates until its next
+        callback.  (The event deliberately differs from revocation: the
+        credential *records* stay valid, so no dependency cascade fires.)
+        """
+        self.secret = self.secret.rotated()
+        for record in self._records.values():
+            if record.kind == "appointment" and record.active:
+                self.broker.publish(Event.make(
+                    CREDENTIAL_REISSUED, timestamp=self.clock(),
+                    credential_ref=str(record.ref),
+                    reason="issuer secret rotation"))
+
+    def reissue_appointment(self, certificate: AppointmentCertificate
+                            ) -> AppointmentCertificate:
+        """Re-sign a (still active) appointment under the current secret."""
+        record = self._records.get(certificate.ref)
+        if record is None or record.kind != "appointment":
+            raise CredentialInvalid(f"unknown appointment {certificate.ref}")
+        if not record.active:
+            raise CredentialRevoked(f"appointment {certificate.ref} revoked")
+        return certificate.reissued(self.secret, self.clock())
+
+    # ------------------------------------------------------------------
+    # Revocation and the Fig. 5 cascade
+    # ------------------------------------------------------------------
+    def revoke(self, ref: CredentialRef, reason: str = "revoked") -> bool:
+        """Revoke a credential issued here; triggers the dependency cascade.
+
+        Returns False when the credential was already revoked or unknown.
+        """
+        record = self._records.get(ref)
+        if record is None or not record.revoke(reason, self.clock()):
+            return False
+        self.stats.revocations += 1
+        self._audit(AccessKind.REVOCATION,
+                    record.principal.value if record.principal else "-",
+                    str(ref), reason=reason)
+        self._teardown_watch(ref)
+        for subscription in self._dependency_subs.pop(ref, []):
+            subscription.cancel()
+        channel = self._channels.get(ref)
+        if channel is not None:
+            channel.notify_revoked(reason, timestamp=self.clock())
+        return True
+
+    def deactivate_role(self, rmc: RoleMembershipCertificate,
+                        reason: str = "deactivated by principal") -> bool:
+        """Voluntary role deactivation (e.g. logout of an initial role)."""
+        if rmc.issuer != self.id:
+            raise CredentialInvalid(
+                f"RMC {rmc.ref} was not issued by {self.id}")
+        return self.revoke(rmc.ref, reason)
+
+    def _on_dependency_revoked(self, dependent: CredentialRef,
+                               event: Event) -> None:
+        record = self._records.get(dependent)
+        if record is None or not record.active:
+            return
+        self.stats.cascade_revocations += 1
+        self.revoke(dependent,
+                    f"membership dependency {event.get('credential_ref')} "
+                    f"revoked ({event.get('reason')})")
+
+    # ------------------------------------------------------------------
+    # Membership constraint monitoring
+    # ------------------------------------------------------------------
+    def _install_record(self, record: CredentialRecord, match: RuleMatch,
+                        environment: Dict[str, Any]) -> None:
+        ref = record.ref
+        self._records[ref] = record
+        self._channels[ref] = CredentialChannel(self.broker, str(ref))
+        # Subscribe to revocation of every membership dependency: the edge
+        # along which the Fig. 5 cascade travels.
+        subs = []
+        for dependency in record.membership_dependencies:
+            subs.append(self.broker.subscribe(
+                CREDENTIAL_REVOKED,
+                lambda event, dep=ref: self._on_dependency_revoked(dep, event),
+                credential_ref=str(dependency)))
+        if subs:
+            self._dependency_subs[ref] = subs
+        constraints = match.membership_constraints()
+        if constraints:
+            watch = _MembershipWatch(
+                ref=ref, constraints=constraints,
+                substitution=match.substitution,
+                environment=dict(environment))
+            for condition in constraints:
+                watch.watched_tables |= condition.constraint.watched_tables()
+            self._watches[ref] = watch
+
+    def _teardown_watch(self, ref: CredentialRef) -> None:
+        self._watches.pop(ref, None)
+
+    def _recheck_watch(self, watch: _MembershipWatch) -> bool:
+        """Re-evaluate one credential's membership constraints; revoke on
+        violation.  Returns True when the credential survived."""
+        self.stats.membership_rechecks += 1
+        context = self.context.with_environment(**watch.environment)
+        for condition in watch.constraints:
+            if not condition.constraint.evaluate(watch.substitution, context):
+                self.revoke(watch.ref,
+                            f"membership condition became false: "
+                            f"{condition.constraint!r}")
+                return False
+        return True
+
+    def recheck_membership(self) -> int:
+        """Sweep all membership watches (drives time-based conditions).
+
+        Returns the number of credentials revoked by the sweep.  Intended to
+        be scheduled periodically (:class:`repro.net.Scheduler`) — database
+        -backed conditions do not need it, they are pushed via listeners.
+        """
+        revoked = 0
+        for watch in list(self._watches.values()):
+            if not self._recheck_watch(watch):
+                revoked += 1
+        return revoked
+
+    def _on_database_change(self, table: str, op: str, row: Any) -> None:
+        # Identify the databases this service sees containing this table;
+        # re-check any watch that depends on it.
+        affected_names = {name for name, db in self.context.databases.items()
+                          if db.has_table(table)}
+        for watch in list(self._watches.values()):
+            if any((db_name, table) in watch.watched_tables
+                   for db_name in affected_names):
+                self._recheck_watch(watch)
+
+    # ------------------------------------------------------------------
+    # Credential validation (local + callback + cache/ECR)
+    # ------------------------------------------------------------------
+    def _validate_presentations(self, principal: PrincipalId,
+                                presentations: Sequence[Presentation],
+                                ) -> List[PresentedCredential]:
+        presented = []
+        for presentation in presentations:
+            certificate = presentation.certificate
+            try:
+                if certificate.issuer == self.id:
+                    self._validate_local(principal, presentation)
+                else:
+                    self._validate_remote(principal, presentation)
+            except CredentialInvalid as failure:
+                self._audit(AccessKind.VALIDATION_FAILED, principal.value,
+                            str(certificate.ref), reason=str(failure))
+                raise
+            presented.append(PresentedCredential(certificate))
+        return presented
+
+    @staticmethod
+    def _rmc_binding(principal: PrincipalId,
+                     presentation: Presentation) -> str:
+        return presentation.on_behalf_of or principal.value
+
+    def _validate_local(self, principal: PrincipalId,
+                        presentation: Presentation) -> None:
+        self.stats.validations_local += 1
+        self._check_certificate(presentation.certificate,
+                                self._rmc_binding(principal, presentation),
+                                presentation.holder)
+
+    def _validate_remote(self, principal: PrincipalId,
+                         presentation: Presentation) -> None:
+        certificate = presentation.certificate
+        ref = certificate.ref
+        # The effective requester: the invoking principal, or the original
+        # requester a gateway attests under an SLA.  Both the RMC principal
+        # binding and the appointment holder binding are checked against it
+        # by the issuer.
+        requester = self._rmc_binding(principal, presentation)
+        cache_key = (ref, requester, presentation.holder)
+        if self.cache_validations and cache_key in self._validation_cache \
+                and not self._heartbeat_silent(ref):
+            # Cached result is trustworthy only while the ECR subscription
+            # lives; expiry must still be checked locally against the clock.
+            if isinstance(certificate, AppointmentCertificate) \
+                    and certificate.is_expired(self.clock()):
+                raise CredentialExpired(f"appointment {ref} expired")
+            self.stats.cache_hits += 1
+            return
+        self._callback_validate(certificate, requester,
+                                presentation.holder)
+        if self.cache_validations:
+            self._validation_cache[cache_key] = True
+            if self._heartbeats is not None:
+                # A successful callback is fresh evidence of issuer
+                # liveness: re-arm the heartbeat window.
+                self._heartbeats.unwatch(str(ref))
+                self._heartbeats.watch(str(ref))
+            if ref not in self._ecr_subs:
+                # The ECR proxy of Fig. 5: invalidate the cache on
+                # revocation (terminal) or re-issue (cache-only drop).
+                self._ecr_subs[ref] = [
+                    self.broker.subscribe(
+                        CREDENTIAL_REVOKED,
+                        lambda event, r=ref: self._drop_ecr(r, final=True),
+                        credential_ref=str(ref)),
+                    self.broker.subscribe(
+                        CREDENTIAL_REISSUED,
+                        lambda event, r=ref: self._drop_ecr(r, final=False),
+                        credential_ref=str(ref)),
+                ]
+
+    def _heartbeat_silent(self, ref: CredentialRef) -> bool:
+        if self._heartbeats is None:
+            return False
+        return str(ref) in self._heartbeats.silent_credentials()
+
+    def suspect_credentials(self) -> List[CredentialRef]:
+        """Foreign credentials whose issuers' heartbeats have gone silent.
+
+        Only meaningful when the service was built with a
+        ``heartbeat_timeout``; cached validations for these are bypassed
+        until a callback succeeds again.
+        """
+        if self._heartbeats is None:
+            return []
+        silent = set(self._heartbeats.silent_credentials())
+        return sorted({key[0] for key in self._validation_cache
+                       if str(key[0]) in silent},
+                      key=str)
+
+    def start_heartbeats(self, scheduler: Any,
+                         interval: float) -> Callable[[], None]:
+        """Issuer side of Fig. 5: periodically heartbeat every live CR.
+
+        Returns a cancel function.  Revoked credentials stop beating
+        because their channels are closed.
+        """
+
+        def beat() -> None:
+            now = self.clock()
+            for ref, record in self._records.items():
+                if record.active:
+                    channel = self._channels.get(ref)
+                    if channel is not None and not channel.closed:
+                        channel.heartbeat(timestamp=now)
+                        self.stats.heartbeats_sent += 1
+
+        return scheduler.schedule_periodic(interval, beat)
+
+    def _drop_ecr(self, ref: CredentialRef, final: bool) -> None:
+        stale = [key for key in self._validation_cache if key[0] == ref]
+        for key in stale:
+            del self._validation_cache[key]
+        self.stats.cache_invalidations += len(stale)
+        if final:
+            for sub in self._ecr_subs.pop(ref, []):
+                sub.cancel()
+
+    def _callback_validate(self, certificate: Certificate,
+                           principal_value: str,
+                           holder: Optional[str]) -> None:
+        """Callback to the issuer (Sect. 4: 'validate a certificate
+        presented as an argument via callback to the issuer')."""
+        self.stats.callbacks_made += 1
+        issuer = certificate.issuer
+        if self.network is not None and self.network.has_endpoint(
+                issuer.domain, _endpoint_name(issuer)):
+            from ..net import NetworkError
+
+            try:
+                self.network.call(self.id.domain, issuer.domain,
+                                  _endpoint_name(issuer),
+                                  certificate, principal_value, holder)
+            except NetworkError as failure:
+                # Fail closed: a credential that cannot be validated is
+                # treated as invalid for this request (it may be retried
+                # once the issuer is reachable again).
+                raise CredentialInvalid(
+                    f"cannot validate {certificate.ref}: issuer "
+                    f"unreachable ({failure})") from failure
+            return
+        self.registry.lookup(issuer)._serve_validation(
+            certificate, principal_value, holder)
+
+    def _serve_validation(self, certificate: Certificate,
+                          principal_value: str,
+                          holder: Optional[str]) -> bool:
+        """Issuer-side validation endpoint; raises on invalid."""
+        self.stats.callbacks_served += 1
+        self._check_certificate(certificate, principal_value, holder)
+        return True
+
+    def _check_certificate(self, certificate: Certificate,
+                           principal_value: str,
+                           holder: Optional[str]) -> None:
+        if certificate.issuer != self.id:
+            raise CredentialInvalid(
+                f"certificate {certificate.ref} was not issued by {self.id}")
+        record = self._records.get(certificate.ref)
+        if record is None:
+            raise CredentialInvalid(
+                f"no credential record for {certificate.ref}")
+        if not record.active:
+            raise CredentialRevoked(
+                f"credential {certificate.ref} revoked: "
+                f"{record.revoked_reason}")
+        if isinstance(certificate, RoleMembershipCertificate):
+            certificate.verify(self.secret, PrincipalId(principal_value))
+        else:
+            if certificate.is_expired(self.clock()):
+                raise CredentialExpired(
+                    f"appointment {certificate.ref} expired")
+            bound = certificate.holder
+            if bound is not None and not bound.startswith("key:") \
+                    and principal_value != bound:
+                # Persistent principal-id binding (Sect. 4.1): the
+                # presenting principal must BE the holder; merely claiming
+                # the holder's name is theft.  Key-bound certificates
+                # ("key:<fp>") are instead checked by challenge-response,
+                # which the presenting service attests via ``holder``.
+                raise SignatureInvalid(
+                    f"appointment {certificate.ref} is bound to "
+                    f"{bound!r}, presented by {principal_value!r}")
+            certificate.verify(self.secret, holder)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def credential_record(self, ref: CredentialRef) -> Optional[CredentialRecord]:
+        return self._records.get(ref)
+
+    def is_active(self, ref: CredentialRef) -> bool:
+        record = self._records.get(ref)
+        return record is not None and record.active
+
+    def active_credentials(self) -> List[CredentialRecord]:
+        return [record for record in self._records.values() if record.active]
+
+    @property
+    def validation_cache_size(self) -> int:
+        return len(self._validation_cache)

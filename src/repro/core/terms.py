@@ -1,0 +1,252 @@
+"""First-order terms and unification for parametrised OASIS rules.
+
+OASIS role activation rules are Horn clauses over *parametrised* role and
+credential predicates (Sect. 2 of the paper).  A rule such as::
+
+    treating_doctor(doc, pat) <- doctor(doc), allocated(doc, pat)
+
+mentions *variables* (``doc``, ``pat``) that are bound when a principal
+presents ground credentials.  This module supplies the term language and the
+unification machinery the policy engine (:mod:`repro.core.engine`) is built
+on:
+
+* :class:`Var` — a named logic variable.
+* ground Python values (str, int, float, bool, None, tuples of these) act as
+  constants; tuples unify element-wise.
+* :class:`Substitution` — an immutable mapping from variables to terms.
+* :func:`unify` — sound first-order unification with occurs check.
+
+The design keeps constants as plain Python values rather than wrapping them,
+so application code can write ``Role("doctor", ("d42",))`` and policy code
+``RoleTemplate("doctor", ("who",))`` without ceremony.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple, Union
+
+__all__ = [
+    "Var",
+    "Term",
+    "Substitution",
+    "EMPTY_SUBSTITUTION",
+    "unify",
+    "unify_sequences",
+    "is_ground",
+    "variables_in",
+    "fresh_var",
+]
+
+
+class Var:
+    """A logic variable, identified by name.
+
+    Two ``Var`` objects with the same name are the same variable.  Variable
+    names are ordinary identifiers; the convention in policy text is lower
+    case (``doc``, ``pat``) but nothing is enforced here.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if not isinstance(name, str) or not name:
+            raise TypeError("variable name must be a non-empty string")
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Var) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Var", self.name))
+
+
+#: A term is a variable, an atomic Python constant, or a tuple of terms.
+Term = Union[Var, str, int, float, bool, None, Tuple["Term", ...]]
+
+_ATOMIC_TYPES = (str, int, float, bool, type(None), bytes)
+
+_FRESH_COUNTER = [0]
+
+
+def fresh_var(prefix: str = "_v") -> Var:
+    """Return a variable guaranteed not to clash with user-written names.
+
+    Fresh variables carry a ``$`` so they can never collide with identifiers
+    produced by the policy parser.
+    """
+    _FRESH_COUNTER[0] += 1
+    return Var(f"{prefix}${_FRESH_COUNTER[0]}")
+
+
+def _check_term(term: Term) -> None:
+    if isinstance(term, Var) or isinstance(term, _ATOMIC_TYPES):
+        return
+    if isinstance(term, tuple):
+        for sub in term:
+            _check_term(sub)
+        return
+    raise TypeError(f"not a valid term: {term!r} (type {type(term).__name__})")
+
+
+def is_ground(term: Term) -> bool:
+    """Return True when ``term`` contains no variables."""
+    if isinstance(term, Var):
+        return False
+    if isinstance(term, tuple):
+        return all(is_ground(sub) for sub in term)
+    return True
+
+
+def variables_in(term: Term) -> Iterator[Var]:
+    """Yield each variable occurring in ``term`` (with repeats)."""
+    if isinstance(term, Var):
+        yield term
+    elif isinstance(term, tuple):
+        for sub in term:
+            yield from variables_in(sub)
+
+
+class Substitution(Mapping[Var, Term]):
+    """An immutable map from variables to terms.
+
+    Substitutions are built up during unification and applied to terms with
+    :meth:`apply`.  They are *idempotent*: bindings are resolved through the
+    substitution when applied, so chained bindings (``x -> y, y -> 1``)
+    behave correctly.
+    """
+
+    __slots__ = ("_bindings",)
+
+    def __init__(self, bindings: Optional[Mapping[Var, Term]] = None) -> None:
+        self._bindings: Dict[Var, Term] = dict(bindings) if bindings else {}
+        for var, value in self._bindings.items():
+            if not isinstance(var, Var):
+                raise TypeError(f"substitution keys must be Var, got {var!r}")
+            _check_term(value)
+
+    # -- Mapping interface -------------------------------------------------
+    def __getitem__(self, var: Var) -> Term:
+        return self._bindings[var]
+
+    def __iter__(self) -> Iterator[Var]:
+        return iter(self._bindings)
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{v!r}={t!r}" for v, t in sorted(
+            self._bindings.items(), key=lambda item: item[0].name))
+        return f"{{{inner}}}"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Substitution):
+            return self._bindings == other._bindings
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._bindings.items()))
+
+    # -- operations --------------------------------------------------------
+    def apply(self, term: Term) -> Term:
+        """Apply this substitution to ``term``, resolving chains of bindings."""
+        if isinstance(term, Var):
+            seen = set()
+            current: Term = term
+            while isinstance(current, Var) and current in self._bindings:
+                if current in seen:  # defensive: cycles cannot arise via unify()
+                    raise ValueError(f"cyclic substitution at {current!r}")
+                seen.add(current)
+                current = self._bindings[current]
+            if isinstance(current, tuple):
+                return tuple(self.apply(sub) for sub in current)
+            return current
+        if isinstance(term, tuple):
+            return tuple(self.apply(sub) for sub in term)
+        return term
+
+    def bind(self, var: Var, value: Term) -> "Substitution":
+        """Return a new substitution extended with ``var -> value``."""
+        if var in self._bindings:
+            raise ValueError(f"variable {var!r} already bound")
+        new = dict(self._bindings)
+        new[var] = value
+        return Substitution(new)
+
+    def merged_with(self, other: "Substitution") -> Optional["Substitution"]:
+        """Merge two substitutions, unifying on shared variables.
+
+        Returns None when the substitutions conflict.
+        """
+        result: Optional[Substitution] = self
+        for var, value in other.items():
+            assert result is not None
+            result = unify(var, value, result)
+            if result is None:
+                return None
+        return result
+
+
+EMPTY_SUBSTITUTION = Substitution()
+
+
+def _occurs(var: Var, term: Term, subst: Substitution) -> bool:
+    term = subst.apply(term)
+    if isinstance(term, Var):
+        return term == var
+    if isinstance(term, tuple):
+        return any(_occurs(var, sub, subst) for sub in term)
+    return False
+
+
+def unify(left: Term, right: Term,
+          subst: Substitution = EMPTY_SUBSTITUTION) -> Optional[Substitution]:
+    """Unify two terms under ``subst``; return the extended substitution.
+
+    Returns None when the terms do not unify.  Atomic constants unify by
+    Python equality with matching types — ``1`` and ``True`` are distinct
+    here even though ``1 == True`` in Python, because certificate parameters
+    must not silently coerce.
+    """
+    left = subst.apply(left)
+    right = subst.apply(right)
+
+    if isinstance(left, Var):
+        if isinstance(right, Var) and right == left:
+            return subst
+        if _occurs(left, right, subst):
+            return None
+        return subst.bind(left, right)
+    if isinstance(right, Var):
+        return unify(right, left, subst)
+
+    if isinstance(left, tuple) and isinstance(right, tuple):
+        if len(left) != len(right):
+            return None
+        current: Optional[Substitution] = subst
+        for sub_left, sub_right in zip(left, right):
+            current = unify(sub_left, sub_right, current)
+            if current is None:
+                return None
+        return current
+
+    if isinstance(left, tuple) or isinstance(right, tuple):
+        return None
+
+    if type(left) is not type(right):
+        # bool is a subclass of int; keep them distinct for parameters.
+        if isinstance(left, bool) or isinstance(right, bool):
+            return None
+        if not (isinstance(left, (int, float)) and isinstance(right, (int, float))):
+            return None
+    return subst if left == right else None
+
+
+def unify_sequences(left: Iterable[Term], right: Iterable[Term],
+                    subst: Substitution = EMPTY_SUBSTITUTION,
+                    ) -> Optional[Substitution]:
+    """Unify two equal-length sequences of terms pair-wise."""
+    return unify(tuple(left), tuple(right), subst)

@@ -1,0 +1,170 @@
+"""Core identity and role types of the OASIS model.
+
+Roles in OASIS are *service-specific* and *parametrised* (Sect. 2).  A
+:class:`RoleTemplate` is a role as named in a service's policy — a name plus
+formal parameter names; a :class:`Role` is a ground instance held by a
+principal, e.g. ``treating_doctor(doctor_id="d1", patient_id="p7")``.
+
+Principals are identified by an opaque :class:`PrincipalId`; services by a
+:class:`ServiceId` which is qualified by the domain that hosts the service.
+Nothing in the core model assumes a global name space — two services may each
+define a role called ``doctor`` and they are distinct roles, as the paper
+requires ("there is no notion of globally centralised administration of role
+naming").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from .terms import Term, Var, is_ground
+
+__all__ = [
+    "PrincipalId",
+    "ServiceId",
+    "RoleName",
+    "RoleTemplate",
+    "Role",
+    "Privilege",
+]
+
+
+@dataclass(frozen=True, order=True)
+class PrincipalId:
+    """Opaque identifier of a principal (a user or computational entity)."""
+
+    value: str
+
+    def __post_init__(self) -> None:
+        if not self.value:
+            raise ValueError("principal id must be non-empty")
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class ServiceId:
+    """Identifier of a service, qualified by its administrative domain."""
+
+    domain: str
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.domain or not self.name:
+            raise ValueError("service id needs both domain and name")
+
+    def __str__(self) -> str:
+        return f"{self.domain}/{self.name}"
+
+
+@dataclass(frozen=True, order=True)
+class RoleName:
+    """A role name as defined by one specific service.
+
+    Role names are only meaningful relative to the defining service: the pair
+    ``(service, name)`` is the identity.
+    """
+
+    service: ServiceId
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("role name must be non-empty")
+
+    def __str__(self) -> str:
+        return f"{self.service}:{self.name}"
+
+
+@dataclass(frozen=True)
+class RoleTemplate:
+    """A parametrised role as written in policy: name + formal parameters.
+
+    ``parameters`` holds :class:`~repro.core.terms.Term` values; in policy
+    they are usually variables (``Var("doc")``) but constants are allowed to
+    pin a parameter, e.g. ``hospital("addenbrookes")``.
+    """
+
+    role_name: RoleName
+    parameters: Tuple[Term, ...] = field(default=())
+
+    @property
+    def arity(self) -> int:
+        return len(self.parameters)
+
+    def instantiate(self, *values: Term) -> "Role":
+        """Build a ground :class:`Role` from positional parameter values."""
+        if len(values) != len(self.parameters):
+            raise ValueError(
+                f"{self.role_name} expects {len(self.parameters)} parameters, "
+                f"got {len(values)}")
+        role = Role(self.role_name, tuple(values))
+        return role
+
+    def __str__(self) -> str:
+        if not self.parameters:
+            return str(self.role_name)
+        params = ", ".join(repr(p) for p in self.parameters)
+        return f"{self.role_name}({params})"
+
+
+@dataclass(frozen=True)
+class Role:
+    """A ground (fully instantiated) role held by some principal.
+
+    Instances are immutable and hashable so they can key credential records
+    and appear in session dependency trees.
+    """
+
+    role_name: RoleName
+    parameters: Tuple[Term, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        for param in self.parameters:
+            if isinstance(param, Var) or not is_ground(param):
+                raise ValueError(
+                    f"role instance {self.role_name} has non-ground "
+                    f"parameter {param!r}")
+
+    @property
+    def arity(self) -> int:
+        return len(self.parameters)
+
+    @property
+    def service(self) -> ServiceId:
+        return self.role_name.service
+
+    def matches_template(self, template: RoleTemplate) -> bool:
+        """True when this instance has the template's name and arity."""
+        return (self.role_name == template.role_name
+                and self.arity == template.arity)
+
+    def __str__(self) -> str:
+        if not self.parameters:
+            return str(self.role_name)
+        params = ", ".join(repr(p) for p in self.parameters)
+        return f"{self.role_name}({params})"
+
+
+@dataclass(frozen=True, order=True)
+class Privilege:
+    """A named privilege — the right to invoke a method at a service.
+
+    In OASIS "roles convey privileges; specifically, the privilege of method
+    invocation (including object access) at services" (Sect. 2).  A privilege
+    is therefore a method name at a service; object-level restrictions are
+    expressed through rule parameters and environmental constraints rather
+    than through the privilege itself.
+    """
+
+    service: ServiceId
+    method: str
+
+    def __post_init__(self) -> None:
+        if not self.method:
+            raise ValueError("privilege method must be non-empty")
+
+    def __str__(self) -> str:
+        return f"{self.service}.{self.method}"

@@ -1,0 +1,60 @@
+"""Cryptographic substrate for OASIS certificates (paper Sect. 4.1).
+
+The paper's certificate design (Fig. 4) signs the protected fields of a
+certificate together with a *principal id* and a *service secret*:
+
+    F(principal_id, protected RMC fields, SECRET) = signature
+
+:mod:`repro.crypto.hmac_sig` provides that construction (HMAC-SHA256 over a
+canonical field encoding).  :mod:`repro.crypto.rsa` is a from-scratch RSA
+implementation (Miller-Rabin key generation, PKCS#1-v1.5-shaped padding
+omitted in favour of hash-then-encrypt suitable for the simulation) used for
+the public-key integration of Sect. 4.1: session keys bound into RMC
+signatures and the ISO/9798 challenge-response protocol in
+:mod:`repro.crypto.challenge`.
+"""
+
+from .hmac_sig import (
+    ServiceSecret,
+    sign_fields,
+    verify_fields,
+    canonical_encode,
+)
+from .keys import KeyPair, generate_keypair
+from .rsa import (
+    RSAPublicKey,
+    RSAPrivateKey,
+    rsa_encrypt_int,
+    rsa_decrypt_int,
+    rsa_encrypt_bytes,
+    rsa_decrypt_bytes,
+)
+from .nonce import NonceFactory, NonceRegistry
+from .challenge import ChallengeResponseServer, ChallengeResponseClient
+from .signing import rsa_sign, rsa_verify
+from .envelope import EnvelopeError, SealedMessage, open_sealed, seal
+
+__all__ = [
+    "ServiceSecret",
+    "sign_fields",
+    "verify_fields",
+    "canonical_encode",
+    "KeyPair",
+    "generate_keypair",
+    "RSAPublicKey",
+    "RSAPrivateKey",
+    "rsa_encrypt_int",
+    "rsa_decrypt_int",
+    "rsa_encrypt_bytes",
+    "rsa_decrypt_bytes",
+    "NonceFactory",
+    "NonceRegistry",
+    "ChallengeResponseServer",
+    "ChallengeResponseClient",
+    "rsa_sign",
+    "rsa_verify",
+    "EnvelopeError",
+    "SealedMessage",
+    "open_sealed",
+    "seal",
+]

@@ -1,0 +1,122 @@
+"""ISO/9798-style challenge-response protocol (Sect. 4.1).
+
+From the paper:
+
+    "The issuing service produces a random challenge, encrypted with the
+    public key presented by the activator, and a nonce.  The client must
+    respond with the challenge in plaintext encrypted with the nonce.  Upon
+    receiving this, the service can conclude that the activator has access
+    to the private key corresponding to the public key presented."
+
+The flow implemented here:
+
+1. :meth:`ChallengeResponseServer.issue` — returns ``(challenge_id,
+   rsa_enc(pub, challenge), nonce)``.
+2. :meth:`ChallengeResponseClient.respond` — decrypts the challenge with the
+   private key and returns it encrypted under the nonce (a hash-keystream
+   cipher; any symmetric scheme keyed by the nonce fits the paper's text).
+3. :meth:`ChallengeResponseServer.verify` — decrypts with the stored nonce
+   and compares with the issued challenge.  Challenges are single-use and
+   nonces are replay-checked.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from .keys import KeyPair
+from .nonce import NonceFactory, NonceRegistry
+from .rsa import RSAPublicKey, rsa_encrypt_bytes
+
+__all__ = [
+    "symmetric_transform",
+    "IssuedChallenge",
+    "ChallengeResponseServer",
+    "ChallengeResponseClient",
+]
+
+
+def symmetric_transform(key: bytes, data: bytes) -> bytes:
+    """XOR ``data`` with a SHA-256 counter keystream derived from ``key``.
+
+    Symmetric: applying it twice with the same key recovers the plaintext.
+    """
+    if not key:
+        raise ValueError("empty symmetric key")
+    out = bytearray()
+    counter = 0
+    while len(out) < len(data):
+        block = hashlib.sha256(key + counter.to_bytes(8, "big")).digest()
+        out.extend(block)
+        counter += 1
+    return bytes(b ^ k for b, k in zip(data, out))
+
+
+@dataclass(frozen=True)
+class IssuedChallenge:
+    """What the server sends to the client."""
+
+    challenge_id: str
+    encrypted_challenge: bytes
+    nonce: bytes
+
+
+class ChallengeResponseServer:
+    """Server side: issue challenges against a presented public key."""
+
+    def __init__(self, challenge_size: int = 16,
+                 nonce_registry: Optional[NonceRegistry] = None) -> None:
+        if challenge_size < 8:
+            raise ValueError("challenge must be at least 8 bytes")
+        self._challenge_size = challenge_size
+        self._nonces = NonceFactory()
+        self._registry = nonce_registry or NonceRegistry()
+        self._pending: Dict[str, Tuple[bytes, bytes]] = {}
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def issue(self, presented_key: RSAPublicKey) -> IssuedChallenge:
+        """Issue a fresh challenge encrypted under ``presented_key``."""
+        challenge = secrets.token_bytes(self._challenge_size)
+        nonce = self._nonces.new()
+        if not self._registry.check_and_register(nonce):
+            # Astronomically unlikely; regenerate rather than fail.
+            nonce = self._nonces.new()
+            self._registry.check_and_register(nonce)
+        challenge_id = secrets.token_hex(8)
+        self._pending[challenge_id] = (challenge, nonce)
+        return IssuedChallenge(
+            challenge_id=challenge_id,
+            encrypted_challenge=rsa_encrypt_bytes(presented_key, challenge),
+            nonce=nonce,
+        )
+
+    def verify(self, challenge_id: str, response: bytes) -> bool:
+        """Check a response; the challenge is consumed either way."""
+        entry = self._pending.pop(challenge_id, None)
+        if entry is None:
+            return False
+        challenge, nonce = entry
+        recovered = symmetric_transform(nonce, response)
+        return secrets.compare_digest(recovered, challenge)
+
+
+class ChallengeResponseClient:
+    """Client side: prove possession of the private key."""
+
+    def __init__(self, keypair: KeyPair) -> None:
+        self._keypair = keypair
+
+    @property
+    def public_key(self) -> RSAPublicKey:
+        return self._keypair.public
+
+    def respond(self, issued: IssuedChallenge) -> bytes:
+        """Decrypt the challenge and return it encrypted under the nonce."""
+        challenge = self._keypair.decrypt(issued.encrypted_challenge)
+        return symmetric_transform(issued.nonce, challenge)

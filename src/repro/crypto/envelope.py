@@ -1,0 +1,88 @@
+"""Sealed message envelopes for sensitive call/return data (Sect. 4.1).
+
+"If any visibility of data and certificates 'on the wire' is unacceptable
+to an application ... then encrypted communication must be used.
+Sensitive data might be encrypted selectively within a trusted domain.
+Data sent to a service can be encrypted with the service's public key and
+the public key of the caller can be included for encrypting the reply."
+
+:func:`seal` implements exactly that construction: hybrid encryption (a
+fresh symmetric key encrypted under the recipient's RSA public key; the
+payload under the symmetric keystream) with the caller's public key riding
+along in the clear for the reply.  :func:`open_sealed` inverts it and
+returns both payload and reply key.
+
+Integrity: the symmetric layer appends an HMAC over the ciphertext keyed
+by the session key, so tampering is detected before decryption results are
+trusted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import secrets
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .challenge import symmetric_transform
+from .rsa import RSAPrivateKey, RSAPublicKey, rsa_decrypt_bytes, rsa_encrypt_bytes
+
+__all__ = ["SealedMessage", "seal", "open_sealed", "EnvelopeError"]
+
+_MAC_SIZE = 32
+
+
+class EnvelopeError(ValueError):
+    """A sealed message failed integrity or structural checks."""
+
+
+@dataclass(frozen=True)
+class SealedMessage:
+    """A hybrid-encrypted message.
+
+    ``encrypted_key`` — the fresh symmetric key under the recipient's RSA
+    key; ``ciphertext`` — payload under the symmetric keystream, with an
+    HMAC-SHA256 trailer; ``reply_key`` — optionally, the caller's public
+    key for encrypting the reply (travels in the clear, as in the paper).
+    """
+
+    encrypted_key: bytes
+    ciphertext: bytes
+    reply_key: Optional[RSAPublicKey] = None
+
+
+def seal(recipient: RSAPublicKey, payload: bytes,
+         reply_key: Optional[RSAPublicKey] = None) -> SealedMessage:
+    """Encrypt ``payload`` for ``recipient``."""
+    session_key = secrets.token_bytes(32)
+    body = symmetric_transform(session_key, payload)
+    mac = hmac.new(session_key, body, hashlib.sha256).digest()
+    return SealedMessage(
+        encrypted_key=rsa_encrypt_bytes(recipient, session_key),
+        ciphertext=body + mac,
+        reply_key=reply_key)
+
+
+def open_sealed(private: RSAPrivateKey, message: SealedMessage
+                ) -> Tuple[bytes, Optional[RSAPublicKey]]:
+    """Decrypt a sealed message; returns ``(payload, reply_key)``.
+
+    Raises :class:`EnvelopeError` on tampering or malformed input.
+    """
+    try:
+        session_key = rsa_decrypt_bytes(private, message.encrypted_key)
+    except ValueError as error:
+        raise EnvelopeError(f"cannot recover session key: {error}") \
+            from error
+    if len(session_key) != 32:
+        raise EnvelopeError("recovered session key has wrong size "
+                            "(wrong recipient key?)")
+    if len(message.ciphertext) < _MAC_SIZE:
+        raise EnvelopeError("ciphertext too short")
+    body = message.ciphertext[:-_MAC_SIZE]
+    mac = message.ciphertext[-_MAC_SIZE:]
+    expected = hmac.new(session_key, body, hashlib.sha256).digest()
+    if not hmac.compare_digest(mac, expected):
+        raise EnvelopeError("integrity check failed (tampered ciphertext)")
+    return symmetric_transform(session_key, body), message.reply_key

@@ -1,0 +1,48 @@
+"""Key pairs for principals and services.
+
+A principal "can create a key-pair ... and the public key sent to the
+service to be bound into the certificate" (Sect. 4.1).  :class:`KeyPair`
+wraps the raw RSA keys with the convenience operations certificates and the
+challenge-response protocol need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .rsa import (
+    RSAPrivateKey,
+    RSAPublicKey,
+    generate_rsa_keypair,
+    rsa_decrypt_bytes,
+    rsa_encrypt_bytes,
+)
+
+__all__ = ["KeyPair", "generate_keypair"]
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """An RSA key pair owned by a principal or service."""
+
+    private: RSAPrivateKey = field(repr=False)
+
+    @property
+    def public(self) -> RSAPublicKey:
+        return self.private.public
+
+    def fingerprint(self) -> str:
+        """Short identifier of the public key, suitable as a session key id."""
+        return self.public.fingerprint()
+
+    def decrypt(self, blob: bytes) -> bytes:
+        return rsa_decrypt_bytes(self.private, blob)
+
+    @staticmethod
+    def encrypt_for(public: RSAPublicKey, data: bytes) -> bytes:
+        return rsa_encrypt_bytes(public, data)
+
+
+def generate_keypair(bits: int = 512) -> KeyPair:
+    """Generate a fresh key pair (small modulus by default for test speed)."""
+    return KeyPair(private=generate_rsa_keypair(bits))

@@ -1,0 +1,68 @@
+"""Nonce generation and replay protection.
+
+The ISO/9798 challenge-response of Sect. 4.1 uses "a random challenge ...
+and a nonce".  :class:`NonceFactory` issues unpredictable nonces;
+:class:`NonceRegistry` lets a verifier reject replayed nonces, with optional
+expiry against a supplied clock so long-running services do not accumulate
+state without bound.
+"""
+
+from __future__ import annotations
+
+import secrets
+from typing import Callable, Dict, Optional
+
+__all__ = ["NonceFactory", "NonceRegistry"]
+
+
+class NonceFactory:
+    """Generates fixed-size random nonces."""
+
+    def __init__(self, size: int = 16) -> None:
+        if size < 8:
+            raise ValueError("nonce size must be at least 8 bytes")
+        self._size = size
+
+    def new(self) -> bytes:
+        return secrets.token_bytes(self._size)
+
+
+class NonceRegistry:
+    """Tracks seen nonces and rejects replays.
+
+    ``clock`` is any zero-argument callable returning the current time as a
+    float; a simulated clock (:class:`repro.net.sim.SimClock`) works as well
+    as ``time.monotonic``.  When ``ttl`` is set, nonces older than ``ttl``
+    are forgotten — a replay after expiry is treated as fresh, which is the
+    standard trade-off when challenges themselves are short-lived.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None,
+                 ttl: Optional[float] = None) -> None:
+        if ttl is not None and ttl <= 0:
+            raise ValueError("ttl must be positive")
+        if ttl is not None and clock is None:
+            raise ValueError("ttl requires a clock")
+        self._clock = clock
+        self._ttl = ttl
+        self._seen: Dict[bytes, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def _expire(self) -> None:
+        if self._ttl is None or self._clock is None:
+            return
+        now = self._clock()
+        cutoff = now - self._ttl
+        stale = [nonce for nonce, at in self._seen.items() if at <= cutoff]
+        for nonce in stale:
+            del self._seen[nonce]
+
+    def check_and_register(self, nonce: bytes) -> bool:
+        """Register ``nonce``; return False if it was already seen (replay)."""
+        self._expire()
+        if nonce in self._seen:
+            return False
+        self._seen[nonce] = self._clock() if self._clock else 0.0
+        return True

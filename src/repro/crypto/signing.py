@@ -1,0 +1,51 @@
+"""RSA hash-then-sign signatures for party co-signing (Sect. 6).
+
+The audit-certificate proposal has the parties "negotiate a contract before
+the service is undertaken, and together sign a certificate recording the
+outcome".  HMAC signatures (Fig. 4) only authenticate the *issuer*; for two
+mutually unknown parties to co-sign, public-key signatures are needed:
+anyone holding a party's public key can verify its endorsement.
+
+Construction: SHA-256 the message, embed the digest with a fixed domain
+separation prefix, and apply the RSA private operation.  Textbook RSA
+signatures without PSS randomisation — adequate here for the same reason as
+in :mod:`repro.crypto.rsa`: the reproduction targets the architecture, and
+the messages are canonical certificate encodings, not adversarial inputs
+chosen to exploit malleability.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from .rsa import RSAPrivateKey, RSAPublicKey
+
+__all__ = ["rsa_sign", "rsa_verify"]
+
+_PREFIX = b"oasis-sig-v1:"
+
+
+def _digest_int(message: bytes, modulus: int) -> int:
+    digest = hashlib.sha256(_PREFIX + message).digest()
+    value = int.from_bytes(_PREFIX + digest, "big")
+    return value % modulus
+
+
+def rsa_sign(key: RSAPrivateKey, message: bytes) -> bytes:
+    """Sign ``message``; returns the signature as fixed-width bytes."""
+    value = _digest_int(message, key.n)
+    signature = pow(value, key.d, key.n)
+    width = (key.n.bit_length() + 7) // 8
+    return signature.to_bytes(width, "big")
+
+
+def rsa_verify(key: RSAPublicKey, message: bytes, signature: bytes) -> bool:
+    """Verify an :func:`rsa_sign` signature under ``key``."""
+    width = (key.n.bit_length() + 7) // 8
+    if len(signature) != width:
+        return False
+    value = int.from_bytes(signature, "big")
+    if value >= key.n:
+        return False
+    recovered = pow(value, key.e, key.n)
+    return recovered == _digest_int(message, key.n)

@@ -1,0 +1,5 @@
+"""In-memory relational store backing database-lookup constraints (Sect. 2)."""
+
+from .store import Database, Table
+
+__all__ = ["Database", "Table"]

@@ -1,0 +1,188 @@
+"""A small in-memory relational store backing environmental constraints.
+
+Several of the paper's environmental constraints are "ascertained by
+database lookup at some service" (Sect. 2): group membership, a doctor
+having a patient registered under their care, patient-specified exclusions
+("Fred Smith may not access my health record").  This module supplies the
+store those constraints query — named tables of named-column rows with
+equality lookups, secondary indexes, and change notification hooks so
+membership-rule monitoring can react when a fact is retracted.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+__all__ = ["Row", "Table", "Database"]
+
+Row = Mapping[str, Any]
+ChangeListener = Callable[[str, str, Row], None]  # (table, op, row)
+
+
+def _freeze(row: Row, columns: Tuple[str, ...]) -> Tuple[Any, ...]:
+    return tuple(row[col] for col in columns)
+
+
+class Table:
+    """A table with a fixed column set and hash indexes.
+
+    Rows are dictionaries keyed by column name; all columns are required on
+    insert.  Duplicate rows are rejected — facts are set-valued, matching
+    the logical reading constraints give them.
+    """
+
+    def __init__(self, name: str, columns: Iterable[str]) -> None:
+        self.name = name
+        self.columns: Tuple[str, ...] = tuple(columns)
+        if not self.columns:
+            raise ValueError("table needs at least one column")
+        if len(set(self.columns)) != len(self.columns):
+            raise ValueError("duplicate column names")
+        self._rows: Set[Tuple[Any, ...]] = set()
+        self._indexes: Dict[str, Dict[Any, Set[Tuple[Any, ...]]]] = {}
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        for values in self._rows:
+            yield dict(zip(self.columns, values))
+
+    def create_index(self, column: str) -> None:
+        if column not in self.columns:
+            raise KeyError(f"no column {column!r} in table {self.name}")
+        if column in self._indexes:
+            return
+        index: Dict[Any, Set[Tuple[Any, ...]]] = {}
+        position = self.columns.index(column)
+        for values in self._rows:
+            index.setdefault(values[position], set()).add(values)
+        self._indexes[column] = index
+
+    def _check_row(self, row: Row) -> Tuple[Any, ...]:
+        missing = set(self.columns) - set(row)
+        extra = set(row) - set(self.columns)
+        if missing or extra:
+            raise ValueError(
+                f"row does not match columns of {self.name}: "
+                f"missing={sorted(missing)} extra={sorted(extra)}")
+        return _freeze(row, self.columns)
+
+    def insert(self, row: Row) -> bool:
+        """Insert a row; returns False when the identical row exists."""
+        values = self._check_row(row)
+        if values in self._rows:
+            return False
+        self._rows.add(values)
+        for column, index in self._indexes.items():
+            position = self.columns.index(column)
+            index.setdefault(values[position], set()).add(values)
+        return True
+
+    def delete(self, **criteria: Any) -> int:
+        """Delete rows matching all equality criteria; returns count."""
+        victims = [_freeze(row, self.columns)
+                   for row in self.select(**criteria)]
+        for values in victims:
+            self._rows.discard(values)
+            for column, index in self._indexes.items():
+                position = self.columns.index(column)
+                bucket = index.get(values[position])
+                if bucket:
+                    bucket.discard(values)
+                    if not bucket:
+                        del index[values[position]]
+        return len(victims)
+
+    def select(self, **criteria: Any) -> List[Dict[str, Any]]:
+        """Rows matching all equality criteria (empty criteria = all rows)."""
+        for key in criteria:
+            if key not in self.columns:
+                raise KeyError(f"no column {key!r} in table {self.name}")
+        candidates: Optional[Set[Tuple[Any, ...]]] = None
+        remaining = dict(criteria)
+        for column in list(remaining):
+            if column in self._indexes:
+                bucket = self._indexes[column].get(remaining.pop(column), set())
+                candidates = bucket if candidates is None \
+                    else candidates & bucket
+        pool: Iterable[Tuple[Any, ...]] = (
+            self._rows if candidates is None else candidates)
+        results = []
+        for values in pool:
+            row = dict(zip(self.columns, values))
+            if all(row[col] == want for col, want in remaining.items()):
+                results.append(row)
+        return results
+
+    def exists(self, **criteria: Any) -> bool:
+        return bool(self.select(**criteria))
+
+
+class Database:
+    """A named collection of tables with change notification.
+
+    Listeners receive ``(table_name, op, row)`` where ``op`` is ``"insert"``
+    or ``"delete"``; the OASIS membership monitor subscribes so that
+    retracting a fact (e.g. a doctor-patient registration) can deactivate
+    roles whose membership rule depends on it.
+    """
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self._tables: Dict[str, Table] = {}
+        self._listeners: List[ChangeListener] = []
+
+    def create_table(self, name: str, columns: Iterable[str]) -> Table:
+        if name in self._tables:
+            raise ValueError(f"table {name!r} already exists")
+        table = Table(name, columns)
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise KeyError(f"no table {name!r} in database {self.name}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    @property
+    def table_names(self) -> List[str]:
+        return sorted(self._tables)
+
+    def add_listener(self, listener: ChangeListener) -> Callable[[], None]:
+        """Register a change listener; returns an unsubscribe function."""
+        self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+        return unsubscribe
+
+    def _notify(self, table_name: str, op: str, row: Row) -> None:
+        for listener in list(self._listeners):
+            listener(table_name, op, row)
+
+    def insert(self, table_name: str, **row: Any) -> bool:
+        inserted = self.table(table_name).insert(row)
+        if inserted:
+            self._notify(table_name, "insert", row)
+        return inserted
+
+    def delete(self, table_name: str, **criteria: Any) -> int:
+        table = self.table(table_name)
+        victims = table.select(**criteria)
+        count = table.delete(**criteria)
+        for row in victims:
+            self._notify(table_name, "delete", row)
+        return count
+
+    def select(self, table_name: str, **criteria: Any) -> List[Dict[str, Any]]:
+        return self.table(table_name).select(**criteria)
+
+    def exists(self, table_name: str, **criteria: Any) -> bool:
+        return self.table(table_name).exists(**criteria)

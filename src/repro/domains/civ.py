@@ -1,0 +1,214 @@
+"""The per-domain Certificate Issuing and Validation (CIV) service.
+
+Sect. 4 (after [10]): "it is likely that certificates will not be issued
+and validated by each individual service ... Rather, a domain will contain
+one highly available service to carry out the functions of certificate
+issuing and validation.  The paper outlined the design of such a service,
+including replication for availability together with consistency
+management."
+
+Sect. 6 extends the CIV's function to *audit certificates*: "After an
+interaction subject to contract the CIV service creates an audit
+certificate which it issues to both parties and validates on request."
+
+:class:`CivService` implements both:
+
+* a replicated record store — one primary, N backups, synchronous
+  primary-backup replication with failover, so validation survives node
+  failures (the availability/consistency claim of [10]);
+* audit-certificate issuing: given the two parties and the agreed outcome
+  of a contracted interaction, it signs one certificate *per party* and
+  records them for later callback validation;
+* revocation ("a rogue domain might ... repudiate those issued to clients
+  who had acted in good faith" — repudiation is modelled as revocation by
+  the issuing CIV, and shows up in the SEC6 benchmark).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.audit import AuditCertificate, Outcome
+from ..core.credentials import CredentialRef
+from ..core.exceptions import CredentialInvalid, CredentialRevoked, SignatureInvalid
+from ..core.types import ServiceId
+from ..crypto.hmac_sig import ServiceSecret
+
+__all__ = ["CivNode", "CivService", "RogueCivService"]
+
+
+@dataclass
+class _AuditRecord:
+    ref: CredentialRef
+    subject: str
+    revoked: bool = False
+
+
+class CivNode:
+    """One replica of the CIV record store."""
+
+    def __init__(self, node_id: str) -> None:
+        self.node_id = node_id
+        self.alive = True
+        self._records: Dict[CredentialRef, _AuditRecord] = {}
+
+    def store(self, record: _AuditRecord) -> None:
+        self._records[record.ref] = record
+
+    def mark_revoked(self, ref: CredentialRef) -> None:
+        record = self._records.get(ref)
+        if record is not None:
+            record.revoked = True
+
+    def lookup(self, ref: CredentialRef) -> Optional[_AuditRecord]:
+        return self._records.get(ref)
+
+    def snapshot(self) -> List[_AuditRecord]:
+        return [_AuditRecord(r.ref, r.subject, r.revoked)
+                for r in self._records.values()]
+
+    def load(self, records: List[_AuditRecord]) -> None:
+        self._records = {r.ref: r for r in records}
+
+    @property
+    def record_count(self) -> int:
+        return len(self._records)
+
+
+class CivService:
+    """The domain's highly available certificate issuing/validation service.
+
+    Writes go to the primary and are synchronously replicated to every
+    alive backup before the issue/revoke returns — so any alive node can
+    answer validation queries consistently.  When the primary fails, the
+    first alive backup is promoted (its state is complete, by the
+    synchronous write rule).
+    """
+
+    def __init__(self, domain: str, replicas: int = 2,
+                 clock: Callable[[], float] = lambda: 0.0) -> None:
+        if replicas < 0:
+            raise ValueError("replicas must be non-negative")
+        self.id = ServiceId(domain, "civ")
+        self.clock = clock
+        self.secret = ServiceSecret.generate()
+        self._serial = itertools.count(1)
+        self._nodes: List[CivNode] = [
+            CivNode(f"{domain}/civ-{index}") for index in range(replicas + 1)]
+        self.audits_issued = 0
+        self.validations_served = 0
+
+    # -- replication management ----------------------------------------------
+    @property
+    def nodes(self) -> List[CivNode]:
+        return list(self._nodes)
+
+    @property
+    def primary(self) -> CivNode:
+        for node in self._nodes:
+            if node.alive:
+                return node
+        raise RuntimeError(f"CIV of {self.id.domain}: no alive node")
+
+    @property
+    def available(self) -> bool:
+        return any(node.alive for node in self._nodes)
+
+    def fail_node(self, index: int) -> None:
+        """Crash a node (failure injection for tests/benchmarks)."""
+        self._nodes[index].alive = False
+
+    def recover_node(self, index: int) -> None:
+        """Bring a node back; it re-syncs from the current primary."""
+        node = self._nodes[index]
+        if node.alive:
+            return
+        node.load(self.primary.snapshot())
+        node.alive = True
+
+    def _replicate(self, action: Callable[[CivNode], None]) -> None:
+        wrote = False
+        for node in self._nodes:
+            if node.alive:
+                action(node)
+                wrote = True
+        if not wrote:
+            raise RuntimeError(f"CIV of {self.id.domain} is unavailable")
+
+    # -- audit certificates (Sect. 6) ------------------------------------------
+    def certify_interaction(self, client: str, service: str, contract: str,
+                            client_outcome: str, service_outcome: str,
+                            ) -> Tuple[AuditCertificate, AuditCertificate]:
+        """Issue the pair of audit certificates for one interaction.
+
+        Returns ``(client_copy, service_copy)`` — the certificate about the
+        client's conduct (held and later presented by the client) and the
+        one about the service's conduct.
+        """
+        now = self.clock()
+        certificates = []
+        for subject, counterparty, outcome in (
+                (client, service, client_outcome),
+                (service, client, service_outcome)):
+            ref = CredentialRef(self.id, next(self._serial))
+            certificate = AuditCertificate.issue(
+                self.secret, self.id, subject, counterparty, outcome,
+                contract, ref, now)
+            self._replicate(
+                lambda node, r=ref, s=subject: node.store(
+                    _AuditRecord(r, s)))
+            certificates.append(certificate)
+        self.audits_issued += 2
+        return certificates[0], certificates[1]
+
+    def revoke_audit(self, ref: CredentialRef) -> None:
+        """Repudiate an audit certificate (the rogue-domain behaviour of
+        Sect. 6, also used for legitimate corrections)."""
+        self._replicate(lambda node: node.mark_revoked(ref))
+
+    def validate_audit(self, certificate: AuditCertificate) -> bool:
+        """Callback validation of an audit certificate.
+
+        Raises the appropriate :class:`CredentialInvalid` subclass when the
+        certificate is unknown, revoked, or fails its signature.
+        """
+        self.validations_served += 1
+        if certificate.issuer != self.id:
+            raise CredentialInvalid(
+                f"audit certificate {certificate.ref} was not issued by "
+                f"{self.id}")
+        record = self.primary.lookup(certificate.ref)
+        if record is None:
+            raise CredentialInvalid(
+                f"no record of audit certificate {certificate.ref}")
+        if record.revoked:
+            raise CredentialRevoked(
+                f"audit certificate {certificate.ref} repudiated by issuer")
+        certificate.verify(self.secret)
+        return True
+
+
+class RogueCivService(CivService):
+    """A CIV that will certify anything — the Sect. 6 threat model.
+
+    Colluding parties use it to "build up a false history of
+    trustworthiness"; the trust evaluator defends by weighting certificates
+    by issuer domain.  Functionally identical to :class:`CivService` (its
+    certificates are well-formed and validate!) — the *only* defence is
+    reputation, which is precisely the paper's point.
+    """
+
+    def fabricate_history(self, subject: str, count: int,
+                          counterparty: str = "shill-service"
+                          ) -> List[AuditCertificate]:
+        """Mass-produce glowing certificates for ``subject``."""
+        certificates = []
+        for index in range(count):
+            client_copy, _ = self.certify_interaction(
+                subject, f"{counterparty}-{index % 3}",
+                contract="fabricated", client_outcome=Outcome.FULFILLED,
+                service_outcome=Outcome.FULFILLED)
+            certificates.append(client_copy)
+        return certificates

@@ -1,0 +1,162 @@
+"""Contract negotiation and co-signed outcome certificates (Sect. 6).
+
+The paper's "formal approach": "the parties [might] negotiate a contract
+before the service is undertaken, and together sign a certificate
+recording the outcome."
+
+Flow implemented here:
+
+1. :class:`ContractDraft` — one party proposes terms (description, price,
+   obligations per party);
+2. each party endorses the draft with an RSA signature over its canonical
+   encoding (:class:`SignedContract` is valid only with *both*
+   endorsements — offer and acceptance);
+3. after performance, both parties co-sign an :class:`OutcomeStatement`
+   recording each side's conduct; a CIV can then countersign it into the
+   pair of audit certificates of :mod:`repro.core.audit` via
+   :func:`certify_outcome`.
+
+A co-signed outcome is stronger evidence than a bare CIV certificate: the
+counterparty's own key endorses the stated outcome, so later repudiation
+("I never agreed it went badly") is cryptographically checkable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from ..core.audit import AuditCertificate, Outcome
+from ..crypto.hmac_sig import canonical_encode
+from ..crypto.keys import KeyPair
+from ..crypto.rsa import RSAPublicKey
+from ..crypto.signing import rsa_sign, rsa_verify
+from .civ import CivService
+
+__all__ = [
+    "ContractDraft",
+    "SignedContract",
+    "OutcomeStatement",
+    "ContractError",
+    "certify_outcome",
+]
+
+
+class ContractError(ValueError):
+    """A contract or outcome failed a signature or consistency check."""
+
+
+@dataclass(frozen=True)
+class ContractDraft:
+    """Proposed terms between a client and a service."""
+
+    client: str
+    service: str
+    description: str
+    client_obligation: str
+    service_obligation: str
+    nonce: str = ""  # distinguishes otherwise-identical contracts
+
+    def encode(self) -> bytes:
+        return canonical_encode((
+            "contract-v1", self.client, self.service, self.description,
+            self.client_obligation, self.service_obligation, self.nonce))
+
+    def signed_by(self, client_keys: KeyPair,
+                  service_keys: KeyPair) -> "SignedContract":
+        """Convenience: both parties endorse in one step."""
+        message = self.encode()
+        return SignedContract(
+            draft=self,
+            client_key=client_keys.public,
+            service_key=service_keys.public,
+            client_signature=rsa_sign(client_keys.private, message),
+            service_signature=rsa_sign(service_keys.private, message))
+
+
+@dataclass(frozen=True)
+class SignedContract:
+    """A draft endorsed by both parties' keys."""
+
+    draft: ContractDraft
+    client_key: RSAPublicKey
+    service_key: RSAPublicKey
+    client_signature: bytes = field(repr=False)
+    service_signature: bytes = field(repr=False)
+
+    def verify(self) -> None:
+        """Raise :class:`ContractError` unless both endorsements check."""
+        message = self.draft.encode()
+        if not rsa_verify(self.client_key, message, self.client_signature):
+            raise ContractError(
+                f"client {self.draft.client!r} endorsement invalid")
+        if not rsa_verify(self.service_key, message,
+                          self.service_signature):
+            raise ContractError(
+                f"service {self.draft.service!r} endorsement invalid")
+
+
+@dataclass(frozen=True)
+class OutcomeStatement:
+    """The agreed outcome of a performed contract, co-signed.
+
+    ``client_outcome`` / ``service_outcome`` describe each party's own
+    conduct (see :class:`~repro.core.audit.Outcome`).  Both parties sign
+    the *same* statement — a party that disputes signs a statement with
+    ``Outcome.DISPUTED`` entries instead.
+    """
+
+    contract: SignedContract
+    client_outcome: str
+    service_outcome: str
+    client_signature: bytes = field(default=b"", repr=False)
+    service_signature: bytes = field(default=b"", repr=False)
+
+    def __post_init__(self) -> None:
+        for outcome in (self.client_outcome, self.service_outcome):
+            if outcome not in Outcome.ALL:
+                raise ContractError(f"unknown outcome {outcome!r}")
+
+    def encode(self) -> bytes:
+        return canonical_encode((
+            "outcome-v1", self.contract.draft.encode(),
+            self.client_outcome, self.service_outcome))
+
+    def signed_by(self, client_keys: KeyPair,
+                  service_keys: KeyPair) -> "OutcomeStatement":
+        message = self.encode()
+        return replace(
+            self,
+            client_signature=rsa_sign(client_keys.private, message),
+            service_signature=rsa_sign(service_keys.private, message))
+
+    def verify(self) -> None:
+        """Check the underlying contract and both outcome endorsements."""
+        self.contract.verify()
+        if not self.client_signature or not self.service_signature:
+            raise ContractError("outcome statement not fully signed")
+        message = self.encode()
+        if not rsa_verify(self.contract.client_key, message,
+                          self.client_signature):
+            raise ContractError("client outcome endorsement invalid")
+        if not rsa_verify(self.contract.service_key, message,
+                          self.service_signature):
+            raise ContractError("service outcome endorsement invalid")
+
+
+def certify_outcome(civ: CivService, statement: OutcomeStatement
+                    ) -> Tuple[AuditCertificate, AuditCertificate]:
+    """Have a CIV countersign a verified outcome into audit certificates.
+
+    The CIV refuses statements that fail verification — it certifies only
+    what both parties demonstrably agreed.  Returns the (client_copy,
+    service_copy) pair exactly like
+    :meth:`~repro.domains.civ.CivService.certify_interaction`.
+    """
+    statement.verify()
+    draft = statement.contract.draft
+    return civ.certify_interaction(
+        client=draft.client, service=draft.service,
+        contract=draft.description,
+        client_outcome=statement.client_outcome,
+        service_outcome=statement.service_outcome)

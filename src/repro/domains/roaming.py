@@ -1,0 +1,119 @@
+"""Roving principals and encounters between mutually unknown parties.
+
+Sect. 6: "we may wish to set up a minimal infrastructure, sufficient for a
+world in which roving computational entities encounter previously unknown,
+and therefore untrusted, services.  Both parties should be able to present
+checkable credentials which provide evidence of previous successful
+interactions ... Each party may then take a calculated risk on whether to
+proceed."
+
+:class:`RovingEntity` is either side of such an encounter: it carries an
+interaction history (audit certificates about itself), a trust policy, and
+a view of which CIV domains it credits.  :func:`negotiate_encounter` runs
+the paper's protocol:
+
+1. the parties exchange their histories;
+2. each validates the other's certificates by callback to the issuing CIVs
+   it can reach, and scores them under its own :class:`TrustPolicy`;
+3. both must accept for the interaction to proceed;
+4. if it proceeds, a CIV acceptable to both certifies the outcome and each
+   party's history grows — the web of trust evolves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.audit import (
+    AuditCertificate,
+    InteractionHistory,
+    Outcome,
+    TrustDecision,
+    TrustEvaluator,
+    TrustPolicy,
+)
+from .civ import CivService
+
+__all__ = ["RovingEntity", "EncounterResult", "negotiate_encounter"]
+
+
+class RovingEntity:
+    """A principal or service that roams among unknown counterparties."""
+
+    def __init__(self, identity: str, policy: TrustPolicy,
+                 known_civs: Optional[Dict[str, CivService]] = None) -> None:
+        self.identity = identity
+        self.policy = policy
+        self.history = InteractionHistory(identity)
+        #: CIV services this entity can reach for callback validation,
+        #: keyed by domain.  Certificates from unreachable CIVs cannot be
+        #: validated and are discarded by the evaluator.
+        self.known_civs: Dict[str, CivService] = dict(known_civs or {})
+
+    def learn_civ(self, civ: CivService) -> None:
+        self.known_civs[civ.id.domain] = civ
+
+    def _validate(self, certificate: AuditCertificate) -> None:
+        civ = self.known_civs.get(certificate.issuer.domain)
+        if civ is None:
+            raise LookupError(
+                f"{self.identity} cannot reach CIV of "
+                f"{certificate.issuer.domain}")
+        civ.validate_audit(certificate)
+
+    def assess(self, counterparty: "RovingEntity") -> TrustDecision:
+        """Score the counterparty's presented history under our policy."""
+        evaluator = TrustEvaluator(self.policy, validator=self._validate)
+        return evaluator.evaluate(counterparty.identity,
+                                  counterparty.history.certificates())
+
+    def record(self, certificate: AuditCertificate) -> None:
+        self.history.add(certificate)
+
+
+@dataclass(frozen=True)
+class EncounterResult:
+    """Outcome of :func:`negotiate_encounter`."""
+
+    proceeded: bool
+    client_decision: TrustDecision
+    service_decision: TrustDecision
+    client_certificate: Optional[AuditCertificate] = None
+    service_certificate: Optional[AuditCertificate] = None
+
+    @property
+    def mutually_trusted(self) -> bool:
+        return self.client_decision.accept and self.service_decision.accept
+
+
+def negotiate_encounter(client: RovingEntity, service: RovingEntity,
+                        civ: CivService, contract: str,
+                        client_conduct: str = Outcome.FULFILLED,
+                        service_conduct: str = Outcome.FULFILLED,
+                        ) -> EncounterResult:
+    """Run the Sect. 6 protocol between two previously unknown parties.
+
+    ``client_conduct`` / ``service_conduct`` are how the parties *actually
+    behave* if the interaction proceeds (benchmarks inject defaulting
+    behaviour here).  The certifying ``civ`` must be reachable by both
+    parties or neither will credit the resulting certificates later — the
+    function still records them, modelling a party that accepts a
+    certificate it cannot yet check.
+    """
+    service_view = service.assess(client)   # the service risks the client
+    client_view = client.assess(service)    # the client risks the service
+    if not (service_view.accept and client_view.accept):
+        return EncounterResult(proceeded=False,
+                               client_decision=client_view,
+                               service_decision=service_view)
+    client_copy, service_copy = civ.certify_interaction(
+        client.identity, service.identity, contract,
+        client_outcome=client_conduct, service_outcome=service_conduct)
+    client.record(client_copy)
+    service.record(service_copy)
+    return EncounterResult(proceeded=True,
+                           client_decision=client_view,
+                           service_decision=service_view,
+                           client_certificate=client_copy,
+                           service_certificate=service_copy)

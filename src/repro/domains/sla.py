@@ -1,0 +1,164 @@
+"""Service-level agreements between domains (Sect. 3 and 5).
+
+"Widely distributed services may establish agreements on the use of one
+another's appointment certificates" and "service level agreements between
+the national service and individual health care domains would establish a
+protocol to validate local RMCs so that the identity of the original
+requester can be recorded for audit" (Sect. 3).
+
+An SLA here is a first-class object with:
+
+* the two parties (service ids);
+* a set of :class:`SlaTerm` — each term says *this foreign credential is
+  accepted as a way into that local role*, with optional extra conditions;
+* a validity window;
+* :meth:`ServiceLevelAgreement.install`, which compiles the terms into
+  activation rules in the accepting service's policy — the paper's "this
+  activation rule is part of the policy established by the service level
+  agreement" (Sect. 5), made executable.
+
+The foreign credential in a term may be an appointment certificate (the
+visiting-doctor and Tate-membership scenarios) or a foreign role / RMC (the
+hospital RMC accepted by the national EHR service in Fig. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..core.constraints import BeforeDeadlineConstraint, NotBeforeConstraint
+from ..core.exceptions import PolicyError
+from ..core.rules import (
+    ActivationRule,
+    AppointmentCondition,
+    Condition,
+    ConstraintCondition,
+    PrerequisiteRole,
+)
+from ..core.service import OasisService
+from ..core.terms import Term, Var
+from ..core.types import RoleTemplate, ServiceId
+
+__all__ = ["SlaTerm", "ServiceLevelAgreement"]
+
+ForeignCredential = Union[AppointmentCondition, PrerequisiteRole]
+
+
+@dataclass(frozen=True)
+class SlaTerm:
+    """One clause of an agreement: foreign credential -> local role.
+
+    ``local_role`` / ``local_parameters`` describe the role the accepting
+    service grants; ``foreign`` is the credential of the other party that
+    the activation rule will require (with ``membership=True`` it also
+    becomes a revocation dependency — the granted role dies when the
+    foreign credential is revoked at its issuer).  ``extra_conditions`` may
+    add environmental constraints, e.g. the anonymity scenario's expiry
+    check.
+    """
+
+    local_role: str
+    local_parameters: Tuple[Term, ...]
+    foreign: ForeignCredential
+    extra_conditions: Tuple[Condition, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.local_role:
+            raise PolicyError("SLA term needs a local role name")
+
+
+class ServiceLevelAgreement:
+    """A bilateral agreement; install it at the accepting service."""
+
+    def __init__(self, accepting: ServiceId, issuing: ServiceId,
+                 terms: Sequence[SlaTerm],
+                 effective_from: float = 0.0,
+                 effective_until: Optional[float] = None,
+                 description: str = "") -> None:
+        if not terms:
+            raise PolicyError("an SLA needs at least one term")
+        if effective_until is not None and effective_until <= effective_from:
+            raise PolicyError("SLA validity window is empty")
+        self.accepting = accepting
+        self.issuing = issuing
+        self.terms: List[SlaTerm] = list(terms)
+        self.effective_from = effective_from
+        self.effective_until = effective_until
+        self.description = description
+        self._installed = False
+        for term in self.terms:
+            issuer = (term.foreign.issuer
+                      if isinstance(term.foreign, AppointmentCondition)
+                      else term.foreign.template.role_name.service)
+            if issuer != self.issuing:
+                raise PolicyError(
+                    f"SLA term requires a credential of {issuer}, but the "
+                    f"agreement's issuing party is {self.issuing}")
+
+    @property
+    def installed(self) -> bool:
+        return self._installed
+
+    def is_effective(self, now: float) -> bool:
+        if now < self.effective_from:
+            return False
+        return self.effective_until is None or now < self.effective_until
+
+    def _window_conditions(self) -> Tuple[Condition, ...]:
+        """Constraints enforcing the agreement's validity window at every
+        activation under its rules.  The expiry bound is membership-
+        flagged: roles granted under an expired agreement are deactivated
+        by the next membership sweep — agreements end *actively*."""
+        conditions: List[Condition] = []
+        if self.effective_from > 0:
+            conditions.append(ConstraintCondition(
+                NotBeforeConstraint(self.effective_from)))
+        if self.effective_until is not None:
+            conditions.append(ConstraintCondition(
+                BeforeDeadlineConstraint(self.effective_until),
+                membership=True))
+        return tuple(conditions)
+
+    def install(self, service: OasisService) -> List[ActivationRule]:
+        """Compile the terms into activation rules in ``service``'s policy.
+
+        The service must be the accepting party.  Roles named by terms are
+        declared on demand.  The agreement's validity window becomes
+        environmental constraints on every rule, so an expired or not-yet-
+        effective agreement grants nothing even though its rules remain in
+        the policy.  Returns the rules added.
+        """
+        if service.id != self.accepting:
+            raise PolicyError(
+                f"agreement accepts at {self.accepting}, cannot install "
+                f"at {service.id}")
+        window = self._window_conditions()
+        rules = []
+        for term in self.terms:
+            if not service.policy.defines_role(term.local_role):
+                service.policy.define_role(term.local_role,
+                                           len(term.local_parameters))
+            rule = ActivationRule(
+                RoleTemplate(service.policy.define_role(
+                    term.local_role, len(term.local_parameters)),
+                    term.local_parameters),
+                (term.foreign,) + tuple(term.extra_conditions) + window)
+            service.policy.add_activation_rule(rule)
+            rules.append(rule)
+        self._installed = True
+        return rules
+
+    def reciprocal(self, terms: Sequence[SlaTerm],
+                   description: str = "") -> "ServiceLevelAgreement":
+        """The mirror-image agreement (the paper's reciprocal side: research
+        medics working temporarily in the hospital)."""
+        return ServiceLevelAgreement(
+            accepting=self.issuing, issuing=self.accepting, terms=terms,
+            effective_from=self.effective_from,
+            effective_until=self.effective_until,
+            description=description or f"reciprocal of: {self.description}")
+
+    def __repr__(self) -> str:
+        return (f"SLA({self.issuing} -> {self.accepting}, "
+                f"{len(self.terms)} terms)")

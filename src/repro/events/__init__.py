@@ -1,0 +1,33 @@
+"""Active event-based middleware substrate (paper reference [2]).
+
+OASIS "depends on an active middleware platform to notify services of any
+relevant changes in their environment" (Abstract).  This package is the
+reproduction's substitute for the Cambridge Event Architecture: a topic
+based publish/subscribe broker (:mod:`repro.events.broker`), immutable event
+records (:mod:`repro.events.messages`) and per-credential channels with
+heartbeat monitoring (:mod:`repro.events.channels`, realising Fig. 5).
+"""
+
+from .messages import (
+    Event,
+    CREDENTIAL_REVOKED,
+    CREDENTIAL_REISSUED,
+    CREDENTIAL_HEARTBEAT,
+    ROLE_DEACTIVATED,
+)
+from .broker import EventBroker, Subscription
+from .channels import CredentialChannel, HeartbeatMonitor
+from .log import EventLog
+
+__all__ = [
+    "Event",
+    "CREDENTIAL_REVOKED",
+    "CREDENTIAL_REISSUED",
+    "CREDENTIAL_HEARTBEAT",
+    "ROLE_DEACTIVATED",
+    "EventBroker",
+    "EventLog",
+    "Subscription",
+    "CredentialChannel",
+    "HeartbeatMonitor",
+]

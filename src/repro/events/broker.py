@@ -1,0 +1,146 @@
+"""Publish/subscribe event broker.
+
+A minimal but complete realisation of the active middleware the paper
+depends on: services *advertise* topics, clients *subscribe* with optional
+attribute filters, and published events are delivered synchronously (the
+default, giving the "immediate deactivation" semantics of Sect. 4) or
+buffered for deterministic replay in simulations.
+
+Delivery is depth-safe: a handler may publish further events (revocation
+cascades do exactly this); nested publishes are queued and drained in FIFO
+order so the cascade is breadth-first and terminates even with cyclic
+subscription graphs, since the OASIS layer never re-revokes an already
+revoked credential.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Mapping, Optional
+
+from .messages import Event
+
+__all__ = ["Subscription", "EventBroker"]
+
+Handler = Callable[[Event], None]
+
+
+@dataclass
+class Subscription:
+    """A live subscription; call :meth:`cancel` to stop receiving events."""
+
+    topic: str
+    handler: Handler
+    filter_attrs: Mapping[str, Any]
+    _broker: "EventBroker"
+    _active: bool = True
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def cancel(self) -> None:
+        if self._active:
+            self._active = False
+            self._broker._remove(self)
+
+    def matches(self, event: Event) -> bool:
+        if event.topic != self.topic:
+            return False
+        attrs = event.attrs
+        for key, want in self.filter_attrs.items():
+            if key not in attrs or attrs[key] != want:
+                return False
+        return True
+
+
+class EventBroker:
+    """Topic-based pub/sub broker with attribute filtering.
+
+    Statistics (`published_count`, `delivered_count`) support the FIG5/ABL1
+    benchmarks, which compare the message cost of event-driven revocation
+    against polling.
+    """
+
+    def __init__(self) -> None:
+        self._subs: Dict[str, List[Subscription]] = {}
+        self._taps: List[Handler] = []
+        self._publishing = False
+        self._queue: Deque[Event] = deque()
+        self.published_count = 0
+        self.delivered_count = 0
+
+    def add_tap(self, handler: Handler) -> Callable[[], None]:
+        """Register a tap that sees *every* delivered event, any topic.
+
+        Taps are for observability (event logs, debugging, audit) — they
+        run after regular subscribers and must not publish.  Returns an
+        un-tap function.
+        """
+        self._taps.append(handler)
+
+        def remove() -> None:
+            if handler in self._taps:
+                self._taps.remove(handler)
+
+        return remove
+
+    def subscribe(self, topic: str, handler: Handler,
+                  **filter_attrs: Any) -> Subscription:
+        """Register ``handler`` for events on ``topic`` matching the filter."""
+        if not topic:
+            raise ValueError("topic must be non-empty")
+        sub = Subscription(topic=topic, handler=handler,
+                           filter_attrs=dict(filter_attrs), _broker=self)
+        self._subs.setdefault(topic, []).append(sub)
+        return sub
+
+    def subscriber_count(self, topic: Optional[str] = None) -> int:
+        if topic is None:
+            return sum(len(subs) for subs in self._subs.values())
+        return len(self._subs.get(topic, []))
+
+    def publish(self, event: Event) -> int:
+        """Publish an event; returns the number of deliveries it caused.
+
+        Deliveries triggered transitively (handlers that publish) are
+        counted in `delivered_count` but not in the return value.
+        """
+        self.published_count += 1
+        self._queue.append(event)
+        if self._publishing:
+            return 0  # outer publish loop will drain the queue
+        self._publishing = True
+        first_deliveries = 0
+        first = True
+        try:
+            while self._queue:
+                current = self._queue.popleft()
+                delivered = self._deliver(current)
+                if first:
+                    first_deliveries = delivered
+                    first = False
+        finally:
+            self._publishing = False
+        return first_deliveries
+
+    def _deliver(self, event: Event) -> int:
+        # Copy: handlers may subscribe/cancel during delivery.
+        subs = list(self._subs.get(event.topic, []))
+        delivered = 0
+        for sub in subs:
+            if sub.active and sub.matches(event):
+                sub.handler(event)
+                delivered += 1
+        self.delivered_count += delivered
+        for tap in list(self._taps):
+            tap(event)
+        return delivered
+
+    def _remove(self, sub: Subscription) -> None:
+        subs = self._subs.get(sub.topic)
+        if subs and sub in subs:
+            subs.remove(sub)
+            if not subs:
+                del self._subs[sub.topic]

@@ -1,0 +1,120 @@
+"""Typed event channels and heartbeat monitoring (Fig. 5).
+
+Fig. 5 of the paper shows per-credential *event channels* between the
+service that issued a credential record (CR) and services holding external
+CR proxies (ECRs), carrying "heartbeats or change events".  This module
+provides:
+
+* :class:`CredentialChannel` — a channel scoped to one credential record,
+  over which the issuer publishes revocation and heartbeat events;
+* :class:`HeartbeatMonitor` — the consumer side: tracks the last heartbeat
+  per credential and reports credentials whose heartbeats have gone silent,
+  which a holder must treat as potentially revoked (fail-safe).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .broker import EventBroker, Subscription
+from .messages import CREDENTIAL_HEARTBEAT, CREDENTIAL_REVOKED, Event
+
+__all__ = ["CredentialChannel", "HeartbeatMonitor"]
+
+
+class CredentialChannel:
+    """Issuer-side handle for the event channel of one credential record.
+
+    ``credential_ref`` is the credential record reference (CRR) string; all
+    events published on the channel carry it so subscribers can filter.
+    """
+
+    def __init__(self, broker: EventBroker, credential_ref: str) -> None:
+        if not credential_ref:
+            raise ValueError("credential_ref must be non-empty")
+        self._broker = broker
+        self.credential_ref = credential_ref
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def notify_revoked(self, reason: str, timestamp: float = 0.0) -> int:
+        """Publish a revocation event; closes the channel."""
+        if self._closed:
+            return 0
+        self._closed = True
+        return self._broker.publish(Event.make(
+            CREDENTIAL_REVOKED, timestamp=timestamp,
+            credential_ref=self.credential_ref, reason=reason))
+
+    def heartbeat(self, timestamp: float = 0.0) -> int:
+        """Publish a liveness heartbeat for the credential."""
+        if self._closed:
+            return 0
+        return self._broker.publish(Event.make(
+            CREDENTIAL_HEARTBEAT, timestamp=timestamp,
+            credential_ref=self.credential_ref))
+
+    def subscribe_revocation(self, handler: Callable[[Event], None]
+                             ) -> Subscription:
+        return self._broker.subscribe(
+            CREDENTIAL_REVOKED, handler, credential_ref=self.credential_ref)
+
+    def subscribe_heartbeat(self, handler: Callable[[Event], None]
+                            ) -> Subscription:
+        return self._broker.subscribe(
+            CREDENTIAL_HEARTBEAT, handler, credential_ref=self.credential_ref)
+
+
+class HeartbeatMonitor:
+    """Tracks heartbeats for a set of credentials and flags silent ones.
+
+    A service holding cached validations (ECRs, Fig. 5) registers each
+    credential it depends on; :meth:`silent_credentials` then returns those
+    whose last heartbeat is older than the timeout — the fail-safe signal
+    that the issuer, or the channel, is gone.
+    """
+
+    def __init__(self, broker: EventBroker, timeout: float,
+                 clock: Callable[[], float]) -> None:
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self._broker = broker
+        self._timeout = timeout
+        self._clock = clock
+        self._last_seen: Dict[str, float] = {}
+        self._subs: Dict[str, Subscription] = {}
+
+    def watch(self, credential_ref: str) -> None:
+        """Start monitoring heartbeats for ``credential_ref``."""
+        if credential_ref in self._subs:
+            return
+        self._last_seen[credential_ref] = self._clock()
+        self._subs[credential_ref] = self._broker.subscribe(
+            CREDENTIAL_HEARTBEAT,
+            lambda event, ref=credential_ref: self._on_heartbeat(ref, event),
+            credential_ref=credential_ref)
+
+    def unwatch(self, credential_ref: str) -> None:
+        sub = self._subs.pop(credential_ref, None)
+        if sub is not None:
+            sub.cancel()
+        self._last_seen.pop(credential_ref, None)
+
+    def _on_heartbeat(self, credential_ref: str, event: Event) -> None:
+        self._last_seen[credential_ref] = self._clock()
+
+    def last_heartbeat(self, credential_ref: str) -> Optional[float]:
+        return self._last_seen.get(credential_ref)
+
+    def silent_credentials(self) -> List[str]:
+        """Credentials with no heartbeat within the timeout window."""
+        now = self._clock()
+        return [ref for ref, seen in self._last_seen.items()
+                if now - seen > self._timeout]
+
+    @property
+    def watched(self) -> List[str]:
+        return list(self._subs)

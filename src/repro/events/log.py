@@ -1,0 +1,81 @@
+"""Event log: record and query every event crossing a broker.
+
+Built on :meth:`~repro.events.broker.EventBroker.add_tap`.  Gives
+deployments a middleware-level audit trail (which credential-revocation
+events fired, when, and why) and gives tests a deterministic record to
+assert against.  ``replay`` re-delivers a filtered slice into a handler —
+useful to rebuild read-side state after a restart, the standard event-
+sourcing pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from .broker import EventBroker
+from .messages import Event
+
+__all__ = ["EventLog"]
+
+
+class EventLog:
+    """Records every event delivered by a broker, in order."""
+
+    def __init__(self, broker: EventBroker,
+                 capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._events: List[Event] = []
+        self.discarded = 0
+        self._untap = broker.add_tap(self._record)
+        self._closed = False
+
+    def _record(self, event: Event) -> None:
+        self._events.append(event)
+        if self._capacity is not None \
+                and len(self._events) > self._capacity:
+            overflow = len(self._events) - self._capacity
+            del self._events[:overflow]
+            self.discarded += overflow
+
+    def close(self) -> None:
+        """Stop recording (the log remains queryable)."""
+        if not self._closed:
+            self._untap()
+            self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self, topic: Optional[str] = None,
+               since: Optional[float] = None,
+               **attrs) -> List[Event]:
+        """Events matching the filters, in delivery order."""
+        results = []
+        for event in self._events:
+            if topic is not None and event.topic != topic:
+                continue
+            if since is not None and event.timestamp < since:
+                continue
+            event_attrs = event.attrs
+            if any(event_attrs.get(key) != want
+                   for key, want in attrs.items()):
+                continue
+            results.append(event)
+        return results
+
+    def topics(self) -> List[str]:
+        return sorted({event.topic for event in self._events})
+
+    def replay(self, handler: Callable[[Event], None],
+               topic: Optional[str] = None, **attrs) -> int:
+        """Deliver the filtered slice into ``handler``; returns count."""
+        matched = self.events(topic=topic, **attrs)
+        for event in matched:
+            handler(event)
+        return len(matched)

@@ -1,0 +1,63 @@
+"""Event message types for the active middleware substrate.
+
+The paper integrates OASIS with an event-based middleware ([2], "Generic
+support for distributed applications") so that "one service can be notified
+of a change of state at another without any requirement for periodic
+polling" (Sect. 4).  Events here are small immutable records published on
+named topics; the access-control layer defines topics per credential record
+so that revocation travels along the role-dependency edges of Fig. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Tuple
+
+__all__ = [
+    "Event",
+    "CREDENTIAL_REVOKED",
+    "CREDENTIAL_REISSUED",
+    "CREDENTIAL_HEARTBEAT",
+    "ROLE_DEACTIVATED",
+]
+
+#: Topic kinds used by the OASIS layer.
+CREDENTIAL_REVOKED = "credential.revoked"
+#: The credential's record is still valid but its *bytes* changed (e.g. the
+#: issuer rotated its secret and the certificate must be re-issued).
+#: Holders drop cached validations but do NOT cascade-revoke dependants.
+CREDENTIAL_REISSUED = "credential.reissued"
+CREDENTIAL_HEARTBEAT = "credential.heartbeat"
+ROLE_DEACTIVATED = "role.deactivated"
+
+
+@dataclass(frozen=True)
+class Event:
+    """An immutable event published on a topic.
+
+    ``attributes`` is stored as a sorted tuple of pairs so events are
+    hashable and order-insensitive in equality.
+    """
+
+    topic: str
+    attributes: Tuple[Tuple[str, Any], ...] = field(default=())
+    timestamp: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.topic:
+            raise ValueError("event topic must be non-empty")
+        normalized = tuple(sorted(self.attributes, key=lambda kv: kv[0]))
+        object.__setattr__(self, "attributes", normalized)
+
+    @classmethod
+    def make(cls, topic: str, timestamp: float = 0.0,
+             **attributes: Any) -> "Event":
+        return cls(topic=topic, attributes=tuple(attributes.items()),
+                   timestamp=timestamp)
+
+    @property
+    def attrs(self) -> Mapping[str, Any]:
+        return dict(self.attributes)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return dict(self.attributes).get(key, default)

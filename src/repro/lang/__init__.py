@@ -1,0 +1,56 @@
+"""The OASIS policy definition language (the paper's [1] thread).
+
+``parse_policy(text, registry)`` turns policy text into an executable
+:class:`~repro.core.policy.ServicePolicy`; ``format_document`` renders
+parsed policy back to canonical text.
+"""
+
+from .ast import (
+    ActivateStmt,
+    AppointStmt,
+    AppointmentAtom,
+    ArgConst,
+    ArgVar,
+    AuthorizeStmt,
+    ConstraintAtom,
+    PolicyDocument,
+    RoleAtom,
+    RoleDecl,
+)
+from .lexer import LexError, Token, tokenize
+from .parser import ParseError, parse_document
+from .compiler import UnresolvedConstraint, compile_document, parse_policy
+from .printer import format_document
+from .analysis import Finding, PolicyUniverse
+from .loader import discover_policy_files, load_policies, load_policy_file
+from .model_check import Endowment, GroundReachability, ReachabilityResult
+
+__all__ = [
+    "Endowment",
+    "Finding",
+    "GroundReachability",
+    "PolicyUniverse",
+    "ReachabilityResult",
+    "UnresolvedConstraint",
+    "discover_policy_files",
+    "load_policies",
+    "load_policy_file",
+    "ActivateStmt",
+    "AppointStmt",
+    "AppointmentAtom",
+    "ArgConst",
+    "ArgVar",
+    "AuthorizeStmt",
+    "ConstraintAtom",
+    "LexError",
+    "ParseError",
+    "PolicyDocument",
+    "RoleAtom",
+    "RoleDecl",
+    "Token",
+    "compile_document",
+    "format_document",
+    "parse_document",
+    "parse_policy",
+    "tokenize",
+]

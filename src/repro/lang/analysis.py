@@ -1,0 +1,290 @@
+"""Whole-system policy analysis across services.
+
+The paper's policy-management thread ([1]) calls consistent deployment of
+evolving policy "essential ... for any large-scale deployment".  Since
+OASIS has no central role administration, consistency questions are
+*cross-service*: can anyone ever reach role R?  does revoking credential C
+actually deactivate the roles that were granted because of it?  This
+module answers them statically.
+
+:class:`PolicyUniverse` collects the :class:`ServicePolicy` of every
+service under analysis and provides:
+
+* :meth:`role_dependency_graph` — the Fig. 1 graph, over all services;
+* :meth:`reachable_roles` — the roles some principal could activate given
+  a set of obtainable appointment certificates (optimistic: environmental
+  constraints are assumed satisfiable — this is an over-approximation, so
+  *unreachable* verdicts are sound);
+* :meth:`find_cycles` — cross-service prerequisite cycles: roles that can
+  never be activated because each waits for the other;
+* :meth:`lint` — deployment-review findings, including the subtle one the
+  active-security design makes important: a credential condition **not**
+  flagged into the membership rule means the granted role *survives*
+  revocation of that credential ("passive dependency"); that is sometimes
+  intended, but usually a policy bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..core.policy import ServicePolicy
+from ..core.rules import (
+    ActivationRule,
+    AppointmentCondition,
+    ConstraintCondition,
+    PrerequisiteRole,
+)
+from ..core.types import RoleName, ServiceId
+
+__all__ = ["Finding", "PolicyUniverse", "AppointmentKey"]
+
+#: Identifies an appointment kind: (issuer service, name, arity).
+AppointmentKey = Tuple[ServiceId, str, int]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding."""
+
+    severity: str       # "error" | "warning" | "info"
+    code: str           # stable machine-readable code
+    subject: str        # the role / rule / service concerned
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.severity}[{self.code}] {self.subject}: {self.message}"
+
+
+class PolicyUniverse:
+    """All service policies of a deployment, for cross-service analysis."""
+
+    def __init__(self, policies: Iterable[ServicePolicy] = ()) -> None:
+        self._policies: Dict[ServiceId, ServicePolicy] = {}
+        for policy in policies:
+            self.add(policy)
+
+    def add(self, policy: ServicePolicy) -> None:
+        if policy.service in self._policies:
+            raise ValueError(f"policy for {policy.service} already added")
+        self._policies[policy.service] = policy
+
+    @property
+    def services(self) -> List[ServiceId]:
+        return sorted(self._policies)
+
+    def policy(self, service: ServiceId) -> ServicePolicy:
+        return self._policies[service]
+
+    # -- structural views ------------------------------------------------------
+    def all_roles(self) -> List[RoleName]:
+        roles = []
+        for service, policy in self._policies.items():
+            for name in policy.role_names:
+                roles.append(RoleName(service, name))
+        return sorted(roles, key=str)
+
+    def _activation_rules(self) -> Iterable[Tuple[RoleName, ActivationRule]]:
+        for service, policy in self._policies.items():
+            for name in policy.role_names:
+                for rule in policy.activation_rules_for(name):
+                    yield RoleName(service, name), rule
+
+    def role_dependency_graph(self) -> List[Tuple[RoleName, RoleName]]:
+        """Edges (prerequisite -> dependent) over every activation rule."""
+        edges = set()
+        for target, rule in self._activation_rules():
+            for prereq in rule.prerequisite_roles():
+                edges.add((prereq.template.role_name, target))
+        return sorted(edges, key=lambda edge: (str(edge[0]), str(edge[1])))
+
+    def appointments_defined(self) -> Set[AppointmentKey]:
+        """Appointment kinds some service can actually issue."""
+        keys: Set[AppointmentKey] = set()
+        for service, policy in self._policies.items():
+            for name in policy.appointment_names:
+                for rule in policy.appointment_rules_for(name):
+                    keys.add((service, name, len(rule.parameters)))
+        return keys
+
+    def appointments_required(self) -> Set[AppointmentKey]:
+        """Appointment kinds referenced by some activation rule."""
+        keys: Set[AppointmentKey] = set()
+        for _, rule in self._activation_rules():
+            for condition in rule.appointment_conditions():
+                keys.add((condition.issuer, condition.name,
+                          len(condition.parameters)))
+        return keys
+
+    # -- reachability ------------------------------------------------------------
+    def reachable_roles(self,
+                        appointments: Optional[Set[AppointmentKey]] = None,
+                        assume_issuable: bool = True) -> Set[RoleName]:
+        """Roles activatable by *some* principal, as a least fixpoint.
+
+        ``appointments`` — appointment kinds the principal population can
+        obtain; with ``assume_issuable=True`` every appointment kind that
+        some analysed service can issue is added (the issuer roles must
+        themselves be reachable for this to be exact; the approximation
+        stays sound for unreachability because it only ever *adds*
+        credentials).  Environmental constraints are assumed satisfiable.
+        """
+        available = set(appointments or set())
+        if assume_issuable:
+            available |= self.appointments_defined()
+
+        reachable: Set[RoleName] = set()
+        changed = True
+        while changed:
+            changed = False
+            for target, rule in self._activation_rules():
+                if target in reachable:
+                    continue
+                if self._rule_enabled(rule, reachable, available):
+                    reachable.add(target)
+                    changed = True
+        return reachable
+
+    @staticmethod
+    def _rule_enabled(rule: ActivationRule, reachable: Set[RoleName],
+                      available: Set[AppointmentKey]) -> bool:
+        for prereq in rule.prerequisite_roles():
+            if prereq.template.role_name not in reachable:
+                return False
+        for condition in rule.appointment_conditions():
+            key = (condition.issuer, condition.name,
+                   len(condition.parameters))
+            if key not in available:
+                return False
+        return True
+
+    def unreachable_roles(self,
+                          appointments: Optional[Set[AppointmentKey]] = None,
+                          ) -> List[RoleName]:
+        reachable = self.reachable_roles(appointments)
+        return [role for role in self.all_roles() if role not in reachable]
+
+    # -- cycles --------------------------------------------------------------
+    def find_cycles(self) -> List[List[RoleName]]:
+        """Cross-service prerequisite cycles (Tarjan SCCs of size > 1,
+        plus self-loops)."""
+        graph: Dict[RoleName, Set[RoleName]] = {}
+        for prereq, dependent in self.role_dependency_graph():
+            graph.setdefault(prereq, set()).add(dependent)
+            graph.setdefault(dependent, set())
+
+        index_counter = [0]
+        indices: Dict[RoleName, int] = {}
+        lowlinks: Dict[RoleName, int] = {}
+        on_stack: Set[RoleName] = set()
+        stack: List[RoleName] = []
+        cycles: List[List[RoleName]] = []
+
+        def strongconnect(node: RoleName) -> None:
+            indices[node] = lowlinks[node] = index_counter[0]
+            index_counter[0] += 1
+            stack.append(node)
+            on_stack.add(node)
+            for successor in graph.get(node, ()):
+                if successor not in indices:
+                    strongconnect(successor)
+                    lowlinks[node] = min(lowlinks[node], lowlinks[successor])
+                elif successor in on_stack:
+                    lowlinks[node] = min(lowlinks[node], indices[successor])
+            if lowlinks[node] == indices[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1 or node in graph.get(node, ()):
+                    cycles.append(sorted(component, key=str))
+
+        for node in sorted(graph, key=str):
+            if node not in indices:
+                strongconnect(node)
+        return cycles
+
+    # -- lint --------------------------------------------------------------
+    def lint(self) -> List[Finding]:
+        """Deployment-review findings across the whole universe."""
+        findings: List[Finding] = []
+        known_roles = set(self.all_roles())
+        defined_appointments = self.appointments_defined()
+
+        for target, rule in self._activation_rules():
+            # Passive dependencies: credential conditions outside the
+            # membership rule do not trigger revocation cascades.
+            for condition in rule.conditions:
+                if isinstance(condition, (PrerequisiteRole,
+                                          AppointmentCondition)) \
+                        and not condition.membership:
+                    what = (str(condition.template)
+                            if isinstance(condition, PrerequisiteRole)
+                            else f"appointment {condition.issuer}:"
+                                 f"{condition.name}")
+                    findings.append(Finding(
+                        "warning", "passive-dependency", str(target),
+                        f"condition {what} is not in the membership rule: "
+                        f"revoking that credential will NOT deactivate "
+                        f"{target.name}"))
+            # Dangling references.
+            for prereq in rule.prerequisite_roles():
+                foreign = prereq.template.role_name
+                if foreign.service in self._policies \
+                        and foreign not in known_roles:
+                    findings.append(Finding(
+                        "error", "unknown-role", str(target),
+                        f"prerequisite {foreign} is not defined by "
+                        f"{foreign.service}"))
+            for condition in rule.appointment_conditions():
+                key = (condition.issuer, condition.name,
+                       len(condition.parameters))
+                if condition.issuer in self._policies \
+                        and key not in defined_appointments:
+                    findings.append(Finding(
+                        "error", "unissuable-appointment", str(target),
+                        f"no appointment rule issues "
+                        f"{condition.issuer}:{condition.name}/"
+                        f"{len(condition.parameters)}"))
+
+        for role in self.unreachable_roles():
+            findings.append(Finding(
+                "error", "unreachable-role", str(role),
+                "no combination of reachable roles and issuable "
+                "appointments satisfies any activation rule"))
+
+        for cycle in self.find_cycles():
+            names = " -> ".join(str(role) for role in cycle)
+            findings.append(Finding(
+                "error", "prerequisite-cycle", names,
+                "mutually prerequisite roles can never be activated"))
+
+        # Roles that gate nothing: no privilege and no dependants.
+        gated = {prereq for prereq, _ in self.role_dependency_graph()}
+        privileged: Set[RoleName] = set()
+        appointer: Set[RoleName] = set()
+        for service, policy in self._policies.items():
+            for method in policy.guarded_methods:
+                for rule in policy.authorization_rules_for(method):
+                    for condition in rule.conditions:
+                        if isinstance(condition, PrerequisiteRole):
+                            privileged.add(condition.template.role_name)
+            for name in policy.appointment_names:
+                for rule in policy.appointment_rules_for(name):
+                    for condition in rule.conditions:
+                        if isinstance(condition, PrerequisiteRole):
+                            appointer.add(condition.template.role_name)
+        for role in self.all_roles():
+            if role not in gated and role not in privileged \
+                    and role not in appointer:
+                findings.append(Finding(
+                    "info", "privilege-less-role", str(role),
+                    "role gates no method, appointment or other role"))
+        return sorted(findings,
+                      key=lambda f: ({"error": 0, "warning": 1,
+                                      "info": 2}[f.severity], f.code,
+                                     f.subject))

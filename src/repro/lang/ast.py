@@ -1,0 +1,159 @@
+"""Abstract syntax of the OASIS policy definition language.
+
+The language gives the Horn-clause policies of Sect. 2 a concrete textual
+form (the paper's companion work [1] translates pseudo-natural language
+policy into first-order predicate calculus; this DSL is the executable
+target of such a pipeline).  Example::
+
+    service hospital/records
+
+    role treating_doctor(doc, pat)
+
+    activate treating_doctor(doc, pat) <-
+        hospital/login:logged_in_user(doc)*,
+        appointment hospital/admin:allocated(doc, pat)*,
+        where registered(doc, pat)*
+
+    authorize read_record(pat) <-
+        treating_doctor(doc, pat),
+        where not_excluded(pat, doc)
+
+    appoint allocated(doc, pat) <-
+        administrator(a)
+
+Conventions:
+
+* an unqualified role atom refers to a role of the policy's own service;
+  ``domain/service:name(...)`` names a foreign role;
+* ``appointment issuer:name(...)`` requires an appointment certificate;
+* ``where name(...)`` invokes a named constraint from the deployment's
+  :class:`~repro.core.constraints.ConstraintRegistry`;
+* a trailing ``*`` marks the condition as part of the *membership rule*;
+* lower-case identifiers in argument position are variables; quoted
+  strings and numerals are constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+__all__ = [
+    "ArgVar",
+    "ArgConst",
+    "Argument",
+    "RoleAtom",
+    "AppointmentAtom",
+    "ConstraintAtom",
+    "BodyAtom",
+    "RoleDecl",
+    "ActivateStmt",
+    "AuthorizeStmt",
+    "AppointStmt",
+    "PolicyDocument",
+]
+
+
+@dataclass(frozen=True)
+class ArgVar:
+    """A variable argument, e.g. ``doc``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ArgConst:
+    """A constant argument: string, int or float literal."""
+
+    value: Union[str, int, float]
+
+
+Argument = Union[ArgVar, ArgConst]
+
+
+@dataclass(frozen=True)
+class RoleAtom:
+    """A (possibly foreign) role condition in a rule body.
+
+    ``domain``/``service`` are None for local roles.
+    """
+
+    name: str
+    arguments: Tuple[Argument, ...]
+    domain: Optional[str] = None
+    service: Optional[str] = None
+    membership: bool = False
+
+    @property
+    def qualified(self) -> bool:
+        return self.domain is not None
+
+
+@dataclass(frozen=True)
+class AppointmentAtom:
+    """An appointment-certificate condition."""
+
+    issuer_domain: str
+    issuer_service: str
+    name: str
+    arguments: Tuple[Argument, ...]
+    membership: bool = False
+
+
+@dataclass(frozen=True)
+class ConstraintAtom:
+    """A ``where <name>(args)`` condition resolved via the registry."""
+
+    name: str
+    arguments: Tuple[Argument, ...]
+    membership: bool = False
+
+
+BodyAtom = Union[RoleAtom, AppointmentAtom, ConstraintAtom]
+
+
+@dataclass(frozen=True)
+class RoleDecl:
+    """``role name(p1, ..., pn)`` — declares a local role and its arity."""
+
+    name: str
+    parameters: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ActivateStmt:
+    """``activate head <- body`` — an activation rule."""
+
+    head_name: str
+    head_arguments: Tuple[Argument, ...]
+    body: Tuple[BodyAtom, ...]
+
+
+@dataclass(frozen=True)
+class AuthorizeStmt:
+    """``authorize method(args) <- body`` — an authorization rule."""
+
+    method: str
+    arguments: Tuple[Argument, ...]
+    body: Tuple[BodyAtom, ...]
+
+
+@dataclass(frozen=True)
+class AppointStmt:
+    """``appoint name(args) <- body`` — an appointment rule."""
+
+    name: str
+    arguments: Tuple[Argument, ...]
+    body: Tuple[BodyAtom, ...]
+
+
+@dataclass(frozen=True)
+class PolicyDocument:
+    """A parsed policy file."""
+
+    domain: str
+    service: str
+    roles: Tuple[RoleDecl, ...] = field(default=())
+    activations: Tuple[ActivateStmt, ...] = field(default=())
+    authorizations: Tuple[AuthorizeStmt, ...] = field(default=())
+    appointments: Tuple[AppointStmt, ...] = field(default=())

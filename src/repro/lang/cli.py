@@ -1,0 +1,121 @@
+"""Command-line policy tooling: ``python -m repro.lang.cli <command>``.
+
+Commands:
+
+* ``check <paths...>`` — parse, compile and validate every policy file,
+  then run the cross-service lint of :mod:`repro.lang.analysis`.  Exit
+  status 1 when any error-severity finding (or a parse failure) occurs.
+* ``format <file>`` — print the canonical pretty-printed form (useful for
+  normalising policies before review/diff).
+* ``graph <paths...>`` — print the cross-service role dependency edges.
+* ``reach <paths...>`` — print reachable and unreachable roles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..core.exceptions import PolicyError
+from .analysis import PolicyUniverse
+from .loader import load_policies
+from .parser import ParseError, parse_document
+from .printer import format_document
+
+__all__ = ["main"]
+
+
+def _load(paths: List[str]) -> PolicyUniverse:
+    _, universe = load_policies(paths, allow_unresolved=True)
+    return universe
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    try:
+        policies, universe = load_policies(args.paths,
+                                           allow_unresolved=True)
+    except (ParseError, PolicyError, ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    status = 0
+    for service, policy in sorted(policies.items(), key=lambda kv: str(kv[0])):
+        try:
+            policy.validate()
+            print(f"ok: {service} ({len(policy.role_names)} roles)")
+        except PolicyError as error:
+            print(f"error: {service}: {error}", file=sys.stderr)
+            status = 1
+    findings = universe.lint()
+    for finding in findings:
+        stream = sys.stderr if finding.severity == "error" else sys.stdout
+        print(str(finding), file=stream)
+        if finding.severity == "error":
+            status = 1
+    if not findings:
+        print("lint: clean")
+    return status
+
+
+def _cmd_format(args: argparse.Namespace) -> int:
+    try:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            document = parse_document(handle.read())
+    except (ParseError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    output = format_document(document)
+    if args.write:
+        with open(args.file, "w", encoding="utf-8") as handle:
+            handle.write(output)
+    else:
+        sys.stdout.write(output)
+    return 0
+
+
+def _cmd_graph(args: argparse.Namespace) -> int:
+    universe = _load(args.paths)
+    for prereq, dependent in universe.role_dependency_graph():
+        print(f"{prereq} -> {dependent}")
+    return 0
+
+
+def _cmd_reach(args: argparse.Namespace) -> int:
+    universe = _load(args.paths)
+    reachable = universe.reachable_roles()
+    for role in universe.all_roles():
+        marker = "reachable  " if role in reachable else "UNREACHABLE"
+        print(f"{marker}  {role}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.lang.cli",
+        description="OASIS policy tooling: check, format, graph, reach")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="validate and lint policy files")
+    check.add_argument("paths", nargs="+")
+    check.set_defaults(func=_cmd_check)
+
+    fmt = sub.add_parser("format", help="canonical pretty-print")
+    fmt.add_argument("file")
+    fmt.add_argument("--write", action="store_true",
+                     help="rewrite the file in place")
+    fmt.set_defaults(func=_cmd_format)
+
+    graph = sub.add_parser("graph", help="print role dependency edges")
+    graph.add_argument("paths", nargs="+")
+    graph.set_defaults(func=_cmd_graph)
+
+    reach = sub.add_parser("reach", help="reachability report")
+    reach.add_argument("paths", nargs="+")
+    reach.set_defaults(func=_cmd_reach)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""Tokenizer for the OASIS policy language."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+__all__ = ["Token", "LexError", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset({
+    "service", "role", "activate", "authorize", "appoint",
+    "appointment", "where",
+})
+
+
+class LexError(ValueError):
+    """Raised on unrecognisable input, with line/column context."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str      # KEYWORD IDENT NUMBER STRING ARROW STAR LPAREN RPAREN
+    #                COMMA COLON SLASH EOF
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}({self.value!r})@{self.line}:{self.column}"
+
+
+_TOKEN_SPEC = [
+    ("COMMENT", r"#[^\n]*"),
+    ("NEWLINE", r"\n"),
+    ("SKIP", r"[ \t\r]+"),
+    ("ARROW", r"<-"),
+    ("STRING", r'"(?:[^"\\]|\\.)*"'),
+    ("NUMBER", r"-?\d+(?:\.\d+)?"),
+    ("IDENT", r"[A-Za-z_][A-Za-z0-9_\-]*"),
+    ("STAR", r"\*"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("COMMA", r","),
+    ("COLON", r":"),
+    ("SLASH", r"/"),
+]
+
+_MASTER = re.compile("|".join(f"(?P<{name}>{pattern})"
+                              for name, pattern in _TOKEN_SPEC))
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize a policy document; raises :class:`LexError` on bad input."""
+    tokens: List[Token] = []
+    line = 1
+    line_start = 0
+    position = 0
+    while position < len(text):
+        match = _MASTER.match(text, position)
+        if match is None:
+            column = position - line_start + 1
+            raise LexError(
+                f"line {line}, column {column}: unexpected character "
+                f"{text[position]!r}")
+        kind = match.lastgroup
+        value = match.group()
+        column = position - line_start + 1
+        position = match.end()
+        if kind == "NEWLINE":
+            line += 1
+            line_start = position
+            continue
+        if kind in ("SKIP", "COMMENT"):
+            continue
+        if kind == "IDENT" and value in KEYWORDS:
+            kind = "KEYWORD"
+        assert kind is not None
+        tokens.append(Token(kind, value, line, column))
+    tokens.append(Token("EOF", "", line, position - line_start + 1))
+    return tokens

@@ -1,0 +1,68 @@
+"""Loading policy files from disk into a :class:`PolicyUniverse`.
+
+Deployments keep one ``.oasis`` policy file per service; the loader
+parses, compiles and collects them so the analysis tooling (and the CLI in
+:mod:`repro.lang.cli`) can work on the whole system.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.constraints import ConstraintRegistry
+from ..core.policy import ServicePolicy
+from ..core.types import ServiceId
+from .analysis import PolicyUniverse
+from .compiler import compile_document
+from .parser import parse_document
+
+__all__ = ["POLICY_SUFFIX", "load_policy_file", "load_policies",
+           "discover_policy_files"]
+
+POLICY_SUFFIX = ".oasis"
+
+
+def load_policy_file(path: str,
+                     registry: Optional[ConstraintRegistry] = None,
+                     allow_unresolved: bool = False) -> ServicePolicy:
+    """Parse and compile one policy file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return compile_document(parse_document(text), registry,
+                            allow_unresolved)
+
+
+def discover_policy_files(root: str) -> List[str]:
+    """All ``*.oasis`` files under ``root`` (a file path passes through)."""
+    if os.path.isfile(root):
+        return [root]
+    found = []
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for filename in sorted(filenames):
+            if filename.endswith(POLICY_SUFFIX):
+                found.append(os.path.join(dirpath, filename))
+    return sorted(found)
+
+
+def load_policies(paths: Iterable[str],
+                  registry: Optional[ConstraintRegistry] = None,
+                  allow_unresolved: bool = False,
+                  ) -> Tuple[Dict[ServiceId, ServicePolicy], PolicyUniverse]:
+    """Load many policy files; returns ``(policies, universe)``.
+
+    ``paths`` may mix files and directories (directories are scanned for
+    ``*.oasis``).  Two files defining the same service is an error.
+    """
+    policies: Dict[ServiceId, ServicePolicy] = {}
+    files: List[str] = []
+    for path in paths:
+        files.extend(discover_policy_files(path))
+    for path in files:
+        policy = load_policy_file(path, registry, allow_unresolved)
+        if policy.service in policies:
+            raise ValueError(
+                f"{path}: service {policy.service} already defined by "
+                f"another file")
+        policies[policy.service] = policy
+    return policies, PolicyUniverse(policies.values())

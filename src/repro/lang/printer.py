@@ -1,0 +1,86 @@
+"""Pretty-printer: policy documents back to canonical text.
+
+``parse_document(format_document(doc)) == doc`` — round-tripping is checked
+by property-based tests, which makes the printer a useful oracle for the
+parser as well as a deployment tool (normalising policies for diffing and
+review, which the paper's policy-management thread [1] calls "essential to
+maintain consistency as policies evolve").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .ast import (
+    ActivateStmt,
+    AppointStmt,
+    AppointmentAtom,
+    ArgConst,
+    ArgVar,
+    Argument,
+    AuthorizeStmt,
+    BodyAtom,
+    ConstraintAtom,
+    PolicyDocument,
+    RoleAtom,
+)
+
+__all__ = ["format_document"]
+
+
+def _format_arg(argument: Argument) -> str:
+    if isinstance(argument, ArgVar):
+        return argument.name
+    value = argument.value
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    return repr(value)
+
+
+def _format_args(arguments: Iterable[Argument]) -> str:
+    return ", ".join(_format_arg(argument) for argument in arguments)
+
+
+def _format_atom(atom: BodyAtom) -> str:
+    star = "*" if atom.membership else ""
+    if isinstance(atom, RoleAtom):
+        prefix = (f"{atom.domain}/{atom.service}:" if atom.qualified else "")
+        return f"{prefix}{atom.name}({_format_args(atom.arguments)}){star}"
+    if isinstance(atom, AppointmentAtom):
+        return (f"appointment {atom.issuer_domain}/{atom.issuer_service}:"
+                f"{atom.name}({_format_args(atom.arguments)}){star}")
+    assert isinstance(atom, ConstraintAtom)
+    return f"where {atom.name}({_format_args(atom.arguments)}){star}"
+
+
+def _format_rule(keyword: str, name: str, arguments: Iterable[Argument],
+                 body: Iterable[BodyAtom]) -> str:
+    head = f"{keyword} {name}({_format_args(arguments)})"
+    atoms = list(body)
+    if not atoms:
+        return head
+    lines = ",\n    ".join(_format_atom(atom) for atom in atoms)
+    return f"{head} <-\n    {lines}"
+
+
+def format_document(document: PolicyDocument) -> str:
+    """Render a document as canonical policy text."""
+    parts = [f"service {document.domain}/{document.service}", ""]
+    for decl in document.roles:
+        parts.append(f"role {decl.name}({', '.join(decl.parameters)})")
+    if document.roles:
+        parts.append("")
+    for stmt in document.activations:
+        parts.append(_format_rule("activate", stmt.head_name,
+                                  stmt.head_arguments, stmt.body))
+        parts.append("")
+    for stmt in document.authorizations:
+        parts.append(_format_rule("authorize", stmt.method,
+                                  stmt.arguments, stmt.body))
+        parts.append("")
+    for stmt in document.appointments:
+        parts.append(_format_rule("appoint", stmt.name,
+                                  stmt.arguments, stmt.body))
+        parts.append("")
+    return "\n".join(parts).rstrip() + "\n"

@@ -1,0 +1,246 @@
+"""The paper's healthcare scenario, packaged as a reusable builder.
+
+Builds, on a :class:`~repro.domains.Deployment`, the cast used throughout
+the paper: a hospital domain (login, admin, records services with the
+``treating_doctor(doc, pat)`` role) and optionally the national EHR domain
+of Fig. 3 (registry + patient record management service).  Examples,
+benchmarks and downstream experiments all start from here instead of
+re-assembling policies by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.credentials import AppointmentCertificate, RoleMembershipCertificate
+from ..core.rules import (
+    ActivationRule,
+    AppointmentCondition,
+    AppointmentRule,
+    AuthorizationRule,
+    ConstraintCondition,
+    PrerequisiteRole,
+)
+from ..core.constraints import DatabaseLookupConstraint
+from ..core.policy import ServicePolicy
+from ..core.service import OasisService, Presentation
+from ..core.session import Principal, Session
+from ..core.terms import Var
+from ..core.types import RoleTemplate
+from ..db import Database
+from ..domains.domain import Deployment, Domain
+
+__all__ = ["HospitalScenario", "NationalEhrScenario",
+           "build_hospital", "build_national_ehr"]
+
+
+@dataclass
+class HospitalScenario:
+    """A hospital domain with login/admin/records services."""
+
+    deployment: Deployment
+    domain: Domain
+    db: Database
+    login: OasisService
+    admin: OasisService
+    records: OasisService
+    ehr_store: Dict[str, List[str]] = field(default_factory=dict)
+
+    def register_patient(self, doctor_id: str, patient_id: str) -> None:
+        self.db.insert("registered", doctor=doctor_id, patient=patient_id)
+
+    def exclude_doctor(self, patient_id: str, doctor_id: str) -> None:
+        """The Patients' Charter exception: an individual exclusion."""
+        self.db.insert("excluded", patient=patient_id, doctor=doctor_id)
+
+    def allocate(self, doctor_id: str, patient_id: str,
+                 admin_id: str = "duty-admin",
+                 expires_at: Optional[float] = None
+                 ) -> AppointmentCertificate:
+        """An administrator allocates a patient to a doctor (issues the
+        ``allocated`` appointment certificate)."""
+        administrator = Principal(admin_id)
+        session = administrator.start_session(self.login, "logged_in_user",
+                                              [admin_id])
+        session.activate(self.admin, "administrator", [admin_id])
+        return session.issue_appointment(
+            self.admin, "allocated", [doctor_id, patient_id],
+            holder=doctor_id, expires_at=expires_at)
+
+    def admit_doctor(self, doctor_id: str, patient_id: str) -> Principal:
+        """Register + allocate in one step; returns the doctor principal
+        with the allocation certificate in its wallet."""
+        self.register_patient(doctor_id, patient_id)
+        doctor = Principal(doctor_id)
+        doctor.store_appointment(self.allocate(doctor_id, patient_id))
+        return doctor
+
+    def treating_session(self, doctor: Principal) -> Session:
+        """Log the doctor in and activate ``treating_doctor``."""
+        session = doctor.start_session(self.login, "logged_in_user",
+                                       [doctor.id.value])
+        session.activate(self.records, "treating_doctor",
+                         use_appointments=doctor.appointments("allocated"))
+        return session
+
+
+def build_hospital(deployment: Deployment,
+                   domain_name: str = "hospital") -> HospitalScenario:
+    """Assemble the hospital domain on ``deployment``."""
+    domain = deployment.create_domain(domain_name)
+    db = domain.create_database("main")
+    db.create_table("registered", ["doctor", "patient"])
+    db.create_table("excluded", ["patient", "doctor"])
+
+    login_policy = ServicePolicy(domain.service_id("login"))
+    logged_in = login_policy.define_role("logged_in_user", 1)
+    login_policy.add_activation_rule(
+        ActivationRule(RoleTemplate(logged_in, (Var("u"),))))
+    login = domain.add_service(login_policy)
+
+    admin_policy = ServicePolicy(domain.service_id("admin"))
+    administrator = admin_policy.define_role("administrator", 1)
+    admin_policy.add_activation_rule(ActivationRule(
+        RoleTemplate(administrator, (Var("u"),)),
+        (PrerequisiteRole(RoleTemplate(logged_in, (Var("u"),)),
+                          membership=True),)))
+    admin_policy.add_appointment_rule(AppointmentRule(
+        "allocated", (Var("d"), Var("p")),
+        (PrerequisiteRole(RoleTemplate(administrator, (Var("a"),))),)))
+    admin = domain.add_service(admin_policy)
+
+    records_policy = ServicePolicy(domain.service_id("records"))
+    treating = records_policy.define_role("treating_doctor", 2)
+    records_policy.add_activation_rule(ActivationRule(
+        RoleTemplate(treating, (Var("d"), Var("p"))),
+        (PrerequisiteRole(RoleTemplate(logged_in, (Var("d"),)),
+                          membership=True),
+         AppointmentCondition(admin.id, "allocated", (Var("d"), Var("p")),
+                              membership=True),
+         ConstraintCondition(DatabaseLookupConstraint.exists(
+             "main", "registered", doctor=Var("d"), patient=Var("p")),
+             membership=True))))
+    records_policy.add_authorization_rule(AuthorizationRule(
+        "read_record", (Var("p"),),
+        (PrerequisiteRole(RoleTemplate(treating, (Var("d"), Var("p")))),
+         ConstraintCondition(DatabaseLookupConstraint.not_exists(
+             "main", "excluded", patient=Var("p"), doctor=Var("d"))))))
+    records = domain.add_service(records_policy, databases={"main": db})
+
+    scenario = HospitalScenario(deployment=deployment, domain=domain,
+                                db=db, login=login, admin=admin,
+                                records=records)
+    records.register_method(
+        "read_record",
+        lambda pat: list(scenario.ehr_store.get(pat, [])))
+    return scenario
+
+
+@dataclass
+class NationalEhrScenario:
+    """The national EHR domain of Fig. 3, linked to one or more hospitals."""
+
+    deployment: Deployment
+    domain: Domain
+    registry: OasisService
+    patient_records: OasisService
+    ehr_store: Dict[str, List[str]]
+    gateways: Dict[str, "GatewayHandle"] = field(default_factory=dict)
+
+    def accredit(self, hospital: HospitalScenario,
+                 hospital_id: Optional[str] = None) -> "GatewayHandle":
+        """Accredit a hospital; returns its live gateway handle."""
+        hospital_id = hospital_id or hospital.domain.name
+        registrar_session = Principal(f"registrar-{hospital_id}") \
+            .start_session(self.registry, "registrar")
+        accreditation = registrar_session.issue_appointment(
+            self.registry, "accredited_hospital", [hospital_id],
+            holder=f"gateway-{hospital_id}")
+        gateway_principal = Principal(f"gateway-{hospital_id}")
+        gateway_principal.store_appointment(accreditation)
+        gateway_session = gateway_principal.start_session(
+            self.patient_records, "hospital",
+            use_appointments=[accreditation])
+        handle = GatewayHandle(self, gateway_principal, gateway_session)
+        self.gateways[hospital_id] = handle
+        return handle
+
+
+@dataclass
+class GatewayHandle:
+    """A hospital's EHR gateway: forwards doctors' requests nationally."""
+
+    national: NationalEhrScenario
+    principal: Principal
+    session: Session
+
+    def request_ehr(self, treating_rmc: RoleMembershipCertificate,
+                    doctor_id: str, patient_id: str) -> List[str]:
+        return self.national.patient_records.invoke(
+            self.principal.id, "request_EHR", [patient_id],
+            credentials=self._credentials(treating_rmc, doctor_id))
+
+    def append_to_ehr(self, treating_rmc: RoleMembershipCertificate,
+                      doctor_id: str, patient_id: str,
+                      entry: str) -> str:
+        return self.national.patient_records.invoke(
+            self.principal.id, "append_to_EHR", [patient_id, entry],
+            credentials=self._credentials(treating_rmc, doctor_id))
+
+    def _credentials(self, treating_rmc: RoleMembershipCertificate,
+                     doctor_id: str) -> List[Presentation]:
+        return [Presentation(self.session.root_rmc),
+                Presentation(treating_rmc, on_behalf_of=doctor_id)]
+
+
+def build_national_ehr(deployment: Deployment,
+                       hospitals: List[HospitalScenario],
+                       domain_name: str = "national-ehr",
+                       ) -> NationalEhrScenario:
+    """Assemble the national EHR domain and accredit ``hospitals``."""
+    domain = deployment.create_domain(domain_name)
+
+    registry_policy = ServicePolicy(domain.service_id("registry"))
+    registrar = registry_policy.define_role("registrar", 0)
+    registry_policy.add_activation_rule(
+        ActivationRule(RoleTemplate(registrar)))
+    registry_policy.add_appointment_rule(AppointmentRule(
+        "accredited_hospital", (Var("h"),),
+        (PrerequisiteRole(RoleTemplate(registrar)),)))
+    registry = domain.add_service(registry_policy)
+
+    national_policy = ServicePolicy(domain.service_id("patient-records"))
+    hospital_role = national_policy.define_role("hospital", 1)
+    national_policy.add_activation_rule(ActivationRule(
+        RoleTemplate(hospital_role, (Var("h"),)),
+        (AppointmentCondition(registry.id, "accredited_hospital",
+                              (Var("h"),), membership=True),)))
+    for hospital in hospitals:
+        treating_foreign = RoleTemplate(
+            hospital.records.policy.define_role("treating_doctor", 2),
+            (Var("d"), Var("p")))
+        national_policy.add_authorization_rule(AuthorizationRule(
+            "request_EHR", (Var("p"),),
+            (PrerequisiteRole(RoleTemplate(hospital_role, (Var("h"),))),
+             PrerequisiteRole(treating_foreign))))
+        national_policy.add_authorization_rule(AuthorizationRule(
+            "append_to_EHR", (Var("p"), Var("entry")),
+            (PrerequisiteRole(RoleTemplate(hospital_role, (Var("h"),))),
+             PrerequisiteRole(treating_foreign))))
+    patient_records = domain.add_service(national_policy)
+
+    ehr_store: Dict[str, List[str]] = {}
+    patient_records.register_method(
+        "request_EHR", lambda p: list(ehr_store.get(p, [])))
+    patient_records.register_method(
+        "append_to_EHR",
+        lambda p, entry: ehr_store.setdefault(p, []).append(entry)
+        or "done")
+
+    scenario = NationalEhrScenario(
+        deployment=deployment, domain=domain, registry=registry,
+        patient_records=patient_records, ehr_store=ehr_store)
+    for hospital in hospitals:
+        scenario.accredit(hospital)
+    return scenario

@@ -1,0 +1,134 @@
+"""The Sect. 5 membership scenarios: reciprocal galleries and the
+anonymous clinic, packaged as reusable builders."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.constraints import BeforeDeadlineConstraint
+from ..core.credentials import AppointmentCertificate
+from ..core.rules import (
+    ActivationRule,
+    AppointmentCondition,
+    AppointmentRule,
+    AuthorizationRule,
+    ConstraintCondition,
+    PrerequisiteRole,
+)
+from ..core.policy import ServicePolicy
+from ..core.service import OasisService
+from ..core.session import Principal
+from ..core.terms import Var
+from ..core.types import RoleTemplate
+from ..domains.domain import Deployment, Domain
+
+__all__ = ["GalleryScenario", "ClinicScenario",
+           "build_galleries", "build_clinic"]
+
+
+@dataclass
+class GalleryScenario:
+    """The Tate galleries: one membership service, many galleries."""
+
+    deployment: Deployment
+    domain: Domain
+    membership: OasisService
+    galleries: Dict[str, OasisService] = field(default_factory=dict)
+
+    def issue_card(self, expiry: float) -> AppointmentCertificate:
+        """An anonymous membership card: organisation + period, no
+        identity ("the identity of the principal is not needed if proof of
+        membership is securely provable")."""
+        desk_session = Principal("membership-desk").start_session(
+            self.membership, "membership_desk")
+        return desk_session.issue_appointment(
+            self.membership, "friend_of_the_tate", [expiry])
+
+    def cancel_card(self, card: AppointmentCertificate) -> bool:
+        return self.membership.revoke(card.ref, "membership cancelled")
+
+
+def build_galleries(deployment: Deployment,
+                    gallery_names: Optional[List[str]] = None,
+                    domain_name: str = "tate") -> GalleryScenario:
+    """Assemble the membership service plus one service per gallery."""
+    gallery_names = gallery_names or ["london", "st-ives", "liverpool"]
+    domain = deployment.create_domain(domain_name)
+
+    membership_policy = ServicePolicy(domain.service_id("membership"))
+    desk = membership_policy.define_role("membership_desk", 0)
+    membership_policy.add_activation_rule(ActivationRule(RoleTemplate(desk)))
+    membership_policy.add_appointment_rule(AppointmentRule(
+        "friend_of_the_tate", (Var("expiry"),),
+        (PrerequisiteRole(RoleTemplate(desk)),)))
+    membership = domain.add_service(membership_policy)
+
+    scenario = GalleryScenario(deployment=deployment, domain=domain,
+                               membership=membership)
+    for name in gallery_names:
+        policy = ServicePolicy(domain.service_id(name))
+        friend = policy.define_role("friend", 0)
+        policy.add_activation_rule(ActivationRule(
+            RoleTemplate(friend),
+            (AppointmentCondition(membership.id, "friend_of_the_tate",
+                                  (Var("e"),), membership=True),
+             ConstraintCondition(BeforeDeadlineConstraint(Var("e"))))))
+        policy.add_authorization_rule(AuthorizationRule(
+            "newsletter", (), (PrerequisiteRole(RoleTemplate(friend)),)))
+        gallery = domain.add_service(policy)
+        gallery.register_method("newsletter",
+                                lambda n=name: f"{n} newsletter")
+        scenario.galleries[name] = gallery
+    return scenario
+
+
+@dataclass
+class ClinicScenario:
+    """The anonymous genetic clinic with its insurer (Sect. 5)."""
+
+    deployment: Deployment
+    insurer: OasisService
+    clinic: OasisService
+    tests_performed: List[str] = field(default_factory=list)
+
+    def enrol_member(self, expiry: float) -> AppointmentCertificate:
+        """The insurer issues an anonymous membership card."""
+        desk = Principal("enrolment-desk").start_session(self.insurer,
+                                                         "enrolment_desk")
+        return desk.issue_appointment(self.insurer, "insured", [expiry])
+
+
+def build_clinic(deployment: Deployment,
+                 insurer_domain: str = "insurer",
+                 clinic_domain: str = "clinic") -> ClinicScenario:
+    insurer_dom = deployment.create_domain(insurer_domain)
+    clinic_dom = deployment.create_domain(clinic_domain)
+
+    insurer_policy = ServicePolicy(insurer_dom.service_id("membership"))
+    desk = insurer_policy.define_role("enrolment_desk", 0)
+    insurer_policy.add_activation_rule(ActivationRule(RoleTemplate(desk)))
+    insurer_policy.add_appointment_rule(AppointmentRule(
+        "insured", (Var("expiry"),),
+        (PrerequisiteRole(RoleTemplate(desk)),)))
+    insurer = insurer_dom.add_service(insurer_policy)
+
+    clinic_policy = ServicePolicy(clinic_dom.service_id("genetics"))
+    patient = clinic_policy.define_role("paid_up_patient", 0)
+    clinic_policy.add_activation_rule(ActivationRule(
+        RoleTemplate(patient),
+        (AppointmentCondition(insurer.id, "insured", (Var("e"),),
+                              membership=True),
+         ConstraintCondition(BeforeDeadlineConstraint(Var("e"))))))
+    clinic_policy.add_authorization_rule(AuthorizationRule(
+        "take_genetic_test", (),
+        (PrerequisiteRole(RoleTemplate(patient)),)))
+    clinic = clinic_dom.add_service(clinic_policy)
+
+    scenario = ClinicScenario(deployment=deployment, insurer=insurer,
+                              clinic=clinic)
+    clinic.register_method(
+        "take_genetic_test",
+        lambda: scenario.tests_performed.append("test")
+        or "results sealed for patient")
+    return scenario

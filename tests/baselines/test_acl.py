@@ -1,0 +1,59 @@
+"""Tests for the ACL baseline."""
+
+import pytest
+
+from repro.baselines import AclSystem
+
+
+@pytest.fixture
+def acl():
+    system = AclSystem()
+    system.create_object("record-p1")
+    return system
+
+
+class TestAcl:
+    def test_grant_and_check(self, acl):
+        acl.grant("d1", "record-p1", "read")
+        assert acl.check("d1", "record-p1", "read")
+        assert not acl.check("d1", "record-p1", "write")
+        assert not acl.check("d2", "record-p1", "read")
+
+    def test_grant_unknown_object(self, acl):
+        with pytest.raises(KeyError):
+            acl.grant("d1", "ghost", "read")
+
+    def test_duplicate_grant_costs_nothing(self, acl):
+        acl.grant("d1", "record-p1", "read")
+        ops = acl.admin_operations
+        acl.grant("d1", "record-p1", "read")
+        assert acl.admin_operations == ops
+
+    def test_revoke(self, acl):
+        acl.grant("d1", "record-p1", "read")
+        assert acl.revoke("d1", "record-p1", "read")
+        assert not acl.check("d1", "record-p1", "read")
+        assert not acl.revoke("d1", "record-p1", "read")
+
+    def test_duplicate_object_rejected(self, acl):
+        with pytest.raises(ValueError):
+            acl.create_object("record-p1")
+
+    def test_offboarding_cost_scales_with_objects(self):
+        """The management burden of Sect. 1: removing one departing
+        principal touches every object they could access."""
+        system = AclSystem()
+        for index in range(50):
+            system.create_object(f"record-{index}")
+            system.grant("dr-leaving", f"record-{index}", "read")
+        ops_before = system.admin_operations
+        removed = system.revoke_principal_everywhere("dr-leaving")
+        assert removed == 50
+        assert system.admin_operations == ops_before + 50
+        assert not system.check("dr-leaving", "record-0", "read")
+
+    def test_entry_count(self, acl):
+        acl.grant("d1", "record-p1", "read")
+        acl.grant("d2", "record-p1", "read")
+        assert acl.entry_count == 2
+        assert acl.object_count == 1

@@ -1,0 +1,97 @@
+"""Tests for the delegation baseline vs OASIS appointment."""
+
+import pytest
+
+from repro.baselines import DelegationError, DelegationSystem
+
+
+@pytest.fixture
+def system():
+    delegation = DelegationSystem(max_depth=2)
+    delegation.add_role("doctor")
+    delegation.assign("alice", "doctor")
+    return delegation
+
+
+class TestDelegation:
+    def test_member_can_delegate(self, system):
+        system.delegate("alice", "bob", "doctor")
+        assert system.is_member("bob", "doctor")
+
+    def test_non_member_cannot_delegate(self, system):
+        """The structural contrast with appointment: a hospital
+        administrator (not a doctor) cannot hand out the doctor role."""
+        with pytest.raises(DelegationError, match="not a member"):
+            system.delegate("administrator", "bob", "doctor")
+        assert not system.can_appoint_without_membership()
+
+    def test_depth_limit(self, system):
+        system.delegate("alice", "bob", "doctor")      # depth 1
+        system.delegate("bob", "carol", "doctor")      # depth 2
+        with pytest.raises(DelegationError, match="depth"):
+            system.delegate("carol", "dave", "doctor")  # depth 3 > max 2
+
+    def test_cannot_delegate_to_existing_member(self, system):
+        system.assign("bob", "doctor")
+        with pytest.raises(DelegationError, match="already"):
+            system.delegate("alice", "bob", "doctor")
+
+    def test_revocation_cascades_down_chain(self, system):
+        system.delegate("alice", "bob", "doctor")
+        system.delegate("bob", "carol", "doctor")
+        assert system.revoke_delegation("alice", "bob", "doctor")
+        assert not system.is_member("bob", "doctor")
+        assert not system.is_member("carol", "doctor")  # cascade
+        assert system.is_member("alice", "doctor")
+
+    def test_revoke_missing_delegation(self, system):
+        assert not system.revoke_delegation("alice", "ghost", "doctor")
+
+    def test_deassign_original_member_cascades(self, system):
+        system.delegate("alice", "bob", "doctor")
+        system.deassign("alice", "doctor")
+        assert not system.is_member("alice", "doctor")
+        assert not system.is_member("bob", "doctor")
+
+    def test_delegation_count(self, system):
+        system.delegate("alice", "bob", "doctor")
+        assert system.delegation_count() == 1
+        assert system.delegation_count("doctor") == 1
+
+    def test_unknown_role(self, system):
+        with pytest.raises(KeyError):
+            system.delegate("alice", "bob", "ghost")
+
+    def test_invalid_depth_config(self):
+        with pytest.raises(ValueError):
+            DelegationSystem(max_depth=0)
+
+
+class TestAppointmentContrast:
+    def test_oasis_appointer_need_not_be_member(self, hospital):
+        """Side-by-side: in OASIS the administrator issues 'allocated'
+        without ever being able to hold treating_doctor; in RBDM the
+        equivalent delegation is simply illegal."""
+        from repro.core import Principal
+
+        delegation = DelegationSystem()
+        delegation.add_role("treating_doctor")
+        with pytest.raises(DelegationError):
+            delegation.delegate("hospital-admin", "d1", "treating_doctor")
+
+        # OASIS: the same administrator succeeds through appointment.
+        hospital.db.insert("registered", doctor="d1", patient="p1")
+        admin = Principal("hospital-admin")
+        session = admin.start_session(hospital.login, "logged_in_user",
+                                      ["hospital-admin"])
+        session.activate(hospital.admin, "administrator",
+                         ["hospital-admin"])
+        certificate = session.issue_appointment(
+            hospital.admin, "allocated", ["d1", "p1"], holder="d1")
+        doctor = Principal("d1")
+        doctor.store_appointment(certificate)
+        doctor_session = doctor.start_session(hospital.login,
+                                              "logged_in_user", ["d1"])
+        rmc = doctor_session.activate(hospital.records, "treating_doctor",
+                                      use_appointments=[certificate])
+        assert rmc.role.parameters == ("d1", "p1")

@@ -1,0 +1,123 @@
+"""Tests for the flat RBAC0/RBAC1 baselines."""
+
+import pytest
+
+from repro.baselines import Rbac0System, Rbac1System
+
+
+@pytest.fixture
+def rbac():
+    system = Rbac0System()
+    system.add_role("doctor")
+    return system
+
+
+class TestRbac0:
+    def test_assign_session_check(self, rbac):
+        rbac.assign_user("alice", "doctor")
+        rbac.grant_permission("doctor", "read", "record-p1")
+        rbac.start_session("alice", {"doctor"})
+        assert rbac.check("alice", "read", "record-p1")
+        assert not rbac.check("alice", "write", "record-p1")
+
+    def test_session_requires_assignment(self, rbac):
+        with pytest.raises(PermissionError):
+            rbac.start_session("bob", {"doctor"})
+
+    def test_no_session_no_access(self, rbac):
+        rbac.assign_user("alice", "doctor")
+        rbac.grant_permission("doctor", "read", "record-p1")
+        assert not rbac.check("alice", "read", "record-p1")
+
+    def test_session_subset_of_assigned(self, rbac):
+        rbac.add_role("auditor")
+        rbac.assign_user("alice", "doctor")
+        rbac.assign_user("alice", "auditor")
+        rbac.grant_permission("auditor", "inspect", "log")
+        rbac.start_session("alice", {"doctor"})  # least privilege
+        assert not rbac.check("alice", "inspect", "log")
+
+    def test_deassign_kills_live_session_role(self, rbac):
+        rbac.assign_user("alice", "doctor")
+        rbac.grant_permission("doctor", "read", "record-p1")
+        rbac.start_session("alice", {"doctor"})
+        rbac.deassign_user("alice", "doctor")
+        assert not rbac.check("alice", "read", "record-p1")
+
+    def test_revoke_permission(self, rbac):
+        rbac.assign_user("alice", "doctor")
+        rbac.grant_permission("doctor", "read", "record-p1")
+        rbac.start_session("alice", {"doctor"})
+        assert rbac.revoke_permission("doctor", "read", "record-p1")
+        assert not rbac.check("alice", "read", "record-p1")
+
+    def test_remove_user_returns_assignment_count(self, rbac):
+        rbac.add_role("auditor")
+        rbac.assign_user("alice", "doctor")
+        rbac.assign_user("alice", "auditor")
+        assert rbac.remove_user("alice") == 2
+
+    def test_duplicate_role_rejected(self, rbac):
+        with pytest.raises(ValueError):
+            rbac.add_role("doctor")
+
+    def test_unknown_role_operations(self, rbac):
+        with pytest.raises(KeyError):
+            rbac.assign_user("alice", "ghost")
+        with pytest.raises(KeyError):
+            rbac.grant_permission("ghost", "read", "x")
+
+    def test_admin_ops_counted(self, rbac):
+        start = rbac.admin_operations
+        rbac.assign_user("a", "doctor")
+        rbac.grant_permission("doctor", "read", "r")
+        rbac.deassign_user("a", "doctor")
+        assert rbac.admin_operations == start + 3
+
+    def test_fine_grained_policy_needs_role_blowup(self):
+        """The Sect. 2 point: without parametrised roles, per-relationship
+        policy forces one role per (doctor, patient) pair."""
+        system = Rbac0System()
+        doctors, patients = 10, 10
+        for d in range(doctors):
+            for p in range(patients):
+                role = f"treating-d{d}-p{p}"
+                system.add_role(role)
+                system.assign_user(f"d{d}", role)
+                system.grant_permission(role, "read", f"record-p{p}")
+        assert system.role_count == doctors * patients
+        assert system.admin_operations == 3 * doctors * patients
+
+
+class TestRbac1:
+    @pytest.fixture
+    def hierarchy(self):
+        system = Rbac1System()
+        for role in ("consultant", "doctor", "staff"):
+            system.add_role(role)
+        system.add_inheritance("consultant", "doctor")
+        system.add_inheritance("doctor", "staff")
+        system.grant_permission("staff", "enter", "building")
+        system.grant_permission("doctor", "read", "records")
+        return system
+
+    def test_senior_inherits_junior_permissions(self, hierarchy):
+        hierarchy.assign_user("alice", "consultant")
+        hierarchy.start_session("alice", {"consultant"})
+        assert hierarchy.check("alice", "read", "records")
+        assert hierarchy.check("alice", "enter", "building")
+
+    def test_junior_does_not_inherit_up(self, hierarchy):
+        hierarchy.assign_user("bob", "staff")
+        hierarchy.start_session("bob", {"staff"})
+        assert not hierarchy.check("bob", "read", "records")
+
+    def test_cycle_rejected(self, hierarchy):
+        with pytest.raises(ValueError, match="cycle"):
+            hierarchy.add_inheritance("staff", "consultant")
+        with pytest.raises(ValueError, match="cycle"):
+            hierarchy.add_inheritance("doctor", "doctor")
+
+    def test_inheritance_requires_roles(self, hierarchy):
+        with pytest.raises(KeyError):
+            hierarchy.add_inheritance("consultant", "ghost")

@@ -1,0 +1,134 @@
+"""Shared fixtures: a canonical hospital deployment used across the suite.
+
+The fixture mirrors the paper's running example (Sect. 2/3): a hospital
+domain with a login service (initial role ``logged_in_user``), an admin
+service (role ``administrator``, appointment ``allocated`` — the screening
+nurse/administrator allocating a patient to a doctor) and a records service
+(parametrised role ``treating_doctor(doc, pat)`` guarded by a registration
+database and a patient exclusion list).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import pytest
+
+from repro.core import (
+    ActivationRule,
+    AppointmentCondition,
+    AppointmentRule,
+    AuthorizationRule,
+    ConstraintCondition,
+    DatabaseLookupConstraint,
+    OasisService,
+    PrerequisiteRole,
+    Principal,
+    RoleTemplate,
+    ServiceId,
+    ServicePolicy,
+    ServiceRegistry,
+    Var,
+)
+from repro.db import Database
+from repro.events import EventBroker
+from repro.net import Scheduler, SimClock
+
+
+@dataclass
+class Hospital:
+    """The assembled hospital deployment handed to tests."""
+
+    clock: SimClock
+    scheduler: Scheduler
+    broker: EventBroker
+    registry: ServiceRegistry
+    db: Database
+    login: OasisService
+    admin: OasisService
+    records: OasisService
+
+    def new_doctor(self, doctor_id: str, patient_id: str) -> Principal:
+        """Register and allocate a doctor for ``patient_id``; returns the
+        doctor principal with the allocation appointment in its wallet."""
+        self.db.insert("registered", doctor=doctor_id, patient=patient_id)
+        admin_principal = Principal(f"admin-of-{doctor_id}")
+        session = admin_principal.start_session(
+            self.login, "logged_in_user", [admin_principal.id.value])
+        session.activate(self.admin, "administrator",
+                         [admin_principal.id.value])
+        certificate = session.issue_appointment(
+            self.admin, "allocated", [doctor_id, patient_id],
+            holder=doctor_id)
+        doctor = Principal(doctor_id)
+        doctor.store_appointment(certificate)
+        return doctor
+
+
+def build_hospital(cache_validations: bool = True) -> Hospital:
+    clock = SimClock()
+    scheduler = Scheduler(clock)
+    broker = EventBroker()
+    registry = ServiceRegistry()
+
+    db = Database("hospital-db")
+    db.create_table("registered", ["doctor", "patient"])
+    db.create_table("excluded", ["patient", "doctor"])
+
+    login_id = ServiceId("hospital", "login")
+    login_policy = ServicePolicy(login_id)
+    logged_in = login_policy.define_role("logged_in_user", 1)
+    login_policy.add_activation_rule(
+        ActivationRule(RoleTemplate(logged_in, (Var("uid"),))))
+    login = OasisService(login_policy, broker, registry, clock,
+                         cache_validations=cache_validations)
+
+    admin_id = ServiceId("hospital", "admin")
+    admin_policy = ServicePolicy(admin_id)
+    administrator = admin_policy.define_role("administrator", 1)
+    admin_policy.add_activation_rule(ActivationRule(
+        RoleTemplate(administrator, (Var("uid"),)),
+        (PrerequisiteRole(RoleTemplate(logged_in, (Var("uid"),)),
+                          membership=True),)))
+    admin_policy.add_appointment_rule(AppointmentRule(
+        "allocated", (Var("doc"), Var("pat")),
+        (PrerequisiteRole(RoleTemplate(administrator, (Var("a"),))),)))
+    admin = OasisService(admin_policy, broker, registry, clock,
+                         cache_validations=cache_validations)
+
+    records_id = ServiceId("hospital", "records")
+    records_policy = ServicePolicy(records_id)
+    treating = records_policy.define_role("treating_doctor", 2)
+    records_policy.add_activation_rule(ActivationRule(
+        RoleTemplate(treating, (Var("doc"), Var("pat"))),
+        (PrerequisiteRole(RoleTemplate(logged_in, (Var("doc"),)),
+                          membership=True),
+         AppointmentCondition(admin_id, "allocated",
+                              (Var("doc"), Var("pat")), membership=True),
+         ConstraintCondition(DatabaseLookupConstraint.exists(
+             "main", "registered", doctor=Var("doc"), patient=Var("pat")),
+             membership=True))))
+    records_policy.add_authorization_rule(AuthorizationRule(
+        "read_record", (Var("pat"),),
+        (PrerequisiteRole(RoleTemplate(treating, (Var("doc"), Var("pat")))),
+         ConstraintCondition(DatabaseLookupConstraint.not_exists(
+             "main", "excluded", patient=Var("pat"), doctor=Var("doc"))))))
+    records = OasisService(records_policy, broker, registry, clock,
+                           databases={"main": db},
+                           cache_validations=cache_validations)
+    records.register_method("read_record", lambda pat: f"EHR[{pat}]")
+
+    return Hospital(clock=clock, scheduler=scheduler, broker=broker,
+                    registry=registry, db=db, login=login, admin=admin,
+                    records=records)
+
+
+@pytest.fixture
+def hospital() -> Hospital:
+    return build_hospital()
+
+
+@pytest.fixture
+def hospital_nocache() -> Hospital:
+    return build_hospital(cache_validations=False)

@@ -1,0 +1,164 @@
+"""Tests for audit certificates and the trust calculus (Sect. 6)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import (
+    AuditCertificate,
+    CredentialRef,
+    InteractionHistory,
+    Outcome,
+    ServiceId,
+    SignatureInvalid,
+    TrustEvaluator,
+    TrustPolicy,
+)
+from repro.crypto import ServiceSecret
+
+CIV = ServiceId("healthcare-uk", "civ")
+ROGUE = ServiceId("shady", "civ")
+
+
+def make_certificate(secret, subject="alice", counterparty="svc-1",
+                     outcome=Outcome.FULFILLED, issuer=CIV, serial=1):
+    return AuditCertificate.issue(
+        secret, issuer, subject, counterparty, outcome,
+        contract="one lookup", ref=CredentialRef(issuer, serial),
+        issued_at=0.0)
+
+
+@pytest.fixture
+def secret():
+    return ServiceSecret.generate()
+
+
+class TestAuditCertificate:
+    def test_issue_and_verify(self, secret):
+        cert = make_certificate(secret)
+        cert.verify(secret)
+
+    def test_rejects_unknown_outcome(self):
+        with pytest.raises(ValueError):
+            AuditCertificate(CIV, "a", "b", "glorious", "c")
+
+    def test_tamper_with_outcome_detected(self, secret):
+        cert = make_certificate(secret, outcome=Outcome.DEFAULTED)
+        whitewashed = dataclasses.replace(cert, outcome=Outcome.FULFILLED)
+        with pytest.raises(SignatureInvalid):
+            whitewashed.verify(secret)
+
+    def test_forgery_detected(self, secret):
+        forged = make_certificate(ServiceSecret.generate())
+        with pytest.raises(SignatureInvalid):
+            forged.verify(secret)
+
+
+class TestInteractionHistory:
+    def test_accepts_own_certificates(self, secret):
+        history = InteractionHistory("alice")
+        history.add(make_certificate(secret))
+        assert len(history) == 1
+
+    def test_rejects_certificates_about_others(self, secret):
+        history = InteractionHistory("alice")
+        with pytest.raises(ValueError):
+            history.add(make_certificate(secret, subject="bob"))
+
+
+class TestTrustPolicy:
+    def test_domain_weight_lookup(self):
+        policy = TrustPolicy.with_weights({"healthcare-uk": 1.0},
+                                          default_domain_weight=0.1)
+        assert policy.weight_for_domain("healthcare-uk") == 1.0
+        assert policy.weight_for_domain("unknown") == 0.1
+
+
+class TestTrustEvaluator:
+    def evaluate(self, secret, certificates, subject="alice", **policy_kw):
+        policy_kw.setdefault("domain_weights",
+                             (("healthcare-uk", 1.0), ("shady", 0.0)))
+        policy = TrustPolicy(**policy_kw)
+        return TrustEvaluator(policy).evaluate(subject, certificates)
+
+    def test_empty_history_scores_prior(self, secret):
+        decision = self.evaluate(secret, [])
+        assert decision.score == pytest.approx(0.5)
+        assert not decision.accept
+
+    def test_good_history_accepted(self, secret):
+        certs = [make_certificate(secret, counterparty=f"svc-{i}", serial=i)
+                 for i in range(6)]
+        decision = self.evaluate(secret, certs)
+        assert decision.accept
+        assert decision.counterparties == 6
+
+    def test_defaults_drag_score_down(self, secret):
+        certs = [make_certificate(secret, counterparty=f"svc-{i}", serial=i,
+                                  outcome=Outcome.DEFAULTED)
+                 for i in range(6)]
+        decision = self.evaluate(secret, certs)
+        assert not decision.accept
+        assert decision.score < 0.3
+
+    def test_disputed_splits(self, secret):
+        certs = [make_certificate(secret, counterparty=f"svc-{i}", serial=i,
+                                  outcome=Outcome.DISPUTED)
+                 for i in range(8)]
+        decision = self.evaluate(secret, certs)
+        assert decision.score == pytest.approx(0.5, abs=0.05)
+
+    def test_collusion_cap_limits_single_counterparty(self, secret):
+        """100 certificates from one friendly service count no more than
+        the per-counterparty cap (default 3 observations)."""
+        colluding = [make_certificate(secret, counterparty="friend",
+                                      serial=i) for i in range(100)]
+        decision = self.evaluate(secret, colluding)
+        assert decision.evidence_weight <= 3.0
+        diverse = [make_certificate(secret, counterparty=f"svc-{i}",
+                                    serial=i) for i in range(9)]
+        assert self.evaluate(secret, diverse).score > decision.score
+
+    def test_rogue_domain_weight_zero_discards(self, secret):
+        rogue_certs = [make_certificate(secret, issuer=ROGUE,
+                                        counterparty=f"svc-{i}", serial=i)
+                       for i in range(20)]
+        decision = self.evaluate(secret, rogue_certs)
+        assert decision.evidence_weight == 0.0
+        assert decision.discarded == 20
+        assert not decision.accept
+
+    def test_unknown_domain_counts_weakly(self, secret):
+        unknown = ServiceId("somewhere", "civ")
+        certs = [make_certificate(secret, issuer=unknown,
+                                  counterparty=f"svc-{i}", serial=i)
+                 for i in range(4)]
+        weak = self.evaluate(secret, certs)
+        strong = self.evaluate(
+            secret,
+            [make_certificate(secret, counterparty=f"svc-{i}", serial=i)
+             for i in range(4)])
+        assert 0 < weak.evidence_weight < strong.evidence_weight
+        assert weak.score < strong.score
+
+    def test_certificates_about_others_discarded(self, secret):
+        certs = [make_certificate(secret, subject="bob")]
+        decision = self.evaluate(secret, certs)
+        assert decision.discarded == 1
+
+    def test_validator_discards_forgeries(self, secret):
+        def validator(certificate):
+            certificate.verify(secret)
+
+        good = make_certificate(secret, counterparty="svc-1", serial=1)
+        forged = make_certificate(ServiceSecret.generate(),
+                                  counterparty="svc-2", serial=2)
+        policy = TrustPolicy(domain_weights=(("healthcare-uk", 1.0),))
+        decision = TrustEvaluator(policy, validator=validator).evaluate(
+            "alice", [good, forged])
+        assert decision.discarded == 1
+        assert decision.evidence_weight == pytest.approx(1.0)
+
+    def test_decision_str(self, secret):
+        decision = self.evaluate(secret, [])
+        assert "REJECT" in str(decision)

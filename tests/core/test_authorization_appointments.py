@@ -1,0 +1,111 @@
+"""Authorization rules using appointment certificates and constraints.
+
+Sect. 2 allows the full condition repertoire in invocation policy as well
+as activation policy; these tests cover the combinations the rest of the
+suite doesn't."""
+
+import pytest
+
+from repro.core import (
+    ActivationRule,
+    AppointmentCondition,
+    AppointmentRule,
+    AuthorizationRule,
+    ComparisonConstraint,
+    ConstraintCondition,
+    EnvironmentEquals,
+    InvocationDenied,
+    OasisService,
+    PrerequisiteRole,
+    Principal,
+    RoleTemplate,
+    ServiceId,
+    ServicePolicy,
+    ServiceRegistry,
+    TimeWindowConstraint,
+    Var,
+)
+from repro.events import EventBroker
+from repro.net import SimClock
+
+
+@pytest.fixture
+def world():
+    clock = SimClock()
+    broker = EventBroker()
+    registry = ServiceRegistry()
+
+    issuer_policy = ServicePolicy(ServiceId("dom", "issuer"))
+    clerk = issuer_policy.define_role("clerk", 0)
+    issuer_policy.add_activation_rule(ActivationRule(RoleTemplate(clerk)))
+    issuer_policy.add_appointment_rule(AppointmentRule(
+        "warrant", (Var("scope"),),
+        (PrerequisiteRole(RoleTemplate(clerk)),)))
+    issuer = OasisService(issuer_policy, broker, registry, clock)
+
+    vault_policy = ServicePolicy(ServiceId("dom", "vault"))
+    guard = vault_policy.define_role("guard", 1)
+    vault_policy.add_activation_rule(
+        ActivationRule(RoleTemplate(guard, (Var("u"),))))
+    # open(scope) needs the guard role, a warrant for that scope, office
+    # hours, and the request to come from the vault room.
+    vault_policy.add_authorization_rule(AuthorizationRule(
+        "open", (Var("scope"),),
+        (PrerequisiteRole(RoleTemplate(guard, (Var("u"),))),
+         AppointmentCondition(issuer.id, "warrant", (Var("scope"),)),
+         ConstraintCondition(TimeWindowConstraint(9 * 3600, 17 * 3600)),
+         ConstraintCondition(EnvironmentEquals("location", "vault-room")))))
+    vault = OasisService(vault_policy, broker, registry, clock)
+    vault.register_method("open", lambda scope: f"opened {scope}")
+
+    clerk_session = Principal("clerk").start_session(issuer, "clerk")
+    warrant = clerk_session.issue_appointment(issuer, "warrant", ["box-7"],
+                                              holder="guard-1")
+    guard_principal = Principal("guard-1")
+    guard_principal.store_appointment(warrant)
+    session = guard_principal.start_session(vault, "guard", ["guard-1"])
+    clock.advance(10 * 3600)  # 10:00
+    return clock, vault, session, guard_principal
+
+
+class TestAuthorizationWithAppointments:
+    def test_all_conditions_met(self, world):
+        clock, vault, session, guard = world
+        result = session.invoke(vault, "open", ["box-7"],
+                                use_appointments=guard.appointments(),
+                                environment={"location": "vault-room"})
+        assert result == "opened box-7"
+
+    def test_missing_appointment_denied(self, world):
+        clock, vault, session, guard = world
+        with pytest.raises(InvocationDenied):
+            session.invoke(vault, "open", ["box-7"],
+                           environment={"location": "vault-room"})
+
+    def test_warrant_scope_must_match_argument(self, world):
+        clock, vault, session, guard = world
+        with pytest.raises(InvocationDenied):
+            session.invoke(vault, "open", ["box-8"],
+                           use_appointments=guard.appointments(),
+                           environment={"location": "vault-room"})
+
+    def test_outside_office_hours_denied(self, world):
+        clock, vault, session, guard = world
+        clock.advance(10 * 3600)  # 20:00
+        with pytest.raises(InvocationDenied):
+            session.invoke(vault, "open", ["box-7"],
+                           use_appointments=guard.appointments(),
+                           environment={"location": "vault-room"})
+
+    def test_wrong_location_denied(self, world):
+        clock, vault, session, guard = world
+        with pytest.raises(InvocationDenied):
+            session.invoke(vault, "open", ["box-7"],
+                           use_appointments=guard.appointments(),
+                           environment={"location": "lobby"})
+
+    def test_missing_environment_denied(self, world):
+        clock, vault, session, guard = world
+        with pytest.raises(InvocationDenied):
+            session.invoke(vault, "open", ["box-7"],
+                           use_appointments=guard.appointments())

@@ -1,0 +1,230 @@
+"""Unit tests for environmental constraints (Sect. 2 examples)."""
+
+import pytest
+
+from repro.core import (
+    BeforeDeadlineConstraint,
+    ComparisonConstraint,
+    ConstraintRegistry,
+    DatabaseLookupConstraint,
+    EnvironmentEquals,
+    EvaluationContext,
+    PolicyError,
+    PredicateConstraint,
+    TimeWindowConstraint,
+    Var,
+)
+from repro.core.terms import EMPTY_SUBSTITUTION, Substitution
+from repro.db import Database
+from repro.net import SimClock
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def context(clock):
+    db = Database("main")
+    db.create_table("registered", ["doctor", "patient"])
+    db.insert("registered", doctor="d1", patient="p1")
+    return EvaluationContext(clock=clock, databases={"main": db})
+
+
+def bind(**values):
+    return Substitution({Var(k): v for k, v in values.items()})
+
+
+class TestPredicateConstraint:
+    def test_true_and_false(self, context):
+        even = PredicateConstraint("even", (Var("n"),), lambda n: n % 2 == 0)
+        assert even.evaluate(bind(n=4), context)
+        assert not even.evaluate(bind(n=3), context)
+
+    def test_unbound_variable_raises(self, context):
+        even = PredicateConstraint("even", (Var("n"),), lambda n: True)
+        with pytest.raises(PolicyError):
+            even.evaluate(EMPTY_SUBSTITUTION, context)
+
+    def test_free_variables(self):
+        c = PredicateConstraint("p", (Var("a"), 1, Var("b")), lambda *a: True)
+        assert {v.name for v in c.free_variables()} == {"a", "b"}
+
+
+class TestComparisonConstraint:
+    @pytest.mark.parametrize("op,left,right,expected", [
+        ("==", 1, 1, True), ("==", 1, 2, False),
+        ("!=", 1, 2, True), ("!=", 1, 1, False),
+        ("<", 1, 2, True), ("<", 2, 1, False),
+        ("<=", 2, 2, True), (">", 3, 2, True), (">=", 2, 3, False),
+    ])
+    def test_operators(self, context, op, left, right, expected):
+        c = ComparisonConstraint(left, op, right)
+        assert c.evaluate(EMPTY_SUBSTITUTION, context) is expected
+
+    def test_binds_variables(self, context):
+        c = ComparisonConstraint(Var("x"), "<", Var("y"))
+        assert c.evaluate(bind(x=1, y=2), context)
+        assert not c.evaluate(bind(x=2, y=1), context)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(PolicyError):
+            ComparisonConstraint(1, "<>", 2)
+
+    def test_incomparable_types_fail_closed(self, context):
+        c = ComparisonConstraint("a", "<", Var("y"))
+        assert not c.evaluate(bind(y=(1, 2)), context)
+
+
+class TestTimeWindow:
+    def test_inside_window(self, clock, context):
+        office_hours = TimeWindowConstraint(9 * 3600, 17 * 3600)
+        clock.advance(10 * 3600)
+        assert office_hours.evaluate(EMPTY_SUBSTITUTION, context)
+
+    def test_outside_window(self, clock, context):
+        office_hours = TimeWindowConstraint(9 * 3600, 17 * 3600)
+        clock.advance(18 * 3600)
+        assert not office_hours.evaluate(EMPTY_SUBSTITUTION, context)
+
+    def test_window_respects_period(self, clock, context):
+        office_hours = TimeWindowConstraint(9 * 3600, 17 * 3600)
+        clock.advance(86400 + 10 * 3600)  # next day, 10:00
+        assert office_hours.evaluate(EMPTY_SUBSTITUTION, context)
+
+    def test_wrapping_window(self, clock, context):
+        night_shift = TimeWindowConstraint(22 * 3600, 6 * 3600)
+        clock.advance(23 * 3600)
+        assert night_shift.evaluate(EMPTY_SUBSTITUTION, context)
+        clock.advance(7 * 3600)  # 06:00 next day — excluded (half-open)
+        assert not night_shift.evaluate(EMPTY_SUBSTITUTION, context)
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(PolicyError):
+            TimeWindowConstraint(-1, 10)
+        with pytest.raises(PolicyError):
+            TimeWindowConstraint(0, 90000)
+
+
+class TestBeforeDeadline:
+    def test_before(self, clock, context):
+        c = BeforeDeadlineConstraint(Var("expiry"))
+        assert c.evaluate(bind(expiry=100.0), context)
+
+    def test_after(self, clock, context):
+        c = BeforeDeadlineConstraint(Var("expiry"))
+        clock.advance(200)
+        assert not c.evaluate(bind(expiry=100.0), context)
+
+    def test_non_numeric_deadline_fails_closed(self, context):
+        c = BeforeDeadlineConstraint(Var("expiry"))
+        assert not c.evaluate(bind(expiry="tomorrow"), context)
+
+
+class TestNotBefore:
+    def test_before_start_fails(self, clock, context):
+        from repro.core import NotBeforeConstraint
+
+        c = NotBeforeConstraint(100.0)
+        assert not c.evaluate(EMPTY_SUBSTITUTION, context)
+
+    def test_at_and_after_start_passes(self, clock, context):
+        from repro.core import NotBeforeConstraint
+
+        c = NotBeforeConstraint(100.0)
+        clock.advance(100.0)
+        assert c.evaluate(EMPTY_SUBSTITUTION, context)
+        clock.advance(1.0)
+        assert c.evaluate(EMPTY_SUBSTITUTION, context)
+
+    def test_variable_start(self, clock, context):
+        from repro.core import NotBeforeConstraint
+
+        c = NotBeforeConstraint(Var("from"))
+        clock.advance(50.0)
+        assert c.evaluate(Substitution({Var("from"): 10.0}), context)
+        assert not c.evaluate(Substitution({Var("from"): 60.0}), context)
+
+    def test_non_numeric_fails_closed(self, context):
+        from repro.core import NotBeforeConstraint
+
+        c = NotBeforeConstraint("soon")
+        assert not c.evaluate(EMPTY_SUBSTITUTION, context)
+
+
+class TestEnvironmentEquals:
+    def test_matching_entry(self, context):
+        c = EnvironmentEquals("location", "ward-3")
+        assert c.evaluate(EMPTY_SUBSTITUTION,
+                          context.with_environment(location="ward-3"))
+
+    def test_missing_key_fails_closed(self, context):
+        c = EnvironmentEquals("location", "ward-3")
+        assert not c.evaluate(EMPTY_SUBSTITUTION, context)
+
+    def test_expected_value_may_be_variable(self, context):
+        c = EnvironmentEquals("host", Var("h"))
+        env = context.with_environment(host="a13")
+        assert c.evaluate(bind(h="a13"), env)
+        assert not c.evaluate(bind(h="b7"), env)
+
+
+class TestDatabaseLookup:
+    def test_exists_positive(self, context):
+        c = DatabaseLookupConstraint.exists(
+            "main", "registered", doctor=Var("d"), patient=Var("p"))
+        assert c.evaluate(bind(d="d1", p="p1"), context)
+
+    def test_exists_negative(self, context):
+        c = DatabaseLookupConstraint.exists(
+            "main", "registered", doctor=Var("d"), patient=Var("p"))
+        assert not c.evaluate(bind(d="d1", p="p2"), context)
+
+    def test_not_exists_is_exception_list(self, context):
+        c = DatabaseLookupConstraint.not_exists(
+            "main", "registered", doctor=Var("d"), patient=Var("p"))
+        assert not c.evaluate(bind(d="d1", p="p1"), context)
+        assert c.evaluate(bind(d="d9", p="p9"), context)
+
+    def test_watched_tables(self):
+        c = DatabaseLookupConstraint.exists("main", "registered",
+                                            doctor="d1")
+        assert c.watched_tables() == {("main", "registered")}
+
+    def test_missing_database_raises(self, clock):
+        empty = EvaluationContext(clock=clock)
+        c = DatabaseLookupConstraint.exists("main", "registered", doctor="d")
+        with pytest.raises(PolicyError):
+            c.evaluate(EMPTY_SUBSTITUTION, empty)
+
+
+class TestEvaluationContext:
+    def test_with_environment_does_not_mutate(self, context):
+        extended = context.with_environment(x=1)
+        assert "x" in extended.environment
+        assert "x" not in context.environment
+
+    def test_with_environment_overrides(self, context):
+        first = context.with_environment(x=1)
+        second = first.with_environment(x=2)
+        assert second.environment["x"] == 2
+
+
+class TestConstraintRegistry:
+    def test_register_and_build(self):
+        registry = ConstraintRegistry()
+        registry.register("lt", lambda a, b: ComparisonConstraint(a, "<", b))
+        constraint = registry.build("lt", 1, 2)
+        assert isinstance(constraint, ComparisonConstraint)
+        assert "lt" in registry
+
+    def test_duplicate_name_rejected(self):
+        registry = ConstraintRegistry()
+        registry.register("x", lambda: None)
+        with pytest.raises(PolicyError):
+            registry.register("x", lambda: None)
+
+    def test_unknown_name(self):
+        with pytest.raises(PolicyError):
+            ConstraintRegistry().build("nope")

@@ -1,0 +1,288 @@
+"""Unit tests for the rule evaluation engine (backtracking + unification)."""
+
+import pytest
+
+from repro.core import (
+    ActivationDenied,
+    ActivationRule,
+    AppointmentCertificate,
+    AppointmentCondition,
+    AppointmentRule,
+    AuthorizationRule,
+    ComparisonConstraint,
+    ConstraintCondition,
+    CredentialRef,
+    EvaluationContext,
+    PolicyError,
+    PrerequisiteRole,
+    PresentedCredential,
+    PrincipalId,
+    Role,
+    RoleMembershipCertificate,
+    RoleName,
+    RoleTemplate,
+    RuleEngine,
+    ServiceId,
+    Var,
+)
+from repro.crypto import ServiceSecret
+
+SVC = ServiceId("hospital", "records")
+LOGIN = ServiceId("hospital", "login")
+ADMIN = ServiceId("hospital", "admin")
+SECRET = ServiceSecret(key=b"x" * 32)
+
+_serial = [0]
+
+
+def rmc_credential(service, role_name, *params):
+    _serial[0] += 1
+    role = Role(RoleName(service, role_name), tuple(params))
+    rmc = RoleMembershipCertificate.issue(
+        SECRET, service, role, CredentialRef(service, _serial[0]),
+        principal=PrincipalId("p"), issued_at=0.0)
+    return PresentedCredential(rmc)
+
+
+def appointment_credential(issuer, name, *params, holder=None):
+    _serial[0] += 1
+    cert = AppointmentCertificate.issue(
+        SECRET, issuer, name, tuple(params),
+        CredentialRef(issuer, _serial[0]), 0.0, holder=holder)
+    return PresentedCredential(cert)
+
+
+@pytest.fixture
+def engine():
+    return RuleEngine(EvaluationContext())
+
+
+def template(service, name, *params):
+    return RoleTemplate(RoleName(service, name), tuple(params))
+
+
+class TestActivationMatching:
+    def test_initial_rule_binds_from_request(self, engine):
+        rule = ActivationRule(template(SVC, "logged_in", Var("uid")))
+        result = engine.match_activation(rule, ["alice"], [])
+        assert result is not None
+        match, role = result
+        assert role.parameters == ("alice",)
+
+    def test_unbound_parameter_raises_denied(self, engine):
+        rule = ActivationRule(template(SVC, "logged_in", Var("uid")))
+        with pytest.raises(ActivationDenied, match="unbound"):
+            engine.match_activation(rule, None, [])
+
+    def test_parameter_bound_by_credential(self, engine):
+        rule = ActivationRule(
+            template(SVC, "td", Var("d"), Var("p")),
+            (AppointmentCondition(ADMIN, "allocated",
+                                  (Var("d"), Var("p"))),))
+        cred = appointment_credential(ADMIN, "allocated", "d1", "p1")
+        match, role = engine.match_activation(rule, None, [cred])
+        assert role.parameters == ("d1", "p1")
+        assert match.credentials_used() == (cred,)
+
+    def test_request_pins_parameters(self, engine):
+        rule = ActivationRule(
+            template(SVC, "td", Var("d"), Var("p")),
+            (AppointmentCondition(ADMIN, "allocated",
+                                  (Var("d"), Var("p"))),))
+        creds = [appointment_credential(ADMIN, "allocated", "d1", "p1"),
+                 appointment_credential(ADMIN, "allocated", "d1", "p2")]
+        match, role = engine.match_activation(rule, ["d1", "p2"], creds)
+        assert role.parameters == ("d1", "p2")
+
+    def test_partial_request_with_none_slots(self, engine):
+        rule = ActivationRule(
+            template(SVC, "td", Var("d"), Var("p")),
+            (AppointmentCondition(ADMIN, "allocated",
+                                  (Var("d"), Var("p"))),))
+        creds = [appointment_credential(ADMIN, "allocated", "d1", "p1"),
+                 appointment_credential(ADMIN, "allocated", "d2", "p2")]
+        match, role = engine.match_activation(rule, ["d2", None], creds)
+        assert role.parameters == ("d2", "p2")
+
+    def test_request_arity_mismatch_returns_none(self, engine):
+        rule = ActivationRule(template(SVC, "td", Var("d")))
+        assert engine.match_activation(rule, ["a", "b"], []) is None
+
+    def test_shared_variable_joins_credentials(self, engine):
+        """?d must be the same principal in both conditions."""
+        rule = ActivationRule(
+            template(SVC, "td", Var("d")),
+            (PrerequisiteRole(template(LOGIN, "logged_in", Var("d"))),
+             AppointmentCondition(ADMIN, "allocated", (Var("d"),))))
+        creds = [rmc_credential(LOGIN, "logged_in", "alice"),
+                 appointment_credential(ADMIN, "allocated", "bob")]
+        assert engine.match_activation(rule, None, creds) is None
+        creds.append(appointment_credential(ADMIN, "allocated", "alice"))
+        match, role = engine.match_activation(rule, None, creds)
+        assert role.parameters == ("alice",)
+
+    def test_backtracking_across_candidates(self, engine):
+        """The first allocated certificate fails the join; the engine must
+        backtrack to the second."""
+        rule = ActivationRule(
+            template(SVC, "td", Var("d"), Var("p")),
+            (AppointmentCondition(ADMIN, "allocated", (Var("d"), Var("p"))),
+             PrerequisiteRole(template(LOGIN, "logged_in", Var("d")))))
+        creds = [appointment_credential(ADMIN, "allocated", "bob", "p9"),
+                 appointment_credential(ADMIN, "allocated", "alice", "p1"),
+                 rmc_credential(LOGIN, "logged_in", "alice")]
+        match, role = engine.match_activation(rule, None, creds)
+        assert role.parameters == ("alice", "p1")
+
+    def test_constraints_evaluated_after_credentials(self, engine):
+        """Constraint written first still sees bound variables."""
+        rule = ActivationRule(
+            template(SVC, "td", Var("d")),
+            (ConstraintCondition(ComparisonConstraint(Var("d"), "!=", "bad")),
+             AppointmentCondition(ADMIN, "allocated", (Var("d"),))))
+        good = appointment_credential(ADMIN, "allocated", "good")
+        bad = appointment_credential(ADMIN, "allocated", "bad")
+        match, role = engine.match_activation(rule, None, [bad, good])
+        assert role.parameters == ("good",)
+
+    def test_constraint_filters_all_candidates(self, engine):
+        rule = ActivationRule(
+            template(SVC, "td", Var("d")),
+            (AppointmentCondition(ADMIN, "allocated", (Var("d"),)),
+             ConstraintCondition(ComparisonConstraint(Var("d"), "!=", "bad"))))
+        assert engine.match_activation(
+            rule, None, [appointment_credential(ADMIN, "allocated", "bad")]) \
+            is None
+
+    def test_wrong_issuer_not_matched(self, engine):
+        rule = ActivationRule(
+            template(SVC, "td", Var("d")),
+            (AppointmentCondition(ADMIN, "allocated", (Var("d"),)),))
+        forged_issuer = appointment_credential(LOGIN, "allocated", "x")
+        assert engine.match_activation(rule, None, [forged_issuer]) is None
+
+    def test_wrong_arity_not_matched(self, engine):
+        rule = ActivationRule(
+            template(SVC, "td", Var("d")),
+            (AppointmentCondition(ADMIN, "allocated", (Var("d"),)),))
+        assert engine.match_activation(
+            rule, None,
+            [appointment_credential(ADMIN, "allocated", "x", "extra")]) is None
+
+    def test_constant_in_condition_pattern(self, engine):
+        rule = ActivationRule(
+            template(SVC, "local_doc", Var("d")),
+            (AppointmentCondition(ADMIN, "employed",
+                                  (Var("d"), "addenbrookes")),))
+        wrong = appointment_credential(ADMIN, "employed", "d1", "papworth")
+        right = appointment_credential(ADMIN, "employed", "d1",
+                                       "addenbrookes")
+        assert engine.match_activation(rule, None, [wrong]) is None
+        match, role = engine.match_activation(rule, None, [right])
+        assert role.parameters == ("d1",)
+
+    def test_membership_refs_only_flagged(self, engine):
+        rule = ActivationRule(
+            template(SVC, "td", Var("d")),
+            (PrerequisiteRole(template(LOGIN, "logged_in", Var("d")),
+                              membership=True),
+             AppointmentCondition(ADMIN, "allocated", (Var("d"),),
+                                  membership=False)))
+        login_cred = rmc_credential(LOGIN, "logged_in", "a")
+        appt_cred = appointment_credential(ADMIN, "allocated", "a")
+        match, _ = engine.match_activation(rule, None,
+                                           [login_cred, appt_cred])
+        assert match.membership_credential_refs() == (login_cred.ref,)
+
+    def test_membership_constraints_extracted(self, engine):
+        constraint = ConstraintCondition(
+            ComparisonConstraint(Var("d"), "!=", "x"), membership=True)
+        rule = ActivationRule(
+            template(SVC, "td", Var("d")),
+            (AppointmentCondition(ADMIN, "allocated", (Var("d"),)),
+             constraint))
+        match, _ = engine.match_activation(
+            rule, None, [appointment_credential(ADMIN, "allocated", "a")])
+        assert match.membership_constraints() == (constraint,)
+
+    def test_non_ground_request_rejected(self, engine):
+        rule = ActivationRule(template(SVC, "td", Var("d")))
+        with pytest.raises(PolicyError):
+            engine.match_activation(rule, [Var("q")], [])
+
+
+class TestEnumerateActivations:
+    def test_yields_every_ground_solution(self, engine):
+        rule = ActivationRule(
+            template(SVC, "td", Var("d"), Var("p")),
+            (AppointmentCondition(ADMIN, "allocated",
+                                  (Var("d"), Var("p"))),))
+        creds = [appointment_credential(ADMIN, "allocated", "d1", "p1"),
+                 appointment_credential(ADMIN, "allocated", "d1", "p2"),
+                 appointment_credential(ADMIN, "allocated", "d2", "p1")]
+        roles = {role.parameters
+                 for _, role in engine.enumerate_activations(rule, creds)}
+        assert roles == {("d1", "p1"), ("d1", "p2"), ("d2", "p1")}
+
+    def test_unbound_solutions_marked_none(self, engine):
+        rule = ActivationRule(template(SVC, "logged_in", Var("u")))
+        solutions = list(engine.enumerate_activations(rule, []))
+        assert len(solutions) == 1
+        match, role = solutions[0]
+        assert role is None
+
+    def test_requested_parameters_narrow_enumeration(self, engine):
+        rule = ActivationRule(
+            template(SVC, "td", Var("d"), Var("p")),
+            (AppointmentCondition(ADMIN, "allocated",
+                                  (Var("d"), Var("p"))),))
+        creds = [appointment_credential(ADMIN, "allocated", "d1", "p1"),
+                 appointment_credential(ADMIN, "allocated", "d2", "p2")]
+        roles = [role.parameters for _, role in
+                 engine.enumerate_activations(
+                     rule, creds, requested_parameters=["d2", None])]
+        assert roles == [("d2", "p2")]
+
+    def test_head_mismatch_yields_nothing(self, engine):
+        rule = ActivationRule(template(SVC, "td", "fixed"))
+        assert list(engine.enumerate_activations(
+            rule, [], requested_parameters=["other"])) == []
+
+
+class TestAuthorizationMatching:
+    def test_argument_join_with_credential(self, engine):
+        rule = AuthorizationRule(
+            "read", (Var("p"),),
+            (PrerequisiteRole(template(SVC, "td", Var("d"), Var("p"))),))
+        cred = rmc_credential(SVC, "td", "d1", "p1")
+        assert engine.match_authorization(rule, ["p1"], [cred]) is not None
+        assert engine.match_authorization(rule, ["p2"], [cred]) is None
+
+    def test_arity_mismatch_returns_none(self, engine):
+        rule = AuthorizationRule("read", (Var("p"),))
+        assert engine.match_authorization(rule, ["a", "b"], []) is None
+
+    def test_non_ground_argument_rejected(self, engine):
+        rule = AuthorizationRule("read", (Var("p"),))
+        with pytest.raises(PolicyError):
+            engine.match_authorization(rule, [Var("x")], [])
+
+    def test_empty_rule_matches_empty_args(self, engine):
+        rule = AuthorizationRule("ping", ())
+        assert engine.match_authorization(rule, [], []) is not None
+
+
+class TestAppointmentMatching:
+    def test_requires_appointer_role(self, engine):
+        rule = AppointmentRule(
+            "allocated", (Var("d"), Var("p")),
+            (PrerequisiteRole(template(ADMIN, "administrator", Var("a"))),))
+        assert engine.match_appointment(rule, ["d1", "p1"], []) is None
+        admin_cred = rmc_credential(ADMIN, "administrator", "boss")
+        match = engine.match_appointment(rule, ["d1", "p1"], [admin_cred])
+        assert match is not None
+        assert match.credentials_used() == (admin_cred,)
+
+    def test_arity_mismatch(self, engine):
+        rule = AppointmentRule("allocated", (Var("d"),))
+        assert engine.match_appointment(rule, ["a", "b"], []) is None

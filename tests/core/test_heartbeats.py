@@ -1,0 +1,110 @@
+"""Tests for service-integrated heartbeats (Fig. 5 fail-safe)."""
+
+import pytest
+
+from repro.core import (
+    ActivationRule,
+    OasisService,
+    PrerequisiteRole,
+    Principal,
+    RoleTemplate,
+    ServiceId,
+    ServicePolicy,
+    ServiceRegistry,
+    Var,
+)
+from repro.events import EventBroker
+from repro.net import Scheduler, SimClock
+
+
+@pytest.fixture
+def world():
+    clock = SimClock()
+    scheduler = Scheduler(clock)
+    broker = EventBroker()
+    registry = ServiceRegistry()
+
+    login_policy = ServicePolicy(ServiceId("dom", "login"))
+    logged_in = login_policy.define_role("logged_in_user", 1)
+    login_policy.add_activation_rule(
+        ActivationRule(RoleTemplate(logged_in, (Var("u"),))))
+    login = OasisService(login_policy, broker, registry, clock)
+
+    portal_policy = ServicePolicy(ServiceId("dom", "portal"))
+    visitor = portal_policy.define_role("visitor", 1)
+    portal_policy.add_activation_rule(ActivationRule(
+        RoleTemplate(visitor, (Var("u"),)),
+        (PrerequisiteRole(RoleTemplate(logged_in, (Var("u"),)),
+                          membership=True),)))
+    # The portal distrusts silent issuers after 10 s.
+    portal = OasisService(portal_policy, broker, registry, clock,
+                          heartbeat_timeout=10.0)
+    return clock, scheduler, login, portal
+
+
+class TestIssuerHeartbeats:
+    def test_heartbeats_sent_for_active_credentials(self, world):
+        clock, scheduler, login, portal = world
+        Principal("u").start_session(login, "logged_in_user", ["u"])
+        cancel = login.start_heartbeats(scheduler, interval=2.0)
+        scheduler.run_for(10.0)
+        assert login.stats.heartbeats_sent == 5
+        cancel()
+        scheduler.run_for(10.0)
+        assert login.stats.heartbeats_sent == 5
+
+    def test_revoked_credentials_stop_beating(self, world):
+        clock, scheduler, login, portal = world
+        session = Principal("u").start_session(login, "logged_in_user",
+                                               ["u"])
+        login.start_heartbeats(scheduler, interval=2.0)
+        scheduler.run_for(4.0)
+        sent = login.stats.heartbeats_sent
+        login.revoke(session.root_rmc.ref, "gone")
+        scheduler.run_for(4.0)
+        assert login.stats.heartbeats_sent == sent  # channel closed
+
+
+class TestHolderFailSafe:
+    def activate(self, login, portal):
+        session = Principal("u").start_session(login, "logged_in_user",
+                                               ["u"])
+        rmc = session.activate(portal, "visitor")
+        return session, rmc
+
+    def test_cache_trusted_while_heartbeats_flow(self, world):
+        clock, scheduler, login, portal = world
+        session, _ = self.activate(login, portal)
+        login.start_heartbeats(scheduler, interval=2.0)
+        scheduler.run_for(30.0)
+        callbacks = portal.stats.callbacks_made
+        session.activate(portal, "visitor")  # cache hit expected
+        assert portal.stats.callbacks_made == callbacks
+        assert portal.suspect_credentials() == []
+
+    def test_silence_bypasses_cache(self, world):
+        """No heartbeats for longer than the timeout: the cached
+        validation is distrusted and a fresh callback is made."""
+        clock, scheduler, login, portal = world
+        session, _ = self.activate(login, portal)
+        # issuer never heartbeats; let the window lapse
+        clock.advance(11.0)
+        assert portal.suspect_credentials() == [session.root_rmc.ref]
+        callbacks = portal.stats.callbacks_made
+        session.activate(portal, "visitor")
+        assert portal.stats.callbacks_made == callbacks + 1
+
+    def test_successful_callback_rearms_window(self, world):
+        clock, scheduler, login, portal = world
+        session, _ = self.activate(login, portal)
+        clock.advance(11.0)
+        session.activate(portal, "visitor")  # forced callback, re-arms
+        callbacks = portal.stats.callbacks_made
+        clock.advance(5.0)  # within the fresh window
+        session.activate(portal, "visitor")
+        assert portal.stats.callbacks_made == callbacks  # cache hit
+
+    def test_no_timeout_configured_means_no_fail_safe(self, world):
+        clock, scheduler, login, portal = world
+        # login itself has no heartbeat_timeout; it caches nothing foreign
+        assert login.suspect_credentials() == []

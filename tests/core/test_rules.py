@@ -1,0 +1,136 @@
+"""Unit tests for rule structures and their well-formedness checks."""
+
+import pytest
+
+from repro.core import (
+    ActivationRule,
+    AppointmentCondition,
+    AppointmentRule,
+    AuthorizationRule,
+    ComparisonConstraint,
+    ConstraintCondition,
+    PolicyError,
+    PrerequisiteRole,
+    RoleName,
+    RoleTemplate,
+    ServiceId,
+    Var,
+)
+
+SVC = ServiceId("hospital", "records")
+LOGIN = ServiceId("hospital", "login")
+ADMIN = ServiceId("hospital", "admin")
+
+
+def role(name, *params):
+    return RoleTemplate(RoleName(SVC, name), tuple(params))
+
+
+def foreign_role(name, *params):
+    return RoleTemplate(RoleName(LOGIN, name), tuple(params))
+
+
+class TestConditions:
+    def test_prerequisite_variables(self):
+        c = PrerequisiteRole(role("td", Var("d"), "p1"))
+        assert {v.name for v in c.variables()} == {"d"}
+
+    def test_appointment_requires_name(self):
+        with pytest.raises(PolicyError):
+            AppointmentCondition(ADMIN, "")
+
+    def test_appointment_variables(self):
+        c = AppointmentCondition(ADMIN, "allocated", (Var("d"), Var("p")))
+        assert {v.name for v in c.variables()} == {"d", "p"}
+
+    def test_membership_marker_in_str(self):
+        c = PrerequisiteRole(role("td"), membership=True)
+        assert str(c).endswith("*")
+
+
+class TestActivationRule:
+    def test_initial_when_no_prerequisites(self):
+        rule = ActivationRule(role("guest"))
+        assert rule.is_initial
+
+    def test_initial_with_appointment_only(self):
+        rule = ActivationRule(role("visiting", Var("d")), (
+            AppointmentCondition(ADMIN, "employed", (Var("d"),)),))
+        assert rule.is_initial  # appointments do not anchor sessions
+
+    def test_not_initial_with_prerequisite(self):
+        rule = ActivationRule(role("td", Var("d")), (
+            PrerequisiteRole(foreign_role("logged_in", Var("d"))),))
+        assert not rule.is_initial
+
+    def test_membership_conditions_subset(self):
+        conditions = (
+            PrerequisiteRole(foreign_role("logged_in", Var("d")),
+                             membership=True),
+            AppointmentCondition(ADMIN, "allocated", (Var("d"),)),
+        )
+        rule = ActivationRule(role("td", Var("d")), conditions)
+        assert rule.membership_conditions == (conditions[0],)
+
+    def test_condition_accessors(self):
+        conditions = (
+            PrerequisiteRole(foreign_role("logged_in", Var("d"))),
+            AppointmentCondition(ADMIN, "allocated", (Var("d"),)),
+            ConstraintCondition(ComparisonConstraint(Var("d"), "!=", "x")),
+        )
+        rule = ActivationRule(role("td", Var("d")), conditions)
+        assert len(rule.prerequisite_roles()) == 1
+        assert len(rule.appointment_conditions()) == 1
+        assert len(rule.constraint_conditions()) == 1
+
+    def test_unsafe_constraint_variable_rejected(self):
+        # ?z appears only in the constraint: it can never be bound.
+        with pytest.raises(PolicyError):
+            ActivationRule(role("td", Var("d")), (
+                ConstraintCondition(
+                    ComparisonConstraint(Var("z"), "<", 5)),))
+
+    def test_constraint_bound_by_head_is_safe(self):
+        rule = ActivationRule(role("td", Var("d")), (
+            ConstraintCondition(ComparisonConstraint(Var("d"), "!=", "x")),))
+        assert rule.is_initial
+
+    def test_constraint_bound_by_appointment_is_safe(self):
+        ActivationRule(role("td"), (
+            AppointmentCondition(ADMIN, "allocated", (Var("p"),)),
+            ConstraintCondition(ComparisonConstraint(Var("p"), "!=", "q")),))
+
+    def test_str_form(self):
+        rule = ActivationRule(role("guest"))
+        assert "<- true" in str(rule)
+
+
+class TestAuthorizationRule:
+    def test_requires_method_name(self):
+        with pytest.raises(PolicyError):
+            AuthorizationRule("")
+
+    def test_safety_check_applies(self):
+        with pytest.raises(PolicyError):
+            AuthorizationRule("read", (Var("p"),), (
+                ConstraintCondition(ComparisonConstraint(Var("q"), "<", 1)),))
+
+    def test_head_variables_are_safe(self):
+        AuthorizationRule("read", (Var("p"),), (
+            ConstraintCondition(ComparisonConstraint(Var("p"), "!=", "x")),))
+
+
+class TestAppointmentRule:
+    def test_requires_name(self):
+        with pytest.raises(PolicyError):
+            AppointmentRule("")
+
+    def test_safety_check(self):
+        with pytest.raises(PolicyError):
+            AppointmentRule("allocated", (), (
+                ConstraintCondition(ComparisonConstraint(Var("q"), "<", 1)),))
+
+    def test_well_formed(self):
+        rule = AppointmentRule("allocated", (Var("d"), Var("p")), (
+            PrerequisiteRole(role("administrator", Var("a"))),))
+        assert "allocated" in str(rule)

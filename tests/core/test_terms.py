@@ -1,0 +1,235 @@
+"""Unit and property tests for first-order terms and unification."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.terms import (
+    EMPTY_SUBSTITUTION,
+    Substitution,
+    Var,
+    fresh_var,
+    is_ground,
+    unify,
+    unify_sequences,
+    variables_in,
+)
+
+
+class TestVar:
+    def test_equal_by_name(self):
+        assert Var("x") == Var("x")
+        assert Var("x") != Var("y")
+
+    def test_hashable(self):
+        assert len({Var("x"), Var("x"), Var("y")}) == 2
+
+    def test_repr(self):
+        assert repr(Var("doc")) == "?doc"
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(TypeError):
+            Var("")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(TypeError):
+            Var(3)
+
+    def test_fresh_vars_are_distinct(self):
+        assert fresh_var() != fresh_var()
+
+    def test_fresh_var_cannot_collide_with_identifiers(self):
+        assert "$" in fresh_var().name
+
+
+class TestGroundness:
+    def test_constants_are_ground(self):
+        for value in ("a", 1, 1.5, True, None, ()):
+            assert is_ground(value)
+
+    def test_var_is_not_ground(self):
+        assert not is_ground(Var("x"))
+
+    def test_nested_tuple_with_var(self):
+        assert not is_ground((1, ("a", Var("x"))))
+        assert is_ground((1, ("a", "b")))
+
+    def test_variables_in_collects_nested(self):
+        term = (Var("x"), ("y", Var("z"), Var("x")))
+        names = [v.name for v in variables_in(term)]
+        assert names == ["x", "z", "x"]
+
+
+class TestUnify:
+    def test_identical_constants(self):
+        assert unify("a", "a") == EMPTY_SUBSTITUTION
+
+    def test_different_constants_fail(self):
+        assert unify("a", "b") is None
+
+    def test_var_binds_constant(self):
+        subst = unify(Var("x"), 42)
+        assert subst is not None
+        assert subst.apply(Var("x")) == 42
+
+    def test_constant_binds_var_symmetrically(self):
+        subst = unify(42, Var("x"))
+        assert subst.apply(Var("x")) == 42
+
+    def test_var_var_aliasing(self):
+        subst = unify(Var("x"), Var("y"))
+        subst = unify(Var("y"), "v", subst)
+        assert subst.apply(Var("x")) == "v"
+
+    def test_same_var_unifies_with_itself(self):
+        assert unify(Var("x"), Var("x")) == EMPTY_SUBSTITUTION
+
+    def test_tuple_elementwise(self):
+        subst = unify((Var("x"), "b"), ("a", "b"))
+        assert subst.apply(Var("x")) == "a"
+
+    def test_tuple_length_mismatch(self):
+        assert unify((1, 2), (1, 2, 3)) is None
+
+    def test_tuple_vs_atom_fails(self):
+        assert unify((1,), 1) is None
+
+    def test_repeated_var_must_match(self):
+        assert unify((Var("x"), Var("x")), ("a", "b")) is None
+        assert unify((Var("x"), Var("x")), ("a", "a")) is not None
+
+    def test_occurs_check(self):
+        assert unify(Var("x"), (Var("x"),)) is None
+
+    def test_bool_does_not_unify_with_int(self):
+        # Certificate parameters must not coerce 1 == True.
+        assert unify(True, 1) is None
+        assert unify(1, True) is None
+
+    def test_int_float_equality_allowed(self):
+        assert unify(1, 1.0) is not None
+
+    def test_conflicting_rebind_fails(self):
+        subst = unify(Var("x"), "a")
+        assert unify(Var("x"), "b", subst) is None
+
+    def test_unify_under_existing_substitution(self):
+        subst = unify(Var("x"), Var("y"))
+        subst = unify(Var("x"), 7, subst)
+        assert subst.apply(Var("y")) == 7
+
+    def test_unify_sequences(self):
+        subst = unify_sequences([Var("a"), Var("b")], ["x", "y"])
+        assert subst.apply(Var("a")) == "x"
+        assert subst.apply(Var("b")) == "y"
+
+
+class TestSubstitution:
+    def test_mapping_interface(self):
+        subst = Substitution({Var("x"): 1})
+        assert subst[Var("x")] == 1
+        assert len(subst) == 1
+        assert Var("x") in subst
+
+    def test_bind_refuses_rebinding(self):
+        subst = Substitution({Var("x"): 1})
+        with pytest.raises(ValueError):
+            subst.bind(Var("x"), 2)
+
+    def test_apply_resolves_chains(self):
+        subst = Substitution({Var("x"): Var("y"), Var("y"): "end"})
+        assert subst.apply(Var("x")) == "end"
+
+    def test_apply_inside_tuples(self):
+        subst = Substitution({Var("x"): 1})
+        assert subst.apply((Var("x"), (Var("x"), 2))) == (1, (1, 2))
+
+    def test_merged_with_consistent(self):
+        left = Substitution({Var("x"): 1})
+        right = Substitution({Var("y"): 2})
+        merged = left.merged_with(right)
+        assert merged.apply(Var("x")) == 1
+        assert merged.apply(Var("y")) == 2
+
+    def test_merged_with_conflict(self):
+        left = Substitution({Var("x"): 1})
+        right = Substitution({Var("x"): 2})
+        assert left.merged_with(right) is None
+
+    def test_rejects_non_var_keys(self):
+        with pytest.raises(TypeError):
+            Substitution({"x": 1})
+
+
+# -- property-based tests -----------------------------------------------------
+
+atoms = st.one_of(
+    st.text(max_size=6),
+    st.integers(-1000, 1000),
+    st.booleans(),
+    st.none(),
+)
+
+
+def terms(max_leaves: int = 6):
+    return st.recursive(
+        atoms | st.builds(Var, st.sampled_from("abcdef")),
+        lambda children: st.tuples(children, children),
+        max_leaves=max_leaves)
+
+
+ground_terms = st.recursive(
+    atoms, lambda children: st.tuples(children, children), max_leaves=6)
+
+
+@given(terms())
+def test_unify_reflexive(term):
+    """Any term unifies with itself."""
+    assert unify(term, term) is not None
+
+
+@given(terms(), terms())
+def test_unify_symmetric(left, right):
+    """unify(a, b) succeeds iff unify(b, a) succeeds."""
+    assert (unify(left, right) is None) == (unify(right, left) is None)
+
+
+@given(terms(), ground_terms)
+def test_unifier_is_a_solution(pattern, ground):
+    """When a pattern unifies with a ground term, applying the resulting
+    substitution to the pattern yields exactly that ground term."""
+    subst = unify(pattern, ground)
+    if subst is not None:
+        assert subst.apply(pattern) == ground
+
+
+def _strict_equal(left, right):
+    """Structural equality that never coerces bool to int (the notion of
+    equality certificate parameters need)."""
+    if isinstance(left, tuple) and isinstance(right, tuple):
+        return len(left) == len(right) and all(
+            _strict_equal(a, b) for a, b in zip(left, right))
+    if isinstance(left, bool) or isinstance(right, bool):
+        return isinstance(left, bool) and isinstance(right, bool) \
+            and left == right
+    return type(left) is type(right) and left == right \
+        or (isinstance(left, (int, float))
+            and isinstance(right, (int, float)) and left == right)
+
+
+@given(ground_terms, ground_terms)
+def test_ground_unification_is_strict_equality(left, right):
+    result = unify(left, right)
+    assert (result is not None) == _strict_equal(left, right)
+
+
+@given(terms())
+def test_apply_empty_substitution_is_identity(term):
+    assert EMPTY_SUBSTITUTION.apply(term) == term
+
+
+@given(terms(), ground_terms)
+def test_substitution_apply_is_idempotent(pattern, ground):
+    subst = unify(pattern, ground)
+    if subst is not None:
+        once = subst.apply(pattern)
+        assert subst.apply(once) == once

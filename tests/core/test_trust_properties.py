@@ -1,0 +1,132 @@
+"""Property-based tests of the trust-calculus invariants (docs/trust.md)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    AuditCertificate,
+    CredentialRef,
+    Outcome,
+    ServiceId,
+    TrustEvaluator,
+    TrustPolicy,
+)
+from repro.crypto import ServiceSecret
+
+SECRET = ServiceSecret(key=b"k" * 32)
+DOMAINS = ["trusted", "semi", "shady"]
+WEIGHTS = {"trusted": 1.0, "semi": 0.5, "shady": 0.05}
+POLICY = TrustPolicy.with_weights(WEIGHTS, default_domain_weight=0.2,
+                                  per_counterparty_cap=3.0,
+                                  per_domain_cap=8.0, threshold=0.6)
+
+_serial = itertools.count(1)
+
+
+def make_cert(domain, counterparty, outcome, subject="subject"):
+    issuer = ServiceId(domain, "civ")
+    return AuditCertificate.issue(
+        SECRET, issuer, subject, counterparty, outcome, "c",
+        CredentialRef(issuer, next(_serial)), 0.0)
+
+
+certificates = st.builds(
+    make_cert,
+    domain=st.sampled_from(DOMAINS),
+    counterparty=st.sampled_from([f"cp{i}" for i in range(5)]),
+    outcome=st.sampled_from(Outcome.ALL))
+
+histories = st.lists(certificates, max_size=40)
+
+
+def evaluate(certs, policy=POLICY):
+    return TrustEvaluator(policy).evaluate("subject", certs)
+
+
+@given(histories)
+@settings(max_examples=150)
+def test_score_in_unit_interval(history):
+    decision = evaluate(history)
+    assert 0.0 <= decision.score <= 1.0
+
+
+@given(histories)
+@settings(max_examples=150)
+def test_evidence_respects_caps(history):
+    decision = evaluate(history)
+    counterparties = {c.counterparty for c in history}
+    domains = {c.issuer.domain for c in history}
+    per_cp_bound = POLICY.per_counterparty_cap * len(counterparties)
+    per_domain_bound = sum(
+        POLICY.per_domain_cap * POLICY.weight_for_domain(d)
+        for d in domains)
+    assert decision.evidence_weight <= per_cp_bound + 1e-9
+    assert decision.evidence_weight <= per_domain_bound + 1e-9
+
+
+@given(histories)
+@settings(max_examples=100)
+def test_adding_fulfilled_never_lowers_score(history):
+    """Monotonicity: one more validated success cannot hurt."""
+    before = evaluate(history).score
+    extra = make_cert("trusted", "fresh-counterparty", Outcome.FULFILLED)
+    after = evaluate(history + [extra]).score
+    assert after >= before - 1e-9
+
+
+@given(histories)
+@settings(max_examples=100)
+def test_adding_defaulted_never_raises_score(history):
+    before = evaluate(history).score
+    extra = make_cert("trusted", "fresh-counterparty", Outcome.DEFAULTED)
+    after = evaluate(history + [extra]).score
+    assert after <= before + 1e-9
+
+
+@given(histories)
+@settings(max_examples=100)
+def test_certificates_about_others_never_count(history):
+    """Evidence about someone else is discarded, leaving the score at the
+    evaluation of the remaining history."""
+    about_other = [make_cert("trusted", "cp", Outcome.FULFILLED,
+                             subject="someone-else")]
+    with_noise = evaluate(history + about_other)
+    without = evaluate(history)
+    assert with_noise.score == without.score
+    assert with_noise.discarded == without.discarded + 1
+
+
+@given(histories)
+@settings(max_examples=100)
+def test_reordering_preserves_evidence_weight(history):
+    """Evidence weight is a function of the multiset, not the order.
+
+    The *score* may differ under reordering once a cap binds with mixed
+    outcomes (the cap keeps whichever certificates arrive first — a
+    deliberate earliest-first semantics); below the caps, or with uniform
+    outcomes, the score is order-independent too.
+    """
+    same_shape = [c for c in history
+                  if c.issuer.domain == "trusted"
+                  and c.counterparty == "cp0"]
+    forward = evaluate(same_shape)
+    backward = evaluate(list(reversed(same_shape)))
+    assert forward.evidence_weight == pytest.approx(
+        backward.evidence_weight)
+    below_cap = len(same_shape) <= POLICY.per_counterparty_cap
+    uniform = len({c.outcome for c in same_shape}) <= 1
+    if below_cap or uniform:
+        assert forward.score == pytest.approx(backward.score)
+
+
+@given(st.integers(0, 40))
+@settings(max_examples=40)
+def test_shady_domain_can_never_reach_threshold(count):
+    """The rogue-domain bound: any volume of shady-only praise stays
+    below the strict 0.6 threshold (docs/trust.md, Rogue domains)."""
+    history = [make_cert("shady", f"cp{i % 5}", Outcome.FULFILLED)
+               for i in range(count)]
+    decision = evaluate(history)
+    assert not decision.accept

@@ -1,0 +1,103 @@
+"""Unit tests for identity and role types."""
+
+import pytest
+
+from repro.core import (
+    PrincipalId,
+    Privilege,
+    Role,
+    RoleName,
+    RoleTemplate,
+    ServiceId,
+    Var,
+)
+
+
+@pytest.fixture
+def svc():
+    return ServiceId("hospital", "records")
+
+
+class TestIdentities:
+    def test_principal_id_str(self):
+        assert str(PrincipalId("alice")) == "alice"
+
+    def test_principal_id_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PrincipalId("")
+
+    def test_service_id_str(self, svc):
+        assert str(svc) == "hospital/records"
+
+    def test_service_id_requires_both_parts(self):
+        with pytest.raises(ValueError):
+            ServiceId("", "records")
+        with pytest.raises(ValueError):
+            ServiceId("hospital", "")
+
+    def test_service_ids_order_and_hash(self):
+        a = ServiceId("a", "s")
+        b = ServiceId("b", "s")
+        assert a < b
+        assert len({a, ServiceId("a", "s")}) == 1
+
+    def test_role_name_identity_is_service_qualified(self, svc):
+        other = ServiceId("clinic", "records")
+        assert RoleName(svc, "doctor") != RoleName(other, "doctor")
+
+    def test_role_name_str(self, svc):
+        assert str(RoleName(svc, "doctor")) == "hospital/records:doctor"
+
+
+class TestRoleTemplate:
+    def test_arity(self, svc):
+        template = RoleTemplate(RoleName(svc, "td"), (Var("d"), Var("p")))
+        assert template.arity == 2
+
+    def test_instantiate_ground(self, svc):
+        template = RoleTemplate(RoleName(svc, "td"), (Var("d"), Var("p")))
+        role = template.instantiate("d1", "p1")
+        assert role.parameters == ("d1", "p1")
+
+    def test_instantiate_wrong_arity(self, svc):
+        template = RoleTemplate(RoleName(svc, "td"), (Var("d"),))
+        with pytest.raises(ValueError):
+            template.instantiate("a", "b")
+
+    def test_str_without_parameters(self, svc):
+        assert str(RoleTemplate(RoleName(svc, "guest"))) == \
+            "hospital/records:guest"
+
+
+class TestRole:
+    def test_rejects_variable_parameters(self, svc):
+        with pytest.raises(ValueError):
+            Role(RoleName(svc, "td"), (Var("d"),))
+
+    def test_rejects_nested_variables(self, svc):
+        with pytest.raises(ValueError):
+            Role(RoleName(svc, "td"), ((1, Var("x")),))
+
+    def test_matches_template(self, svc):
+        name = RoleName(svc, "td")
+        role = Role(name, ("d1", "p1"))
+        assert role.matches_template(RoleTemplate(name, (Var("a"), Var("b"))))
+        assert not role.matches_template(RoleTemplate(name, (Var("a"),)))
+
+    def test_service_accessor(self, svc):
+        role = Role(RoleName(svc, "td"), ())
+        assert role.service == svc
+
+    def test_hashable_and_equal(self, svc):
+        name = RoleName(svc, "td")
+        assert Role(name, ("a",)) == Role(name, ("a",))
+        assert len({Role(name, ("a",)), Role(name, ("a",))}) == 1
+
+
+class TestPrivilege:
+    def test_str(self, svc):
+        assert str(Privilege(svc, "read")) == "hospital/records.read"
+
+    def test_rejects_empty_method(self, svc):
+        with pytest.raises(ValueError):
+            Privilege(svc, "")

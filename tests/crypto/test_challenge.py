@@ -1,0 +1,91 @@
+"""Tests for the ISO/9798-style challenge-response protocol (Sect. 4.1)."""
+
+import pytest
+
+from repro.crypto import (
+    ChallengeResponseClient,
+    ChallengeResponseServer,
+    generate_keypair,
+)
+from repro.crypto.challenge import symmetric_transform
+
+KEYS = generate_keypair(bits=256)
+OTHER_KEYS = generate_keypair(bits=256)
+
+
+class TestSymmetricTransform:
+    def test_involution(self):
+        data = b"the challenge"
+        key = b"nonce-material"
+        assert symmetric_transform(key, symmetric_transform(key, data)) \
+            == data
+
+    def test_key_matters(self):
+        data = b"the challenge"
+        assert symmetric_transform(b"k1", data) != \
+            symmetric_transform(b"k2", data)
+
+    def test_long_data_uses_multiple_blocks(self):
+        data = bytes(200)
+        out = symmetric_transform(b"key", data)
+        assert len(out) == 200
+        assert symmetric_transform(b"key", out) == data
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            symmetric_transform(b"", b"data")
+
+
+class TestChallengeResponse:
+    def test_honest_client_passes(self):
+        server = ChallengeResponseServer()
+        client = ChallengeResponseClient(KEYS)
+        issued = server.issue(client.public_key)
+        assert server.verify(issued.challenge_id, client.respond(issued))
+
+    def test_client_without_private_key_fails(self):
+        """The adversary presented Alice's public key but lacks her private
+        key — responding with its own key decrypts garbage."""
+        server = ChallengeResponseServer()
+        issued = server.issue(KEYS.public)  # challenge for Alice's key
+        impostor = ChallengeResponseClient(OTHER_KEYS)
+        with pytest.raises(ValueError):
+            impostor.respond(issued)  # cannot even decrypt cleanly
+
+    def test_wrong_response_bytes_fail(self):
+        server = ChallengeResponseServer()
+        issued = server.issue(KEYS.public)
+        assert not server.verify(issued.challenge_id, b"\x00" * 16)
+
+    def test_challenge_is_single_use(self):
+        server = ChallengeResponseServer()
+        client = ChallengeResponseClient(KEYS)
+        issued = server.issue(client.public_key)
+        response = client.respond(issued)
+        assert server.verify(issued.challenge_id, response)
+        assert not server.verify(issued.challenge_id, response)  # replay
+
+    def test_unknown_challenge_id(self):
+        server = ChallengeResponseServer()
+        assert not server.verify("bogus", b"anything")
+
+    def test_pending_count_tracks_outstanding(self):
+        server = ChallengeResponseServer()
+        client = ChallengeResponseClient(KEYS)
+        first = server.issue(client.public_key)
+        second = server.issue(client.public_key)
+        assert server.pending_count == 2
+        server.verify(first.challenge_id, client.respond(first))
+        assert server.pending_count == 1
+        server.verify(second.challenge_id, client.respond(second))
+        assert server.pending_count == 0
+
+    def test_challenges_and_nonces_are_unique(self):
+        server = ChallengeResponseServer()
+        issued = [server.issue(KEYS.public) for _ in range(10)]
+        assert len({i.nonce for i in issued}) == 10
+        assert len({i.challenge_id for i in issued}) == 10
+
+    def test_minimum_challenge_size(self):
+        with pytest.raises(ValueError):
+            ChallengeResponseServer(challenge_size=4)

@@ -1,0 +1,90 @@
+"""Tests for sealed message envelopes (Sect. 4.1 selective encryption)."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import (
+    EnvelopeError,
+    KeyPair,
+    generate_keypair,
+    open_sealed,
+    seal,
+)
+
+SERVICE = generate_keypair(bits=512)
+CALLER = generate_keypair(bits=512)
+OTHER = generate_keypair(bits=512)
+
+
+class TestSealOpen:
+    def test_roundtrip(self):
+        message = seal(SERVICE.public, b"patient record p1")
+        payload, reply_key = open_sealed(SERVICE.private, message)
+        assert payload == b"patient record p1"
+        assert reply_key is None
+
+    def test_reply_key_travels(self):
+        """The paper's reply path: caller's public key rides along so the
+        service can encrypt the response."""
+        request = seal(SERVICE.public, b"request-EHR p1",
+                       reply_key=CALLER.public)
+        payload, reply_key = open_sealed(SERVICE.private, request)
+        assert reply_key == CALLER.public
+        response = seal(reply_key, b"the EHR data")
+        data, _ = open_sealed(CALLER.private, response)
+        assert data == b"the EHR data"
+
+    def test_wrong_recipient_cannot_open(self):
+        message = seal(SERVICE.public, b"secret")
+        with pytest.raises(EnvelopeError):
+            open_sealed(OTHER.private, message)
+
+    def test_tampered_ciphertext_detected(self):
+        message = seal(SERVICE.public, b"secret data here")
+        body = bytearray(message.ciphertext)
+        body[0] ^= 0x01
+        tampered = dataclasses.replace(message, ciphertext=bytes(body))
+        with pytest.raises(EnvelopeError, match="integrity"):
+            open_sealed(SERVICE.private, tampered)
+
+    def test_tampered_mac_detected(self):
+        message = seal(SERVICE.public, b"secret data here")
+        body = bytearray(message.ciphertext)
+        body[-1] ^= 0x01
+        tampered = dataclasses.replace(message, ciphertext=bytes(body))
+        with pytest.raises(EnvelopeError):
+            open_sealed(SERVICE.private, tampered)
+
+    def test_truncated_ciphertext(self):
+        message = seal(SERVICE.public, b"x")
+        broken = dataclasses.replace(message, ciphertext=b"short")
+        with pytest.raises(EnvelopeError):
+            open_sealed(SERVICE.private, broken)
+
+    def test_empty_payload(self):
+        message = seal(SERVICE.public, b"")
+        payload, _ = open_sealed(SERVICE.private, message)
+        assert payload == b""
+
+    def test_fresh_session_key_per_message(self):
+        a = seal(SERVICE.public, b"same payload")
+        b = seal(SERVICE.public, b"same payload")
+        assert a.ciphertext != b.ciphertext  # different keys/streams
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=20)
+    def test_roundtrip_property(self, payload):
+        message = seal(SERVICE.public, payload)
+        recovered, _ = open_sealed(SERVICE.private, message)
+        assert recovered == payload
+
+
+class TestKeyPairConvenience:
+    def test_encrypt_for_and_decrypt(self):
+        blob = KeyPair.encrypt_for(SERVICE.public, b"hello")
+        assert SERVICE.decrypt(blob) == b"hello"
+
+    def test_fingerprint_matches_public(self):
+        assert SERVICE.fingerprint() == SERVICE.public.fingerprint()

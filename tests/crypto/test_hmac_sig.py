@@ -1,0 +1,101 @@
+"""Tests for the Fig. 4 signature construction and its encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto import ServiceSecret, canonical_encode, sign_fields, verify_fields
+
+
+@pytest.fixture
+def secret():
+    return ServiceSecret(key=b"0" * 32)
+
+
+class TestServiceSecret:
+    def test_generate_is_random(self):
+        assert ServiceSecret.generate().key != ServiceSecret.generate().key
+
+    def test_minimum_length_enforced(self):
+        with pytest.raises(ValueError):
+            ServiceSecret(key=b"short")
+
+    def test_rotation_bumps_generation(self, secret):
+        rotated = secret.rotated()
+        assert rotated.generation == secret.generation + 1
+        assert rotated.key != secret.key
+
+    def test_repr_hides_key(self, secret):
+        assert "key" not in repr(secret) or secret.key.hex() not in repr(secret)
+
+
+class TestCanonicalEncode:
+    def test_type_tags_distinguish(self):
+        # "1" the string, 1 the int, 1.0 the float, True all differ.
+        encodings = {canonical_encode(v) for v in ("1", 1, 1.0, True)}
+        assert len(encodings) == 4
+
+    def test_none_is_distinct_from_empty_string(self):
+        assert canonical_encode(None) != canonical_encode("")
+
+    def test_field_shifting_attack_fails(self):
+        # ("ab", "c") must not encode the same as ("a", "bc").
+        assert canonical_encode(("ab", "c")) != canonical_encode(("a", "bc"))
+
+    def test_nesting_is_unambiguous(self):
+        assert canonical_encode((("a",), "b")) != canonical_encode(("a", "b"))
+        assert canonical_encode(((),)) != canonical_encode(())
+
+    def test_bytes_supported(self):
+        assert canonical_encode(b"\x00\xff").startswith(b"Y")
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            canonical_encode(object())
+
+
+class TestSignVerify:
+    def test_roundtrip(self, secret):
+        fields = ("rmc", "doctor", ("d1", "p1"), 42)
+        signature = sign_fields(secret, "alice", fields)
+        assert verify_fields(secret, "alice", fields, signature)
+
+    def test_principal_enters_mac(self, secret):
+        fields = ("rmc",)
+        signature = sign_fields(secret, "alice", fields)
+        assert not verify_fields(secret, "bob", fields, signature)
+
+    def test_field_change_detected(self, secret):
+        signature = sign_fields(secret, "alice", ("a", 1))
+        assert not verify_fields(secret, "alice", ("a", 2), signature)
+
+    def test_different_secret_fails(self, secret):
+        other = ServiceSecret(key=b"1" * 32)
+        signature = sign_fields(secret, "alice", ("a",))
+        assert not verify_fields(other, "alice", ("a",), signature)
+
+    def test_signature_is_deterministic(self, secret):
+        assert sign_fields(secret, "p", ("x",)) == \
+            sign_fields(secret, "p", ("x",))
+
+
+# -- property-based ------------------------------------------------------------
+
+field_values = st.recursive(
+    st.one_of(st.text(max_size=10), st.integers(), st.booleans(), st.none(),
+              st.binary(max_size=8)),
+    lambda children: st.tuples(children, children),
+    max_leaves=5)
+
+
+@given(st.lists(field_values, max_size=5).map(tuple),
+       st.text(max_size=10))
+def test_sign_verify_roundtrip_property(fields, principal):
+    secret = ServiceSecret(key=b"k" * 32)
+    signature = sign_fields(secret, principal, fields)
+    assert verify_fields(secret, principal, fields, signature)
+
+
+@given(field_values, field_values)
+def test_encoding_is_injective(left, right):
+    if canonical_encode(left) == canonical_encode(right):
+        assert left == right

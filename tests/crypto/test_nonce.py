@@ -1,0 +1,61 @@
+"""Tests for nonce generation and replay protection."""
+
+import pytest
+
+from repro.crypto import NonceFactory, NonceRegistry
+from repro.net import SimClock
+
+
+class TestNonceFactory:
+    def test_size(self):
+        assert len(NonceFactory(16).new()) == 16
+
+    def test_uniqueness(self):
+        factory = NonceFactory()
+        assert len({factory.new() for _ in range(100)}) == 100
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            NonceFactory(4)
+
+
+class TestNonceRegistry:
+    def test_fresh_nonce_accepted(self):
+        registry = NonceRegistry()
+        assert registry.check_and_register(b"n1")
+
+    def test_replay_rejected(self):
+        registry = NonceRegistry()
+        registry.check_and_register(b"n1")
+        assert not registry.check_and_register(b"n1")
+        assert registry.check_and_register(b"n2")
+
+    def test_ttl_requires_clock(self):
+        with pytest.raises(ValueError):
+            NonceRegistry(ttl=10.0)
+
+    def test_ttl_must_be_positive(self):
+        with pytest.raises(ValueError):
+            NonceRegistry(clock=SimClock(), ttl=0)
+
+    def test_expired_nonces_are_forgotten(self):
+        clock = SimClock()
+        registry = NonceRegistry(clock=clock, ttl=10.0)
+        registry.check_and_register(b"n1")
+        clock.advance(11.0)
+        assert registry.check_and_register(b"n1")  # expired, fresh again
+
+    def test_unexpired_nonce_still_rejected(self):
+        clock = SimClock()
+        registry = NonceRegistry(clock=clock, ttl=10.0)
+        registry.check_and_register(b"n1")
+        clock.advance(5.0)
+        assert not registry.check_and_register(b"n1")
+
+    def test_expiry_bounds_memory(self):
+        clock = SimClock()
+        registry = NonceRegistry(clock=clock, ttl=1.0)
+        for index in range(50):
+            registry.check_and_register(str(index).encode())
+            clock.advance(0.5)
+        assert len(registry) <= 3

@@ -1,0 +1,104 @@
+"""Tests for the from-scratch RSA implementation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.rsa import (
+    generate_rsa_keypair,
+    is_probable_prime,
+    rsa_decrypt_bytes,
+    rsa_decrypt_int,
+    rsa_encrypt_bytes,
+    rsa_encrypt_int,
+)
+
+KEY = generate_rsa_keypair(bits=256)  # module-level: keygen is the slow part
+
+
+class TestMillerRabin:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 13, 97, 101, 7919):
+            assert is_probable_prime(p)
+
+    def test_small_composites(self):
+        for c in (0, 1, 4, 9, 15, 91, 7917, 561, 1105):  # incl. Carmichaels
+            assert not is_probable_prime(c)
+
+    def test_large_known_prime(self):
+        assert is_probable_prime(2 ** 127 - 1)  # Mersenne prime
+
+    def test_large_known_composite(self):
+        assert not is_probable_prime((2 ** 127 - 1) * (2 ** 89 - 1))
+
+
+class TestKeyGeneration:
+    def test_modulus_size(self):
+        assert 250 <= KEY.n.bit_length() <= 257
+
+    def test_public_exponent(self):
+        assert KEY.e == 65537
+
+    def test_keys_differ_between_generations(self):
+        other = generate_rsa_keypair(bits=128)
+        assert other.n != KEY.n
+
+    def test_rejects_tiny_modulus(self):
+        with pytest.raises(ValueError):
+            generate_rsa_keypair(bits=32)
+
+    def test_fingerprint_is_stable(self):
+        assert KEY.public.fingerprint() == KEY.public.fingerprint()
+        assert len(KEY.public.fingerprint()) == 16
+
+
+class TestIntRoundtrip:
+    def test_encrypt_decrypt(self):
+        message = 123456789
+        assert rsa_decrypt_int(KEY, rsa_encrypt_int(KEY.public, message)) \
+            == message
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            rsa_encrypt_int(KEY.public, KEY.n)
+        with pytest.raises(ValueError):
+            rsa_encrypt_int(KEY.public, -1)
+
+    @given(st.integers(min_value=0, max_value=2 ** 64))
+    @settings(max_examples=30)
+    def test_roundtrip_property(self, message):
+        assert rsa_decrypt_int(KEY, rsa_encrypt_int(KEY.public, message)) \
+            == message
+
+
+class TestBytesRoundtrip:
+    def test_empty(self):
+        assert rsa_decrypt_bytes(KEY, rsa_encrypt_bytes(KEY.public, b"")) \
+            == b""
+
+    def test_short(self):
+        data = b"hello oasis"
+        assert rsa_decrypt_bytes(KEY, rsa_encrypt_bytes(KEY.public, data)) \
+            == data
+
+    def test_multi_chunk(self):
+        data = bytes(range(256)) * 4  # forces chunking at 256-bit modulus
+        assert rsa_decrypt_bytes(KEY, rsa_encrypt_bytes(KEY.public, data)) \
+            == data
+
+    def test_leading_zero_bytes_preserved(self):
+        data = b"\x00\x00\x01\x00"
+        assert rsa_decrypt_bytes(KEY, rsa_encrypt_bytes(KEY.public, data)) \
+            == data
+
+    def test_truncated_ciphertext_rejected(self):
+        blob = rsa_encrypt_bytes(KEY.public, b"hello")
+        with pytest.raises(ValueError):
+            rsa_decrypt_bytes(KEY, blob[:-3])
+        with pytest.raises(ValueError):
+            rsa_decrypt_bytes(KEY, b"\x00")
+
+    @given(st.binary(max_size=100))
+    @settings(max_examples=25)
+    def test_roundtrip_property(self, data):
+        assert rsa_decrypt_bytes(KEY, rsa_encrypt_bytes(KEY.public, data)) \
+            == data

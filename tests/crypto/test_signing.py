@@ -1,0 +1,52 @@
+"""Tests for RSA hash-then-sign signatures."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import generate_keypair, rsa_sign, rsa_verify
+
+KEYS = generate_keypair(bits=256)
+OTHER = generate_keypair(bits=256)
+
+
+class TestRsaSign:
+    def test_roundtrip(self):
+        signature = rsa_sign(KEYS.private, b"message")
+        assert rsa_verify(KEYS.public, b"message", signature)
+
+    def test_wrong_message_rejected(self):
+        signature = rsa_sign(KEYS.private, b"message")
+        assert not rsa_verify(KEYS.public, b"other", signature)
+
+    def test_wrong_key_rejected(self):
+        signature = rsa_sign(KEYS.private, b"message")
+        assert not rsa_verify(OTHER.public, b"message", signature)
+
+    def test_bitflip_rejected(self):
+        signature = bytearray(rsa_sign(KEYS.private, b"message"))
+        signature[0] ^= 0x01
+        assert not rsa_verify(KEYS.public, b"message", bytes(signature))
+
+    def test_wrong_length_rejected(self):
+        signature = rsa_sign(KEYS.private, b"message")
+        assert not rsa_verify(KEYS.public, b"message", signature[:-1])
+        assert not rsa_verify(KEYS.public, b"message", signature + b"\x00")
+
+    def test_empty_message(self):
+        signature = rsa_sign(KEYS.private, b"")
+        assert rsa_verify(KEYS.public, b"", signature)
+
+    def test_deterministic(self):
+        assert rsa_sign(KEYS.private, b"m") == rsa_sign(KEYS.private, b"m")
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=25)
+    def test_roundtrip_property(self, message):
+        signature = rsa_sign(KEYS.private, message)
+        assert rsa_verify(KEYS.public, message, signature)
+
+    @given(st.binary(max_size=32), st.binary(max_size=32))
+    @settings(max_examples=25)
+    def test_cross_message_rejected_property(self, left, right):
+        signature = rsa_sign(KEYS.private, left)
+        assert rsa_verify(KEYS.public, right, signature) == (left == right)

@@ -1,0 +1,150 @@
+"""Tests for the replicated CIV service (paper [10] + Sect. 6)."""
+
+import pytest
+
+from repro.core import CredentialInvalid, CredentialRevoked, Outcome
+from repro.domains import CivService, RogueCivService
+
+
+@pytest.fixture
+def civ():
+    return CivService("healthcare-uk", replicas=2)
+
+
+class TestAuditIssuing:
+    def test_both_parties_get_certificates(self, civ):
+        client_copy, service_copy = civ.certify_interaction(
+            "alice", "lab/svc", "run assay", Outcome.FULFILLED,
+            Outcome.FULFILLED)
+        assert client_copy.subject == "alice"
+        assert client_copy.counterparty == "lab/svc"
+        assert service_copy.subject == "lab/svc"
+        assert civ.audits_issued == 2
+
+    def test_outcomes_recorded_per_party(self, civ):
+        client_copy, service_copy = civ.certify_interaction(
+            "alice", "lab/svc", "run assay", Outcome.DEFAULTED,
+            Outcome.FULFILLED)
+        assert client_copy.outcome == Outcome.DEFAULTED
+        assert service_copy.outcome == Outcome.FULFILLED
+
+    def test_refs_are_unique(self, civ):
+        a, b = civ.certify_interaction("x", "y", "c", Outcome.FULFILLED,
+                                       Outcome.FULFILLED)
+        c, d = civ.certify_interaction("x", "y", "c", Outcome.FULFILLED,
+                                       Outcome.FULFILLED)
+        assert len({a.ref, b.ref, c.ref, d.ref}) == 4
+
+
+class TestValidation:
+    def test_valid_certificate_accepted(self, civ):
+        cert, _ = civ.certify_interaction("a", "s", "c", Outcome.FULFILLED,
+                                          Outcome.FULFILLED)
+        assert civ.validate_audit(cert)
+        assert civ.validations_served == 1
+
+    def test_foreign_certificate_rejected(self, civ):
+        other = CivService("elsewhere")
+        cert, _ = other.certify_interaction("a", "s", "c",
+                                            Outcome.FULFILLED,
+                                            Outcome.FULFILLED)
+        with pytest.raises(CredentialInvalid):
+            civ.validate_audit(cert)
+
+    def test_unknown_certificate_rejected(self, civ):
+        import dataclasses
+
+        cert, _ = civ.certify_interaction("a", "s", "c", Outcome.FULFILLED,
+                                          Outcome.FULFILLED)
+        from repro.core import CredentialRef
+
+        ghost = dataclasses.replace(cert,
+                                    ref=CredentialRef(civ.id, 999))
+        with pytest.raises(CredentialInvalid):
+            civ.validate_audit(ghost)
+
+    def test_repudiated_certificate_rejected(self, civ):
+        cert, _ = civ.certify_interaction("a", "s", "c", Outcome.FULFILLED,
+                                          Outcome.FULFILLED)
+        civ.revoke_audit(cert.ref)
+        with pytest.raises(CredentialRevoked):
+            civ.validate_audit(cert)
+
+
+class TestReplication:
+    def test_writes_reach_all_nodes(self, civ):
+        civ.certify_interaction("a", "s", "c", Outcome.FULFILLED,
+                                Outcome.FULFILLED)
+        assert all(node.record_count == 2 for node in civ.nodes)
+
+    def test_validation_survives_primary_failure(self, civ):
+        cert, _ = civ.certify_interaction("a", "s", "c", Outcome.FULFILLED,
+                                          Outcome.FULFILLED)
+        civ.fail_node(0)
+        assert civ.available
+        assert civ.validate_audit(cert)  # backup promoted, state complete
+
+    def test_writes_after_failover_stay_consistent(self, civ):
+        civ.fail_node(0)
+        cert, _ = civ.certify_interaction("a", "s", "c", Outcome.FULFILLED,
+                                          Outcome.FULFILLED)
+        assert civ.validate_audit(cert)
+        alive = [node for node in civ.nodes if node.alive]
+        assert all(node.record_count == 2 for node in alive)
+
+    def test_recovery_resyncs_from_primary(self, civ):
+        civ.fail_node(2)
+        cert, _ = civ.certify_interaction("a", "s", "c", Outcome.FULFILLED,
+                                          Outcome.FULFILLED)
+        assert civ.nodes[2].record_count == 0
+        civ.recover_node(2)
+        assert civ.nodes[2].record_count == 2
+        # The recovered node can now serve as primary.
+        civ.fail_node(0)
+        civ.fail_node(1)
+        assert civ.validate_audit(cert)
+
+    def test_total_failure_raises(self, civ):
+        for index in range(3):
+            civ.fail_node(index)
+        assert not civ.available
+        with pytest.raises(RuntimeError, match="unavailable"):
+            civ.certify_interaction("a", "s", "c", Outcome.FULFILLED,
+                                    Outcome.FULFILLED)
+
+    def test_revocation_replicated(self, civ):
+        cert, _ = civ.certify_interaction("a", "s", "c", Outcome.FULFILLED,
+                                          Outcome.FULFILLED)
+        civ.revoke_audit(cert.ref)
+        civ.fail_node(0)  # promote a backup
+        with pytest.raises(CredentialRevoked):
+            civ.validate_audit(cert)
+
+    def test_recover_alive_node_is_noop(self, civ):
+        civ.certify_interaction("a", "s", "c", Outcome.FULFILLED,
+                                Outcome.FULFILLED)
+        civ.recover_node(1)  # already alive: state untouched
+        assert civ.nodes[1].record_count == 2
+
+    def test_zero_replicas_allowed(self):
+        solo = CivService("small", replicas=0)
+        cert, _ = solo.certify_interaction("a", "s", "c",
+                                           Outcome.FULFILLED,
+                                           Outcome.FULFILLED)
+        assert solo.validate_audit(cert)
+
+    def test_negative_replicas_rejected(self):
+        with pytest.raises(ValueError):
+            CivService("bad", replicas=-1)
+
+
+class TestRogueCiv:
+    def test_fabricated_history_validates(self):
+        """The Sect. 6 snag: a rogue CIV's certificates are perfectly
+        well-formed — only reputation can discount them."""
+        rogue = RogueCivService("shady")
+        history = rogue.fabricate_history("con-artist", 10)
+        assert len(history) == 10
+        for cert in history:
+            assert rogue.validate_audit(cert)
+            assert cert.outcome == Outcome.FULFILLED

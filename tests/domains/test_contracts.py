@@ -1,0 +1,140 @@
+"""Tests for contract negotiation and co-signed outcomes (Sect. 6)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import CredentialRevoked, Outcome
+from repro.crypto import generate_keypair
+from repro.domains import (
+    CivService,
+    ContractDraft,
+    ContractError,
+    OutcomeStatement,
+    certify_outcome,
+)
+
+CLIENT_KEYS = generate_keypair(bits=256)
+SERVICE_KEYS = generate_keypair(bits=256)
+
+
+@pytest.fixture
+def draft():
+    return ContractDraft(
+        client="alice", service="data-shop",
+        description="one genomic dataset lookup",
+        client_obligation="pay 10 credits",
+        service_obligation="return complete records",
+        nonce="n1")
+
+
+@pytest.fixture
+def contract(draft):
+    return draft.signed_by(CLIENT_KEYS, SERVICE_KEYS)
+
+
+class TestSignedContract:
+    def test_both_endorsements_verify(self, contract):
+        contract.verify()
+
+    def test_altered_terms_detected(self, contract):
+        cheaper = dataclasses.replace(contract.draft,
+                                      client_obligation="pay 1 credit")
+        tampered = dataclasses.replace(contract, draft=cheaper)
+        with pytest.raises(ContractError):
+            tampered.verify()
+
+    def test_missing_client_endorsement(self, draft):
+        contract = draft.signed_by(CLIENT_KEYS, SERVICE_KEYS)
+        forged = dataclasses.replace(contract,
+                                     client_signature=b"\x00" * 32)
+        with pytest.raises(ContractError, match="client"):
+            forged.verify()
+
+    def test_substituted_key_detected(self, contract):
+        other = generate_keypair(bits=256)
+        swapped = dataclasses.replace(contract, service_key=other.public)
+        with pytest.raises(ContractError, match="service"):
+            swapped.verify()
+
+    def test_nonce_distinguishes_contracts(self, draft):
+        other = dataclasses.replace(draft, nonce="n2")
+        assert draft.encode() != other.encode()
+
+
+class TestOutcomeStatement:
+    def make(self, contract, client=Outcome.FULFILLED,
+             service=Outcome.FULFILLED):
+        return OutcomeStatement(contract, client, service).signed_by(
+            CLIENT_KEYS, SERVICE_KEYS)
+
+    def test_cosigned_outcome_verifies(self, contract):
+        self.make(contract).verify()
+
+    def test_unsigned_statement_rejected(self, contract):
+        unsigned = OutcomeStatement(contract, Outcome.FULFILLED,
+                                    Outcome.FULFILLED)
+        with pytest.raises(ContractError, match="not fully signed"):
+            unsigned.verify()
+
+    def test_unknown_outcome_rejected(self, contract):
+        with pytest.raises(ContractError):
+            OutcomeStatement(contract, "splendid", Outcome.FULFILLED)
+
+    def test_whitewashing_detected(self, contract):
+        """A defaulter cannot flip its recorded outcome after signing."""
+        statement = self.make(contract, client=Outcome.DEFAULTED)
+        whitewashed = dataclasses.replace(statement,
+                                          client_outcome=Outcome.FULFILLED)
+        with pytest.raises(ContractError):
+            whitewashed.verify()
+
+    def test_outcome_bound_to_specific_contract(self, contract, draft):
+        """An outcome signed for contract A cannot be replayed for B."""
+        other_contract = dataclasses.replace(
+            draft, nonce="n2").signed_by(CLIENT_KEYS, SERVICE_KEYS)
+        statement = self.make(contract)
+        replayed = dataclasses.replace(statement, contract=other_contract)
+        with pytest.raises(ContractError):
+            replayed.verify()
+
+
+class TestCertifyOutcome:
+    def test_civ_countersigns_verified_outcome(self, contract):
+        civ = CivService("healthcare-uk")
+        statement = OutcomeStatement(
+            contract, Outcome.FULFILLED, Outcome.DEFAULTED).signed_by(
+            CLIENT_KEYS, SERVICE_KEYS)
+        client_copy, service_copy = certify_outcome(civ, statement)
+        assert client_copy.subject == "alice"
+        assert client_copy.outcome == Outcome.FULFILLED
+        assert service_copy.outcome == Outcome.DEFAULTED
+        assert civ.validate_audit(client_copy)
+
+    def test_civ_refuses_unverified_statement(self, contract):
+        civ = CivService("healthcare-uk")
+        unsigned = OutcomeStatement(contract, Outcome.FULFILLED,
+                                    Outcome.FULFILLED)
+        with pytest.raises(ContractError):
+            certify_outcome(civ, unsigned)
+        assert civ.audits_issued == 0
+
+    def test_end_to_end_with_trust(self, contract):
+        """Co-signed outcomes feed the web of trust like any audit cert."""
+        from repro.core import TrustEvaluator, TrustPolicy
+
+        civ = CivService("healthcare-uk")
+        certificates = []
+        for index in range(5):
+            draft = dataclasses.replace(contract.draft,
+                                        service=f"shop-{index}",
+                                        nonce=f"n{index}")
+            signed = draft.signed_by(CLIENT_KEYS, SERVICE_KEYS)
+            statement = OutcomeStatement(
+                signed, Outcome.FULFILLED, Outcome.FULFILLED).signed_by(
+                CLIENT_KEYS, SERVICE_KEYS)
+            client_copy, _ = certify_outcome(civ, statement)
+            certificates.append(client_copy)
+        policy = TrustPolicy.with_weights({"healthcare-uk": 1.0})
+        decision = TrustEvaluator(policy).evaluate("alice", certificates)
+        assert decision.accept

@@ -1,0 +1,141 @@
+"""Tests for deployments and domains."""
+
+import pytest
+
+from repro.core import ActivationRule, Principal, RoleTemplate, ServicePolicy, Var
+from repro.domains import Deployment
+
+
+def login_policy(domain):
+    policy = ServicePolicy(domain.service_id("login"))
+    role = policy.define_role("logged_in_user", 1)
+    policy.add_activation_rule(ActivationRule(RoleTemplate(role,
+                                                           (Var("u"),))))
+    return policy
+
+
+class TestDeployment:
+    def test_create_domains(self):
+        deployment = Deployment()
+        hospital = deployment.create_domain("hospital")
+        assert deployment.domain("hospital") is hospital
+        assert [d.name for d in deployment.domains] == ["hospital"]
+
+    def test_duplicate_domain_rejected(self):
+        deployment = Deployment()
+        deployment.create_domain("hospital")
+        with pytest.raises(ValueError):
+            deployment.create_domain("hospital")
+
+    def test_unknown_domain(self):
+        with pytest.raises(KeyError):
+            Deployment().domain("ghost")
+
+    def test_run_for_drives_scheduler(self):
+        deployment = Deployment()
+        fired = []
+        deployment.scheduler.schedule(5.0, lambda: fired.append(1))
+        deployment.run_for(10.0)
+        assert fired == [1]
+        assert deployment.clock.now() == 10.0
+
+
+class TestDomain:
+    def test_add_service_and_activate(self):
+        deployment = Deployment()
+        hospital = deployment.create_domain("hospital")
+        login = hospital.add_service(login_policy(hospital))
+        session = Principal("u").start_session(login, "logged_in_user",
+                                               ["u"])
+        assert session.root_rmc.issuer.domain == "hospital"
+
+    def test_service_lookup(self):
+        deployment = Deployment()
+        hospital = deployment.create_domain("hospital")
+        login = hospital.add_service(login_policy(hospital))
+        assert hospital.service("login") is login
+        assert hospital.services == [login]
+        with pytest.raises(KeyError):
+            hospital.service("ghost")
+
+    def test_wrong_domain_policy_rejected(self):
+        deployment = Deployment()
+        hospital = deployment.create_domain("hospital")
+        clinic = deployment.create_domain("clinic")
+        with pytest.raises(ValueError, match="domain"):
+            clinic.add_service(login_policy(hospital))
+
+    def test_duplicate_service_rejected(self):
+        deployment = Deployment()
+        hospital = deployment.create_domain("hospital")
+        hospital.add_service(login_policy(hospital))
+        with pytest.raises(ValueError):
+            hospital.add_service(login_policy(hospital))
+
+    def test_databases(self):
+        deployment = Deployment()
+        hospital = deployment.create_domain("hospital")
+        db = hospital.create_database("main")
+        assert hospital.database("main") is db
+        with pytest.raises(ValueError):
+            hospital.create_database("main")
+
+    def test_deployment_without_network_uses_direct_callbacks(self):
+        """use_network=False: callbacks go through the registry directly,
+        costing no simulated time — for pure-logic tests."""
+        from repro.core import PrerequisiteRole
+
+        deployment = Deployment(use_network=False)
+        assert deployment.network is None
+        hospital = deployment.create_domain("hospital")
+        login = hospital.add_service(login_policy(hospital))
+
+        clinic = deployment.create_domain("clinic")
+        policy = ServicePolicy(clinic.service_id("portal"))
+        visitor = policy.define_role("visitor", 1)
+        policy.add_activation_rule(ActivationRule(
+            RoleTemplate(visitor, (Var("u"),)),
+            (PrerequisiteRole(
+                RoleTemplate(login.policy.define_role("logged_in_user", 1),
+                             (Var("u"),)), membership=True),)))
+        portal = clinic.add_service(policy)
+        session = Principal("u").start_session(login, "logged_in_user",
+                                               ["u"])
+        before = deployment.clock.now()
+        session.activate(portal, "visitor")
+        assert deployment.clock.now() == before  # no latency charged
+
+    def test_custom_latency_model(self):
+        from repro.net import LatencyModel
+
+        model = LatencyModel(inter_domain=0.5)
+        deployment = Deployment(latency=model)
+        assert deployment.network.latency.one_way("a", "b") == 0.5
+
+    def test_cross_domain_calls_pay_network_latency(self):
+        """Validation callbacks between domains advance the simulated
+        clock; intra-domain ones are much cheaper."""
+        from repro.core import (
+            AppointmentCondition, PrerequisiteRole)
+
+        deployment = Deployment()
+        hospital = deployment.create_domain("hospital")
+        institute = deployment.create_domain("institute")
+        login = hospital.add_service(login_policy(hospital))
+
+        visit_policy = ServicePolicy(institute.service_id("visits"))
+        visiting = visit_policy.define_role("visitor", 1)
+        visit_policy.add_activation_rule(ActivationRule(
+            RoleTemplate(visiting, (Var("u"),)),
+            (PrerequisiteRole(
+                RoleTemplate(login.policy.define_role("logged_in_user", 1),
+                             (Var("u"),)), membership=True),)))
+        visits = institute.add_service(visit_policy)
+
+        session = Principal("u").start_session(login, "logged_in_user",
+                                               ["u"])
+        before = deployment.clock.now()
+        session.activate(visits, "visitor")
+        # One cross-domain callback round trip at default 20 ms one-way.
+        assert deployment.clock.now() - before == pytest.approx(0.04)
+        assert deployment.network.stats.calls == 1

@@ -1,0 +1,127 @@
+"""Tests for encounters between mutually unknown parties (Sect. 6)."""
+
+import pytest
+
+from repro.core import Outcome, TrustPolicy
+from repro.domains import CivService, RogueCivService, RovingEntity, negotiate_encounter
+
+
+def policy(threshold=0.6, **kwargs):
+    kwargs.setdefault("domain_weights", (("healthcare-uk", 1.0),
+                                         ("shady", 0.05)))
+    kwargs.setdefault("default_domain_weight", 0.2)
+    return TrustPolicy(threshold=threshold, **kwargs)
+
+
+@pytest.fixture
+def civ():
+    return CivService("healthcare-uk")
+
+
+def seeded_entity(identity, civ, good_interactions, policy_=None):
+    """An entity with an existing positive history certified by ``civ``."""
+    entity = RovingEntity(identity, policy_ or policy(), {"healthcare-uk": civ})
+    for index in range(good_interactions):
+        cert, _ = civ.certify_interaction(
+            identity, f"past-partner-{index}", "past work",
+            Outcome.FULFILLED, Outcome.FULFILLED)
+        entity.record(cert)
+    return entity
+
+
+class TestAssessment:
+    def test_unknown_party_rejected_by_default(self, civ):
+        newcomer = RovingEntity("newbie", policy(), {"healthcare-uk": civ})
+        veteran = seeded_entity("veteran", civ, 6)
+        assert not veteran.assess(newcomer).accept
+
+    def test_established_party_accepted(self, civ):
+        newcomer = RovingEntity("newbie", policy(), {"healthcare-uk": civ})
+        veteran = seeded_entity("veteran", civ, 6)
+        assert newcomer.assess(veteran).accept
+
+    def test_unreachable_civ_discards_evidence(self, civ):
+        veteran = seeded_entity("veteran", civ, 6)
+        # The assessor knows no CIVs at all: every certificate is
+        # unverifiable and must be discarded.
+        skeptic = RovingEntity("skeptic", policy(), {})
+        decision = skeptic.assess(veteran)
+        assert decision.discarded == 6
+        assert not decision.accept
+
+    def test_learn_civ_enables_validation(self, civ):
+        veteran = seeded_entity("veteran", civ, 6)
+        skeptic = RovingEntity("skeptic", policy(), {})
+        skeptic.learn_civ(civ)
+        assert skeptic.assess(veteran).accept
+
+    def test_repudiated_certificates_discarded(self, civ):
+        veteran = seeded_entity("veteran", civ, 6)
+        for cert in veteran.history.certificates():
+            civ.revoke_audit(cert.ref)
+        other = RovingEntity("other", policy(), {"healthcare-uk": civ})
+        decision = other.assess(veteran)
+        assert decision.discarded == 6
+
+
+class TestNegotiation:
+    def test_mutual_trust_proceeds_and_grows_histories(self, civ):
+        client = seeded_entity("client", civ, 6)
+        service = seeded_entity("service", civ, 6)
+        result = negotiate_encounter(client, service, civ, "new contract")
+        assert result.proceeded
+        assert result.mutually_trusted
+        assert len(client.history) == 7
+        assert len(service.history) == 7
+        assert result.client_certificate.counterparty == "service"
+
+    def test_one_sided_distrust_blocks(self, civ):
+        client = seeded_entity("client", civ, 6)
+        newcomer = RovingEntity("new-service", policy(),
+                                {"healthcare-uk": civ})
+        result = negotiate_encounter(client, newcomer, civ, "contract")
+        assert not result.proceeded
+        assert result.client_decision.accept is False  # client doubts newcomer
+        assert result.client_certificate is None
+        assert len(client.history) == 6  # nothing recorded
+
+    def test_defaulting_behaviour_poisons_future_encounters(self, civ):
+        """A party that defaults accumulates bad certificates and is
+        eventually rejected — the web of trust works."""
+        cheat = seeded_entity("cheat", civ, 5)
+        for index in range(8):
+            partner = seeded_entity(f"partner-{index}", civ, 6)
+            negotiate_encounter(cheat, partner, civ, "contract",
+                                client_conduct=Outcome.DEFAULTED)
+        fresh_partner = seeded_entity("fresh", civ, 6)
+        result = negotiate_encounter(cheat, fresh_partner, civ, "contract")
+        assert not result.proceeded
+        assert not result.service_decision.accept
+
+    def test_bootstrap_two_newcomers_with_lenient_policy(self, civ):
+        lenient = policy(threshold=0.4)
+        a = RovingEntity("a", lenient, {"healthcare-uk": civ})
+        b = RovingEntity("b", lenient, {"healthcare-uk": civ})
+        result = negotiate_encounter(a, b, civ, "first contact")
+        assert result.proceeded
+        assert len(a.history) == 1
+
+
+class TestCollusionDefence:
+    def test_rogue_civ_history_rejected(self, civ):
+        """A fabricated history from a low-reputation CIV does not buy
+        trust, even though every certificate validates."""
+        rogue = RogueCivService("shady")
+        con = RovingEntity("con-artist", policy(),
+                           {"healthcare-uk": civ, "shady": rogue})
+        for cert in rogue.fabricate_history("con-artist", 50):
+            con.record(cert)
+        victim = seeded_entity("victim", civ, 6)
+        victim.learn_civ(rogue)
+        decision = victim.assess(con)
+        assert not decision.accept
+
+    def test_same_history_from_reputable_civ_accepted(self, civ):
+        honest = seeded_entity("honest", civ, 10)
+        victim = seeded_entity("victim", civ, 6)
+        assert victim.assess(honest).accept

@@ -1,0 +1,152 @@
+"""Tests for the pub/sub event broker."""
+
+import pytest
+
+from repro.events import Event, EventBroker
+
+
+@pytest.fixture
+def broker():
+    return EventBroker()
+
+
+class TestEvent:
+    def test_attributes_normalised(self):
+        a = Event.make("t", x=1, y=2)
+        b = Event("t", (("y", 2), ("x", 1)))
+        assert a == b
+
+    def test_get(self):
+        event = Event.make("t", x=1)
+        assert event.get("x") == 1
+        assert event.get("missing", "dflt") == "dflt"
+
+    def test_empty_topic_rejected(self):
+        with pytest.raises(ValueError):
+            Event.make("")
+
+    def test_hashable(self):
+        assert len({Event.make("t", x=1), Event.make("t", x=1)}) == 1
+
+
+class TestSubscribe:
+    def test_delivery(self, broker):
+        seen = []
+        broker.subscribe("t", seen.append)
+        broker.publish(Event.make("t", n=1))
+        assert len(seen) == 1
+
+    def test_topic_isolation(self, broker):
+        seen = []
+        broker.subscribe("a", seen.append)
+        broker.publish(Event.make("b"))
+        assert seen == []
+
+    def test_attribute_filter(self, broker):
+        seen = []
+        broker.subscribe("t", seen.append, key="yes")
+        broker.publish(Event.make("t", key="no"))
+        broker.publish(Event.make("t", key="yes"))
+        assert len(seen) == 1
+        assert seen[0].get("key") == "yes"
+
+    def test_filter_on_missing_attribute_fails(self, broker):
+        seen = []
+        broker.subscribe("t", seen.append, key="yes")
+        broker.publish(Event.make("t"))
+        assert seen == []
+
+    def test_multiple_subscribers(self, broker):
+        counts = [0, 0]
+
+        broker.subscribe("t", lambda e: counts.__setitem__(0, counts[0] + 1))
+        broker.subscribe("t", lambda e: counts.__setitem__(1, counts[1] + 1))
+        delivered = broker.publish(Event.make("t"))
+        assert counts == [1, 1]
+        assert delivered == 2
+
+    def test_cancel(self, broker):
+        seen = []
+        sub = broker.subscribe("t", seen.append)
+        sub.cancel()
+        broker.publish(Event.make("t"))
+        assert seen == []
+        assert not sub.active
+        sub.cancel()  # idempotent
+
+    def test_subscriber_count(self, broker):
+        broker.subscribe("a", lambda e: None)
+        sub = broker.subscribe("b", lambda e: None)
+        assert broker.subscriber_count() == 2
+        assert broker.subscriber_count("a") == 1
+        sub.cancel()
+        assert broker.subscriber_count("b") == 0
+
+    def test_empty_topic_rejected(self, broker):
+        with pytest.raises(ValueError):
+            broker.subscribe("", lambda e: None)
+
+
+class TestNestedPublish:
+    def test_handler_publishing_more_events(self, broker):
+        """Cascades: a handler publishes; delivery stays FIFO and completes."""
+        order = []
+
+        def first_handler(event):
+            order.append("first")
+            broker.publish(Event.make("second"))
+
+        broker.subscribe("first", first_handler)
+        broker.subscribe("second", lambda e: order.append("second"))
+        broker.publish(Event.make("first"))
+        assert order == ["first", "second"]
+
+    def test_chain_of_cascading_topics(self, broker):
+        seen = []
+        for index in range(5):
+            def handler(event, i=index):
+                seen.append(i)
+                if i + 1 < 5:
+                    broker.publish(Event.make(f"hop-{i + 1}"))
+
+            broker.subscribe(f"hop-{index}", handler)
+        broker.publish(Event.make("hop-0"))
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_subscribe_during_delivery_takes_effect_next_publish(self, broker):
+        seen = []
+
+        def handler(event):
+            broker.subscribe("t", seen.append)
+
+        broker.subscribe("t", handler)
+        broker.publish(Event.make("t"))
+        assert seen == []  # late subscriber missed the in-flight event
+        broker.publish(Event.make("t"))
+        assert len(seen) == 1
+
+    def test_cancel_during_delivery(self, broker):
+        seen = []
+        subs = {}
+
+        def canceller(event):
+            subs["victim"].cancel()
+
+        broker.subscribe("t", canceller)
+        subs["victim"] = broker.subscribe("t", seen.append)
+        broker.publish(Event.make("t"))
+        # Cancellation takes effect immediately: the victim must not see
+        # the in-flight event (it was cancelled before its turn) nor any
+        # later one — no notifications after cancel, ever.
+        broker.publish(Event.make("t"))
+        assert seen == []
+
+
+class TestCounters:
+    def test_published_and_delivered(self, broker):
+        broker.subscribe("t", lambda e: None)
+        broker.subscribe("t", lambda e: None)
+        broker.publish(Event.make("t"))
+        broker.publish(Event.make("untopic"))
+        assert broker.published_count == 2
+        assert broker.delivered_count == 2

@@ -1,0 +1,124 @@
+"""Tests for credential event channels and heartbeat monitoring (Fig. 5)."""
+
+import pytest
+
+from repro.events import (
+    CREDENTIAL_HEARTBEAT,
+    CREDENTIAL_REVOKED,
+    CredentialChannel,
+    EventBroker,
+    HeartbeatMonitor,
+)
+from repro.net import SimClock
+
+
+@pytest.fixture
+def broker():
+    return EventBroker()
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+class TestCredentialChannel:
+    def test_revocation_reaches_subscriber(self, broker):
+        channel = CredentialChannel(broker, "svc#1")
+        seen = []
+        channel.subscribe_revocation(seen.append)
+        channel.notify_revoked("testing", timestamp=5.0)
+        assert len(seen) == 1
+        assert seen[0].get("credential_ref") == "svc#1"
+        assert seen[0].get("reason") == "testing"
+        assert seen[0].timestamp == 5.0
+
+    def test_channel_scoping(self, broker):
+        channel_a = CredentialChannel(broker, "svc#1")
+        channel_b = CredentialChannel(broker, "svc#2")
+        seen = []
+        channel_a.subscribe_revocation(seen.append)
+        channel_b.notify_revoked("other")
+        assert seen == []
+
+    def test_revocation_closes_channel(self, broker):
+        channel = CredentialChannel(broker, "svc#1")
+        assert channel.notify_revoked("once") >= 0
+        assert channel.closed
+        assert channel.notify_revoked("twice") == 0
+        assert channel.heartbeat() == 0
+
+    def test_heartbeats_flow(self, broker):
+        channel = CredentialChannel(broker, "svc#1")
+        beats = []
+        channel.subscribe_heartbeat(beats.append)
+        channel.heartbeat(timestamp=1.0)
+        channel.heartbeat(timestamp=2.0)
+        assert [b.timestamp for b in beats] == [1.0, 2.0]
+
+    def test_empty_ref_rejected(self, broker):
+        with pytest.raises(ValueError):
+            CredentialChannel(broker, "")
+
+
+class TestHeartbeatMonitor:
+    def test_fresh_watch_is_not_silent(self, broker, clock):
+        monitor = HeartbeatMonitor(broker, timeout=10.0, clock=clock)
+        monitor.watch("svc#1")
+        assert monitor.silent_credentials() == []
+
+    def test_silence_detected_after_timeout(self, broker, clock):
+        monitor = HeartbeatMonitor(broker, timeout=10.0, clock=clock)
+        monitor.watch("svc#1")
+        clock.advance(11.0)
+        assert monitor.silent_credentials() == ["svc#1"]
+
+    def test_heartbeat_resets_silence(self, broker, clock):
+        monitor = HeartbeatMonitor(broker, timeout=10.0, clock=clock)
+        channel = CredentialChannel(broker, "svc#1")
+        monitor.watch("svc#1")
+        clock.advance(8.0)
+        channel.heartbeat()
+        clock.advance(8.0)
+        assert monitor.silent_credentials() == []  # 8 < 10 since last beat
+        assert monitor.last_heartbeat("svc#1") == pytest.approx(8.0)
+
+    def test_only_watched_channels_tracked(self, broker, clock):
+        monitor = HeartbeatMonitor(broker, timeout=10.0, clock=clock)
+        CredentialChannel(broker, "svc#1").heartbeat()
+        assert monitor.last_heartbeat("svc#1") is None
+
+    def test_unwatch(self, broker, clock):
+        monitor = HeartbeatMonitor(broker, timeout=10.0, clock=clock)
+        monitor.watch("svc#1")
+        monitor.unwatch("svc#1")
+        clock.advance(100.0)
+        assert monitor.silent_credentials() == []
+        assert monitor.watched == []
+
+    def test_double_watch_is_idempotent(self, broker, clock):
+        monitor = HeartbeatMonitor(broker, timeout=10.0, clock=clock)
+        monitor.watch("svc#1")
+        monitor.watch("svc#1")
+        assert monitor.watched == ["svc#1"]
+        assert broker.subscriber_count(CREDENTIAL_HEARTBEAT) == 1
+
+    def test_timeout_must_be_positive(self, broker, clock):
+        with pytest.raises(ValueError):
+            HeartbeatMonitor(broker, timeout=0, clock=clock)
+
+    def test_periodic_heartbeats_with_scheduler(self, broker, clock):
+        """The deployment pattern: issuer heartbeats on a schedule; the
+        holder notices when they stop."""
+        from repro.net import Scheduler
+
+        scheduler = Scheduler(clock)
+        monitor = HeartbeatMonitor(broker, timeout=5.0, clock=clock)
+        channel = CredentialChannel(broker, "svc#1")
+        monitor.watch("svc#1")
+        cancel = scheduler.schedule_periodic(2.0, channel.heartbeat)
+        scheduler.run_for(20.0)
+        assert monitor.silent_credentials() == []
+        cancel()  # issuer dies
+        scheduler.run_for(10.0)
+        assert monitor.silent_credentials() == ["svc#1"]

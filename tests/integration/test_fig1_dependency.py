@@ -1,0 +1,105 @@
+"""Integration test: Fig. 1 — role dependency through prerequisite roles.
+
+The literal figure: principal P holds RMCs issued by services A, B and C;
+service C's policy grants a further role only on presentation of all
+three, and the new credential record depends on each of them.
+"""
+
+import pytest
+
+from repro.core import (
+    ActivationDenied,
+    ActivationRule,
+    OasisService,
+    PrerequisiteRole,
+    Principal,
+    RoleTemplate,
+    ServiceId,
+    ServicePolicy,
+    ServiceRegistry,
+    Var,
+)
+from repro.events import EventBroker
+
+
+@pytest.fixture
+def abc():
+    broker = EventBroker()
+    registry = ServiceRegistry()
+    services = {}
+    templates = {}
+    for name in ("A", "B"):
+        policy = ServicePolicy(ServiceId("dom", name))
+        role = policy.define_role("member", 1)
+        policy.add_activation_rule(
+            ActivationRule(RoleTemplate(role, (Var("u"),))))
+        services[name] = OasisService(policy, broker, registry)
+        templates[name] = RoleTemplate(role, (Var("u"),))
+    policy_c = ServicePolicy(ServiceId("dom", "C"))
+    basic = policy_c.define_role("member", 1)
+    policy_c.add_activation_rule(
+        ActivationRule(RoleTemplate(basic, (Var("u"),))))
+    privileged = policy_c.define_role("privileged", 1)
+    policy_c.add_activation_rule(ActivationRule(
+        RoleTemplate(privileged, (Var("u"),)),
+        (PrerequisiteRole(templates["A"], membership=True),
+         PrerequisiteRole(templates["B"], membership=True),
+         PrerequisiteRole(RoleTemplate(basic, (Var("u"),)),
+                          membership=True))))
+    services["C"] = OasisService(policy_c, broker, registry)
+    return services
+
+
+def full_session(abc):
+    principal = Principal("P")
+    session = principal.start_session(abc["A"], "member", ["P"])
+    session.activate(abc["B"], "member", ["P"])
+    session.activate(abc["C"], "member", ["P"])
+    privileged = session.activate(abc["C"], "privileged")
+    return session, privileged
+
+
+class TestFig1:
+    def test_three_rmcs_grant_the_privileged_role(self, abc):
+        session, privileged = full_session(abc)
+        assert privileged.role.parameters == ("P",)
+        assert abc["C"].is_active(privileged.ref)
+
+    def test_any_missing_rmc_denies(self, abc):
+        principal = Principal("P")
+        session = principal.start_session(abc["A"], "member", ["P"])
+        session.activate(abc["C"], "member", ["P"])
+        # B's RMC missing
+        with pytest.raises(ActivationDenied):
+            session.activate(abc["C"], "privileged")
+
+    def test_new_cr_depends_on_all_three(self, abc):
+        session, privileged = full_session(abc)
+        record = abc["C"].credential_record(privileged.ref)
+        assert len(record.membership_dependencies) == 3
+        issuers = {dep.service.name
+                   for dep in record.membership_dependencies}
+        assert issuers == {"A", "B", "C"}
+
+    @pytest.mark.parametrize("which", ["A", "B", "C"])
+    def test_revoking_any_dependency_collapses(self, abc, which):
+        """The figure's event channels: each arrow is a live dependency."""
+        session, privileged = full_session(abc)
+        victim = next(rmc for rmc in session.held_rmcs()
+                      if rmc.issuer.name == which
+                      and rmc.role.role_name.name == "member")
+        abc[which].revoke(victim.ref, "test")
+        assert not abc["C"].is_active(privileged.ref)
+
+    def test_mixed_principals_cannot_pool_rmcs(self, abc):
+        """P cannot borrow Q's RMC for service B: principal binding."""
+        from repro.core import Presentation, SignatureInvalid
+
+        p_session = Principal("P").start_session(abc["A"], "member", ["P"])
+        p_session.activate(abc["C"], "member", ["P"])
+        q_session = Principal("Q").start_session(abc["B"], "member", ["Q"])
+        creds = [Presentation(rmc) for rmc in p_session.active_rmcs()]
+        creds.append(Presentation(q_session.root_rmc))  # stolen
+        with pytest.raises((SignatureInvalid, ActivationDenied)):
+            abc["C"].activate_role(Principal("P").id, "privileged", None,
+                                   creds)

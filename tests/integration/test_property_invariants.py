@@ -1,0 +1,123 @@
+"""Property-based tests of system-level invariants.
+
+Random role-dependency forests are built across services and then attacked
+with random revocations; the invariants of Sect. 4 must hold:
+
+* **cascade completeness** — after any sequence of revocations, no active
+  credential has a revoked membership dependency;
+* **cascade minimality** — credentials with no revoked ancestor stay
+  active;
+* **idempotence** — replaying revocations changes nothing.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ActivationRule,
+    OasisService,
+    PrerequisiteRole,
+    Principal,
+    RoleTemplate,
+    ServiceId,
+    ServicePolicy,
+    ServiceRegistry,
+    Var,
+)
+from repro.events import EventBroker
+from repro.net import SimClock
+
+
+def build_forest(parent_indices):
+    """Build a chain/tree of services where node i's role requires node
+    parent_indices[i]'s role (membership-flagged); node 0 is the initial
+    role.  Returns (services, rmcs, session)."""
+    clock = SimClock()
+    broker = EventBroker()
+    registry = ServiceRegistry()
+
+    login_id = ServiceId("dom", "svc-0")
+    login_policy = ServicePolicy(login_id)
+    root_role = login_policy.define_role("role", 1)
+    login_policy.add_activation_rule(
+        ActivationRule(RoleTemplate(root_role, (Var("u"),))))
+    services = [OasisService(login_policy, broker, registry, clock)]
+    templates = [RoleTemplate(root_role, (Var("u"),))]
+
+    for index, parent in enumerate(parent_indices, start=1):
+        service_id = ServiceId("dom", f"svc-{index}")
+        policy = ServicePolicy(service_id)
+        role = policy.define_role("role", 1)
+        policy.add_activation_rule(ActivationRule(
+            RoleTemplate(role, (Var("u"),)),
+            (PrerequisiteRole(templates[parent], membership=True),)))
+        services.append(OasisService(policy, broker, registry, clock))
+        templates.append(RoleTemplate(role, (Var("u"),)))
+
+    principal = Principal("user")
+    session = principal.start_session(services[0], "role", ["user"])
+    rmcs = [session.root_rmc]
+    for service in services[1:]:
+        rmcs.append(session.activate(service, "role"))
+    return services, rmcs, session
+
+
+@st.composite
+def forests(draw):
+    size = draw(st.integers(min_value=1, max_value=10))
+    # parent of node i (1-based) is any earlier node: a random tree.
+    parents = [draw(st.integers(min_value=0, max_value=i))
+               for i in range(size)]
+    victims = draw(st.lists(st.integers(min_value=0, max_value=size),
+                            min_size=1, max_size=4))
+    return parents, victims
+
+
+def ancestors(parents, node):
+    chain = set()
+    while node != 0:
+        parent = parents[node - 1]
+        chain.add(parent)
+        node = parent
+    return chain
+
+
+@given(forests())
+@settings(max_examples=60, deadline=None)
+def test_cascade_completeness_and_minimality(data):
+    parents, victims = data
+    services, rmcs, _ = build_forest(parents)
+    for victim in victims:
+        services[victim].revoke(rmcs[victim].ref, "attack")
+    revoked = set(victims)
+    for node, (service, rmc) in enumerate(zip(services, rmcs)):
+        should_be_dead = node in revoked or bool(
+            ancestors(parents, node) & revoked)
+        assert service.is_active(rmc.ref) == (not should_be_dead), (
+            f"node {node}: active={service.is_active(rmc.ref)}, "
+            f"parents={parents}, victims={victims}")
+
+
+@given(forests())
+@settings(max_examples=30, deadline=None)
+def test_revocation_idempotent(data):
+    parents, victims = data
+    services, rmcs, _ = build_forest(parents)
+    for victim in victims:
+        services[victim].revoke(rmcs[victim].ref, "attack")
+    snapshot = [service.is_active(rmc.ref)
+                for service, rmc in zip(services, rmcs)]
+    for victim in victims:  # replay
+        assert not services[victim].revoke(rmcs[victim].ref, "again")
+    assert snapshot == [service.is_active(rmc.ref)
+                        for service, rmc in zip(services, rmcs)]
+
+
+@given(st.integers(min_value=1, max_value=12))
+@settings(max_examples=20, deadline=None)
+def test_logout_always_collapses_everything(depth):
+    parents = list(range(depth))  # a pure chain
+    services, rmcs, session = build_forest(parents)
+    session.logout()
+    assert all(not service.is_active(rmc.ref)
+               for service, rmc in zip(services, rmcs))
+    assert session.active_rmcs() == []

@@ -1,0 +1,112 @@
+"""Tests for the policy file loader and the CLI tooling."""
+
+import os
+
+import pytest
+
+from repro.lang import load_policies, load_policy_file
+from repro.lang.cli import main
+
+LOGIN = """service hospital/login
+role logged_in_user(u)
+activate logged_in_user(u)
+"""
+
+ADMIN = """service hospital/admin
+role administrator(u)
+activate administrator(u) <- hospital/login:logged_in_user(u)*
+appoint allocated(d, p) <- administrator(a)
+"""
+
+BROKEN = """service hospital/broken
+role needs_ghost(u)
+activate needs_ghost(u) <- hospital/login:ghost(u)*
+"""
+
+
+@pytest.fixture
+def policy_dir(tmp_path):
+    (tmp_path / "login.oasis").write_text(LOGIN)
+    (tmp_path / "admin.oasis").write_text(ADMIN)
+    (tmp_path / "notes.txt").write_text("not a policy")
+    return tmp_path
+
+
+class TestLoader:
+    def test_load_single_file(self, policy_dir):
+        policy = load_policy_file(str(policy_dir / "login.oasis"))
+        assert policy.defines_role("logged_in_user")
+
+    def test_load_directory_discovers_oasis_files(self, policy_dir):
+        policies, universe = load_policies([str(policy_dir)])
+        assert len(policies) == 2
+        assert len(universe.all_roles()) == 2
+
+    def test_duplicate_service_rejected(self, policy_dir):
+        (policy_dir / "dup.oasis").write_text(LOGIN)
+        with pytest.raises(ValueError, match="already defined"):
+            load_policies([str(policy_dir)])
+
+    def test_mixed_files_and_directories(self, policy_dir, tmp_path):
+        extra_dir = tmp_path / "extra"
+        extra_dir.mkdir()
+        (extra_dir / "records.oasis").write_text(
+            "service hospital/records\nrole r(u)\nactivate r(u)\n")
+        policies, _ = load_policies(
+            [str(policy_dir / "login.oasis"), str(extra_dir)])
+        assert len(policies) == 2
+
+
+class TestCli:
+    def test_check_clean(self, policy_dir, capsys):
+        status = main(["check", str(policy_dir)])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "ok: hospital/login" in out
+
+    def test_check_reports_errors(self, policy_dir, capsys):
+        (policy_dir / "broken.oasis").write_text(BROKEN)
+        status = main(["check", str(policy_dir)])
+        err = capsys.readouterr().err
+        assert status == 1
+        assert "unknown-role" in err
+
+    def test_check_parse_failure(self, tmp_path, capsys):
+        (tmp_path / "bad.oasis").write_text("this is not policy")
+        status = main(["check", str(tmp_path)])
+        assert status == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_format_prints_canonical(self, policy_dir, capsys):
+        status = main(["format", str(policy_dir / "login.oasis")])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert out.startswith("service hospital/login")
+
+    def test_format_write_in_place(self, policy_dir):
+        target = policy_dir / "login.oasis"
+        original = target.read_text()
+        status = main(["format", "--write", str(target)])
+        assert status == 0
+        reformatted = target.read_text()
+        assert "service hospital/login" in reformatted
+        # idempotent
+        main(["format", "--write", str(target)])
+        assert target.read_text() == reformatted
+
+    def test_format_missing_file(self, capsys):
+        assert main(["format", "/nonexistent.oasis"]) == 1
+
+    def test_graph(self, policy_dir, capsys):
+        status = main(["graph", str(policy_dir)])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert ("hospital/login:logged_in_user -> "
+                "hospital/admin:administrator") in out
+
+    def test_reach(self, policy_dir, capsys):
+        status = main(["reach", str(policy_dir)])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "reachable" in out
+        assert "UNREACHABLE" not in out
