@@ -1,0 +1,300 @@
+#!/usr/bin/env python
+"""Machine-readable benchmark harness for the core evaluation fast path.
+
+Runs the activation / invocation / revocation-cascade microbenchmarks plus
+one representative workload per paper figure (FIG1-FIG5) and writes
+``BENCH_CORE.json`` at the repository root: ops/sec and p50/p99 latency per
+workload, plus an optimized-vs-seed comparison on the FIG1 depth-16
+dependency chain (the seed numbers live in the same file, under
+``workloads.activation_engine_fig1_depth16_seed`` and ``comparisons``).
+
+Standalone — no pytest required::
+
+    PYTHONPATH=src python benchmarks/harness.py [--quick] [--output PATH]
+
+``--quick`` shrinks round counts for CI smoke runs; numbers are noisier but
+the file shape is identical.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import platform
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_REPO = os.path.dirname(_HERE)
+for _path in (os.path.join(_REPO, "src"), _HERE):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+from repro.core import (  # noqa: E402
+    EvaluationContext,
+    Presentation,
+    PresentedCredential,
+    Principal,
+    PrincipalId,
+    Role,
+    RoleMembershipCertificate,
+    RoleName,
+    RuleEngine,
+    ServiceId,
+)
+from repro.core.credentials import CredentialRef  # noqa: E402
+from repro.crypto import ServiceSecret  # noqa: E402
+
+from seed_engine import SeedRuleEngine  # noqa: E402
+from workloads import ChainWorld, HospitalWorld  # noqa: E402
+
+DEFAULT_OUTPUT = os.path.join(_REPO, "BENCH_CORE.json")
+SPEEDUP_CRITERION = 2.0  # FIG1 depth-16 activation: optimized vs seed engine
+CHAIN_DEPTH = 16
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile over a sorted sample."""
+    if not sorted_values:
+        return math.nan
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+def measure(fn: Callable[..., object], *, rounds: int, inner: int,
+            setup: Optional[Callable[[], object]] = None) -> Dict[str, float]:
+    """Time ``fn`` over ``rounds`` rounds of ``inner`` calls each.
+
+    With ``setup``, each round first builds fresh (untimed) state which is
+    passed to ``fn`` — used for destructive operations such as revocation.
+    Returns ops/sec over all timed work plus per-call p50/p99 latency
+    (each round contributes its mean per-call latency as one sample).
+    """
+    perf_counter = time.perf_counter
+    latencies: List[float] = []
+    total_time = 0.0
+    for _ in range(rounds):
+        state = setup() if setup is not None else None
+        if state is None:
+            start = perf_counter()
+            for _ in range(inner):
+                fn()
+            elapsed = perf_counter() - start
+        else:
+            start = perf_counter()
+            for _ in range(inner):
+                fn(state)
+            elapsed = perf_counter() - start
+        total_time += elapsed
+        latencies.append(elapsed / inner)
+    latencies.sort()
+    total_ops = rounds * inner
+    return {
+        "ops_per_sec": round(total_ops / total_time, 2) if total_time else 0.0,
+        "p50_us": round(_percentile(latencies, 0.50) * 1e6, 3),
+        "p99_us": round(_percentile(latencies, 0.99) * 1e6, 3),
+        "rounds": rounds,
+        "ops_per_round": inner,
+    }
+
+
+# -- workload builders -------------------------------------------------------
+
+def bench_fig1_activation(results: Dict[str, dict], *, rounds: int,
+                          inner: int) -> Dict[str, object]:
+    """FIG1 depth-16 chain: the acceptance-criterion microbenchmark.
+
+    Engine-level rule matching (credential validation already done), all 17
+    chain RMCs presented; the optimized engine's credential index must find
+    the one matching prerequisite without the seed's linear scan.
+    """
+    world = ChainWorld(CHAIN_DEPTH)
+    session, rmcs = world.build_session()
+    presented = tuple(PresentedCredential(rmc) for rmc in rmcs)
+    deepest = world.services[-1]
+    rule = deepest.policy.activation_rules_for("role")[0]
+    context = EvaluationContext()
+    optimized = RuleEngine(context)
+    seed = SeedRuleEngine(context)  # vendored pre-PR solver, see seed_engine
+
+    assert optimized.match_activation(rule, None, presented) is not None
+    assert seed.match_activation(rule, None, presented) is not None
+
+    results["activation_engine_fig1_depth16"] = dict(
+        description=(f"engine-level activation match, depth-{CHAIN_DEPTH} "
+                     f"prerequisite chain, {len(presented)} RMCs presented "
+                     f"(optimized engine)"),
+        **measure(lambda: optimized.match_activation(rule, None, presented),
+                  rounds=rounds, inner=inner))
+    results["activation_engine_fig1_depth16_seed"] = dict(
+        description=("same workload on the vendored seed engine (linear "
+                     "scan, dict-copying substitutions) — baseline for the "
+                     "speedup criterion"),
+        **measure(lambda: seed.match_activation(rule, None, presented),
+                  rounds=rounds, inner=inner))
+
+    # End-to-end service activation (validation + match + RMC issue).
+    credentials = [Presentation(rmc) for rmc in rmcs]
+    principal_id = session.principal.id
+    results["activation_service_fig1_depth16"] = dict(
+        description=(f"end-to-end activate_role at the deepest service of "
+                     f"the depth-{CHAIN_DEPTH} chain"),
+        **measure(lambda: deepest.activate_role(principal_id, "role", None,
+                                                credentials),
+                  rounds=rounds, inner=inner))
+
+    opt_ops = results["activation_engine_fig1_depth16"]["ops_per_sec"]
+    seed_ops = results["activation_engine_fig1_depth16_seed"]["ops_per_sec"]
+    speedup = round(opt_ops / seed_ops, 2) if seed_ops else math.inf
+    return {
+        "workload": "activation_engine_fig1_depth16",
+        "optimized_ops_per_sec": opt_ops,
+        "seed_ops_per_sec": seed_ops,
+        "speedup": speedup,
+        "criterion": f">= {SPEEDUP_CRITERION}x",
+        "criterion_met": speedup >= SPEEDUP_CRITERION,
+    }
+
+
+def bench_fig2_entry_and_invocation(results: Dict[str, dict], *, rounds: int,
+                                    inner: int) -> None:
+    """FIG2: role entry and warm guarded invocation at the hospital."""
+    world = HospitalWorld()
+    doctor = world.new_doctor("d1", "p1")
+    session = doctor.start_session(world.login, "logged_in_user", ["d1"])
+    appointment = doctor.appointments()[0]
+    entry_credentials = [Presentation(session.root_rmc),
+                         Presentation(appointment, holder="d1")]
+    treating = session.activate(world.records, "treating_doctor",
+                                use_appointments=[appointment])
+    use_credentials = [Presentation(session.root_rmc),
+                       Presentation(treating)]
+
+    results["activation_service_fig2_role_entry"] = dict(
+        description=("treating_doctor entry: prerequisite RMC + appointment "
+                     "+ database constraint, RMC issued per op"),
+        **measure(lambda: world.records.activate_role(
+            doctor.id, "treating_doctor", None, entry_credentials),
+            rounds=rounds, inner=inner))
+
+    world.records.invoke(doctor.id, "read_record", ["p1"],
+                         credentials=use_credentials)  # warm caches
+    results["invocation_fig2_read_record_warm"] = dict(
+        description=("guarded read_record with warm validation and "
+                     "signature caches"),
+        **measure(lambda: world.records.invoke(
+            doctor.id, "read_record", ["p1"], credentials=use_credentials),
+            rounds=rounds, inner=inner))
+
+
+def bench_fig3_cross_domain(results: Dict[str, dict], *, rounds: int,
+                            inner: int) -> None:
+    """FIG3: warm cross-domain request_EHR through the gateway."""
+    from bench_fig3_cross_domain import build_world, gateway_call
+    deployment, national_svc, gateways = build_world(1)
+    gateway, gw_session, rmc, doctor_id, patient_id = gateways[0]
+    gateway_call(national_svc, gateway, gw_session, rmc, doctor_id,
+                 patient_id)  # warm the cache
+    results["invocation_fig3_cross_domain_warm"] = dict(
+        description=("cross-domain request_EHR with forwarded "
+                     "treating_doctor RMC, warm ECR cache"),
+        **measure(lambda: gateway_call(national_svc, gateway, gw_session,
+                                       rmc, doctor_id, patient_id),
+                  rounds=rounds, inner=inner))
+
+
+def bench_fig4_certificates(results: Dict[str, dict], *, rounds: int,
+                            inner: int) -> None:
+    """FIG4: the certificate machinery itself (HMAC sign / verify)."""
+    svc = ServiceId("hospital", "records")
+    secret = ServiceSecret.generate()
+    role = Role(RoleName(svc, "treating_doctor"), ("d1", "p1"))
+    ref = CredentialRef(svc, 1)
+    alice = PrincipalId("alice")
+    rmc = RoleMembershipCertificate.issue(secret, svc, role, ref, alice, 0.0)
+
+    results["crypto_fig4_rmc_sign"] = dict(
+        description="issue (sign) one RMC",
+        **measure(lambda: RoleMembershipCertificate.issue(
+            secret, svc, role, ref, alice, 0.0),
+            rounds=rounds, inner=inner))
+    results["crypto_fig4_rmc_verify"] = dict(
+        description="verify one RMC signature",
+        **measure(lambda: rmc.verify(secret, alice),
+                  rounds=rounds, inner=inner))
+
+
+def bench_fig5_cascade(results: Dict[str, dict], *, rounds: int) -> None:
+    """FIG5: revoking the session root collapses the depth-16 chain."""
+    world = ChainWorld(CHAIN_DEPTH)
+    counter = [0]
+
+    def setup() -> RoleMembershipCertificate:
+        counter[0] += 1
+        session, _ = world.build_session(user=f"user-{counter[0]}")
+        return session.root_rmc
+
+    def revoke(root: RoleMembershipCertificate) -> None:
+        world.services[0].revoke(root.ref, "logout")
+
+    results["cascade_fig5_revoke_depth16"] = dict(
+        description=(f"revoke the session root of a depth-{CHAIN_DEPTH} "
+                     f"chain; event cascade deactivates every dependent "
+                     f"role (session rebuilt per op, untimed)"),
+        **measure(revoke, rounds=rounds, inner=1, setup=setup))
+
+
+# -- driver ------------------------------------------------------------------
+
+def run(quick: bool = False) -> Dict[str, object]:
+    scale = dict(rounds=5, inner=20) if quick else dict(rounds=30, inner=50)
+    cascade_rounds = 5 if quick else 25
+    results: Dict[str, dict] = {}
+
+    comparison = bench_fig1_activation(results, **scale)
+    bench_fig2_entry_and_invocation(results, **scale)
+    bench_fig3_cross_domain(results, **scale)
+    bench_fig4_certificates(results, **scale)
+    bench_fig5_cascade(results, rounds=cascade_rounds)
+
+    return {
+        "schema": "bench-core/1",
+        "generated_by": "benchmarks/harness.py",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "quick": quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "workloads": results,
+        "comparisons": {"activation_fig1_depth16": comparison},
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small round counts (CI smoke)")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help=f"output path (default: {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+
+    report = run(quick=args.quick)
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+    comparison = report["comparisons"]["activation_fig1_depth16"]
+    print(f"wrote {args.output}")
+    for name, entry in report["workloads"].items():
+        print(f"  {name:44s} {entry['ops_per_sec']:>12,.0f} ops/s  "
+              f"p50 {entry['p50_us']:>9.1f}us  p99 {entry['p99_us']:>9.1f}us")
+    print(f"  fig1 depth-16 activation speedup: {comparison['speedup']}x "
+          f"(criterion {comparison['criterion']}: "
+          f"{'met' if comparison['criterion_met'] else 'NOT met'})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -78,7 +78,13 @@ from .credentials import (
     CredentialStatus,
     RoleMembershipCertificate,
 )
-from .engine import MatchedCondition, PresentedCredential, RuleEngine, RuleMatch
+from .engine import (
+    CredentialIndex,
+    MatchedCondition,
+    PresentedCredential,
+    RuleEngine,
+    RuleMatch,
+)
 from .service import (
     OasisService,
     Presentation,
@@ -133,7 +139,8 @@ __all__ = [
     "CredentialRefAllocator", "CredentialStatus",
     "RoleMembershipCertificate",
     # engine
-    "MatchedCondition", "PresentedCredential", "RuleEngine", "RuleMatch",
+    "CredentialIndex", "MatchedCondition", "PresentedCredential",
+    "RuleEngine", "RuleMatch",
     # service
     "OasisService", "Presentation", "ServiceRegistry", "ServiceStats",
     "VALIDATE_ENDPOINT",

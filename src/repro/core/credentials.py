@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field, replace
+from functools import cached_property
 from typing import Optional, Tuple
 
 from ..crypto.hmac_sig import FieldValue, ServiceSecret, sign_fields, verify_fields
@@ -59,11 +60,17 @@ class CredentialRef:
     service: ServiceId
     serial: int
 
-    def __str__(self) -> str:
+    @cached_property
+    def qualified(self) -> str:
+        """The ref's string form, cached — it keys event channels, caches
+        and subscriptions on every hot path."""
         return f"{self.service}#{self.serial}"
 
+    def __str__(self) -> str:
+        return self.qualified
+
     def as_field(self) -> str:
-        return str(self)
+        return self.qualified
 
 
 @dataclass(frozen=True)

@@ -24,8 +24,10 @@ revocation dependencies of Fig. 5.
 
 from __future__ import annotations
 
+from collections import defaultdict, deque
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple, Union
+from functools import cached_property
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from .constraints import EvaluationContext
 from .credentials import AppointmentCertificate, CredentialRef, RoleMembershipCertificate
@@ -39,10 +41,18 @@ from .rules import (
     ConstraintCondition,
     PrerequisiteRole,
 )
-from .terms import EMPTY_SUBSTITUTION, Substitution, Term, is_ground, unify_sequences
+from .terms import (
+    EMPTY_SUBSTITUTION,
+    Substitution,
+    Term,
+    is_ground,
+    unify,
+    unify_sequences,
+)
 from .types import Role
 
-__all__ = ["PresentedCredential", "RuleMatch", "MatchedCondition", "RuleEngine"]
+__all__ = ["PresentedCredential", "RuleMatch", "MatchedCondition",
+           "CredentialIndex", "RuleEngine"]
 
 Certificate = Union[RoleMembershipCertificate, AppointmentCertificate]
 
@@ -70,6 +80,24 @@ class PresentedCredential:
     def is_appointment(self) -> bool:
         return isinstance(self.certificate, AppointmentCertificate)
 
+    @cached_property
+    def index_key(self) -> Tuple:
+        """Bucket key mirroring the condition-side keys in
+        :mod:`repro.core.rules`: equal keys ⇔ the kind/name/arity checks of
+        :meth:`matches_prerequisite` / :meth:`matches_appointment` pass."""
+        certificate = self.certificate
+        if isinstance(certificate, RoleMembershipCertificate):
+            role = certificate.role
+            return ("rmc", role.role_name, len(role.parameters))
+        return ("appointment", certificate.issuer, certificate.name,
+                len(certificate.parameters))
+
+    @cached_property
+    def parameter_values(self) -> Tuple[Term, ...]:
+        if isinstance(self.certificate, RoleMembershipCertificate):
+            return self.certificate.role.parameters
+        return self.certificate.parameters
+
     def matches_prerequisite(self, condition: PrerequisiteRole) -> bool:
         if not self.is_rmc:
             return False
@@ -86,9 +114,7 @@ class PresentedCredential:
                 and len(cert.parameters) == len(condition.parameters))
 
     def parameters(self) -> Tuple[Term, ...]:
-        if self.is_rmc:
-            return self.certificate.role.parameters
-        return self.certificate.parameters
+        return self.parameter_values
 
 
 @dataclass(frozen=True)
@@ -132,17 +158,71 @@ class RuleMatch:
                      if row.credential is not None)
 
 
-class RuleEngine:
-    """Evaluates activation, authorization and appointment rules."""
+class CredentialIndex:
+    """Presented credentials bucketed by ``(kind, name, arity)``.
 
-    def __init__(self, context: EvaluationContext) -> None:
+    Built once per presented-credential set (one pass) and shared across
+    every rule tried for a request, it replaces the per-condition linear
+    scan over all credentials with a single dict lookup.  Bucket keys mirror
+    the condition-side :attr:`index_key` properties, so the candidates of a
+    condition are exactly the credentials passing its kind/name/arity
+    checks — unification against the condition pattern remains the only
+    per-candidate work.
+    """
+
+    __slots__ = ("credentials", "_buckets")
+
+    _EMPTY: Tuple[PresentedCredential, ...] = ()
+
+    def __init__(self, credentials: Sequence[PresentedCredential]) -> None:
+        self.credentials = tuple(credentials)
+        buckets: Dict[Tuple, List[PresentedCredential]] = {}
+        for credential in self.credentials:
+            key = credential.index_key
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = [credential]
+            else:
+                bucket.append(credential)
+        self._buckets = buckets
+
+    def candidates(self, condition: Condition
+                   ) -> Sequence[PresentedCredential]:
+        """Credentials that can possibly satisfy ``condition``."""
+        return self._buckets.get(condition.index_key, self._EMPTY)
+
+    def __len__(self) -> int:
+        return len(self.credentials)
+
+
+class RuleEngine:
+    """Evaluates activation, authorization and appointment rules.
+
+    The default solver routes candidate selection through a
+    :class:`CredentialIndex` and orders credential conditions most
+    selective first (fewest candidates) to prune backtracking early;
+    ``optimized=False`` retains the seed's naive scan-and-slice solver as a
+    reference path for differential testing and benchmarking.  Both paths
+    produce the same solutions with identically ordered matched rows.
+    """
+
+    def __init__(self, context: EvaluationContext, *,
+                 optimized: bool = True) -> None:
         self.context = context
+        self.optimized = optimized
+        # Last (credentials, index) pair for callers that pass the same
+        # endowment repeatedly without a prebuilt index.  Only tuples are
+        # memoized: the strong reference keeps the identity check valid and
+        # a tuple's contents cannot change under us.
+        self._index_memo: Optional[Tuple[Sequence[PresentedCredential],
+                                         CredentialIndex]] = None
 
     # -- public entry points -------------------------------------------------
     def match_activation(self, rule: ActivationRule,
                          requested_parameters: Optional[Sequence[Term]],
                          credentials: Sequence[PresentedCredential],
                          context: Optional[EvaluationContext] = None,
+                         index: Optional[CredentialIndex] = None,
                          ) -> Optional[Tuple[RuleMatch, Role]]:
         """Try to satisfy an activation rule.
 
@@ -157,7 +237,7 @@ class RuleEngine:
         context = context or self.context
         unbound_error: Optional[ActivationDenied] = None
         for match, role in self.enumerate_activations(
-                rule, credentials, context, requested_parameters):
+                rule, credentials, context, requested_parameters, index):
             if role is None:
                 unbound_error = ActivationDenied(
                     f"rule for {rule.target.role_name} satisfied but leaves "
@@ -174,6 +254,7 @@ class RuleEngine:
                               context: Optional[EvaluationContext] = None,
                               requested_parameters:
                               Optional[Sequence[Term]] = None,
+                              index: Optional[CredentialIndex] = None,
                               ) -> Iterator[Tuple[RuleMatch,
                                                   Optional[Role]]]:
         """Yield every satisfying match of an activation rule.
@@ -189,10 +270,8 @@ class RuleEngine:
                                 requested_parameters)
         if subst is None:
             return
-        for match in self._solve(rule.conditions, subst, credentials,
-                                 context):
-            parameters = match.substitution.apply(
-                tuple(rule.target.parameters))
+        for match in self._solve(rule, subst, credentials, context, index):
+            parameters = match.substitution.apply(rule.target.parameters)
             if is_ground(parameters):
                 yield match, Role(rule.target.role_name, parameters)
             else:
@@ -202,6 +281,7 @@ class RuleEngine:
                             arguments: Sequence[Term],
                             credentials: Sequence[PresentedCredential],
                             context: Optional[EvaluationContext] = None,
+                            index: Optional[CredentialIndex] = None,
                             ) -> Optional[RuleMatch]:
         """Try to satisfy an authorization rule for a ground argument list."""
         context = context or self.context
@@ -214,7 +294,7 @@ class RuleEngine:
         subst = unify_sequences(rule.parameters, arguments)
         if subst is None:
             return None
-        for match in self._solve(rule.conditions, subst, credentials, context):
+        for match in self._solve(rule, subst, credentials, context, index):
             return match
         return None
 
@@ -222,6 +302,7 @@ class RuleEngine:
                           requested_parameters: Sequence[Term],
                           credentials: Sequence[PresentedCredential],
                           context: Optional[EvaluationContext] = None,
+                          index: Optional[CredentialIndex] = None,
                           ) -> Optional[RuleMatch]:
         """Try to satisfy an appointment-issuing rule.
 
@@ -235,8 +316,8 @@ class RuleEngine:
         subst = unify_sequences(rule.parameters, requested_parameters)
         if subst is None:
             return None
-        for match in self._solve(rule.conditions, subst, credentials, context):
-            parameters = match.substitution.apply(tuple(rule.parameters))
+        for match in self._solve(rule, subst, credentials, context, index):
+            parameters = match.substitution.apply(rule.parameters)
             if not is_ground(parameters):
                 raise PolicyError(
                     f"appointment {rule.name} parameters {parameters!r} not "
@@ -260,29 +341,95 @@ class RuleEngine:
             if not is_ground(requested_term):
                 raise PolicyError(
                     f"requested parameter {requested_term!r} is not ground")
-            from .terms import unify
-
             subst = unify(head_term, requested_term, subst)
             if subst is None:
                 return None
         return subst
 
-    def _solve(self, conditions: Sequence[Condition], subst: Substitution,
+    def _solve(self, rule: Union[ActivationRule, AuthorizationRule,
+                                 AppointmentRule],
+               subst: Substitution,
                credentials: Sequence[PresentedCredential],
-               context: EvaluationContext) -> Iterator[RuleMatch]:
-        # Credential conditions first so constraint variables are bound;
-        # sound because the body is a conjunction.
-        credential_conditions = [c for c in conditions
-                                 if not isinstance(c, ConstraintCondition)]
-        constraint_conditions = [c for c in conditions
-                                 if isinstance(c, ConstraintCondition)]
-        ordered = credential_conditions + constraint_conditions
-        yield from self._solve_ordered(ordered, subst, credentials, context, [])
+               context: EvaluationContext,
+               index: Optional[CredentialIndex] = None
+               ) -> Iterator[RuleMatch]:
+        # Credential conditions before constraints so constraint variables
+        # are bound; sound because the body is a conjunction.  The split is
+        # cached on the (immutable) rule.
+        credential_conditions, constraint_conditions = rule.condition_partition
+        if not self.optimized:
+            return self._solve_naive(
+                credential_conditions + constraint_conditions, subst,
+                credentials, context, [])
+        if index is None:
+            memo = self._index_memo
+            if memo is not None and memo[0] is credentials:
+                index = memo[1]
+            else:
+                index = CredentialIndex(credentials)
+                if type(credentials) is tuple:
+                    self._index_memo = (credentials, index)
+        # Matched rows are emitted in this canonical order (credential
+        # conditions in rule order, then constraints) regardless of the
+        # solve order below, so both solver paths produce identical matches.
+        canonical = credential_conditions + constraint_conditions
+        if len(credential_conditions) > 1:
+            # Most selective condition first: fewest candidate credentials.
+            # Stable sort keeps rule order among equally selective ones.
+            ordered = (*sorted(credential_conditions,
+                               key=lambda c: len(index.candidates(c))),
+                       *constraint_conditions)
+        else:
+            ordered = canonical
+        return self._solve_indexed(ordered, canonical, subst, index, context)
 
-    def _solve_ordered(self, conditions: List[Condition], subst: Substitution,
-                       credentials: Sequence[PresentedCredential],
-                       context: EvaluationContext,
-                       matched: List[MatchedCondition]) -> Iterator[RuleMatch]:
+    def _solve_indexed(self, ordered: Sequence[Condition],
+                       canonical: Sequence[Condition], subst: Substitution,
+                       index: CredentialIndex, context: EvaluationContext
+                       ) -> Iterator[RuleMatch]:
+        total = len(ordered)
+        if ordered is canonical:
+            slots_for: Sequence[int] = range(total)
+        else:
+            # Map each condition occurrence in solve order to its slot in
+            # the canonical output order (id-based; duplicates pair up
+            # positionally).
+            slot_queues: Dict[int, deque] = defaultdict(deque)
+            for position, condition in enumerate(canonical):
+                slot_queues[id(condition)].append(position)
+            slots_for = [slot_queues[id(c)].popleft() for c in ordered]
+        slots: List[Optional[MatchedCondition]] = [None] * total
+
+        def solve(at: int, subst: Substitution) -> Iterator[RuleMatch]:
+            if at == total:
+                yield RuleMatch(substitution=subst, matched=tuple(slots))
+                return
+            condition = ordered[at]
+            slot = slots_for[at]
+            if isinstance(condition, ConstraintCondition):
+                if condition.constraint.evaluate(subst, context):
+                    slots[slot] = MatchedCondition(condition, None)
+                    yield from solve(at + 1, subst)
+                return
+            pattern = condition.pattern
+            for credential in index.candidates(condition):
+                extended = unify_sequences(pattern,
+                                           credential.parameter_values, subst)
+                if extended is None:
+                    continue
+                slots[slot] = MatchedCondition(condition, credential)
+                yield from solve(at + 1, extended)
+
+        return solve(0, subst)
+
+    def _solve_naive(self, conditions: Sequence[Condition],
+                     subst: Substitution,
+                     credentials: Sequence[PresentedCredential],
+                     context: EvaluationContext,
+                     matched: List[MatchedCondition]) -> Iterator[RuleMatch]:
+        """The seed engine's solver, retained verbatim as the reference path
+        for differential tests and the benchmark harness's baseline: linear
+        scan over all credentials per condition, list slicing per step."""
         if not conditions:
             yield RuleMatch(substitution=subst, matched=tuple(matched))
             return
@@ -291,8 +438,8 @@ class RuleEngine:
         if isinstance(condition, ConstraintCondition):
             if condition.constraint.evaluate(subst, context):
                 matched.append(MatchedCondition(condition, None))
-                yield from self._solve_ordered(rest, subst, credentials,
-                                               context, matched)
+                yield from self._solve_naive(rest, subst, credentials,
+                                             context, matched)
                 matched.pop()
             return
 
@@ -310,6 +457,6 @@ class RuleEngine:
             if extended is None:
                 continue
             matched.append(MatchedCondition(condition, credential))
-            yield from self._solve_ordered(rest, extended, credentials,
-                                           context, matched)
+            yield from self._solve_naive(rest, extended, credentials,
+                                         context, matched)
             matched.pop()

@@ -20,7 +20,7 @@ rooted at an initial role).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
 from .exceptions import PolicyError, UnknownRole
 from .rules import (
@@ -33,6 +33,8 @@ from .types import RoleName, RoleTemplate, ServiceId
 
 __all__ = ["ServicePolicy"]
 
+RuleUnion = Union[ActivationRule, AuthorizationRule, AppointmentRule]
+
 
 class ServicePolicy:
     """The complete access-control policy of one OASIS service."""
@@ -43,6 +45,14 @@ class ServicePolicy:
         self._activation_rules: Dict[str, List[ActivationRule]] = {}
         self._authorization_rules: Dict[str, List[AuthorizationRule]] = {}
         self._appointment_rules: Dict[str, List[AppointmentRule]] = {}
+        # Rule dispatch index: immutable per-target rule tuples handed to
+        # the hot activation/invocation paths without a per-call list copy.
+        # Keyed by (rule kind, target name); the target's arity is implied —
+        # every rule for a role carries the role's single declared arity
+        # (enforced in add_activation_rule).  Entries are invalidated when a
+        # rule is added for the target.
+        self._dispatch: Dict[Tuple[str, str],
+                             Tuple[RuleUnion, ...]] = {}
 
     # -- role definitions ----------------------------------------------------
     def define_role(self, name: str, arity: int = 0) -> RoleName:
@@ -88,24 +98,44 @@ class ServicePolicy:
                 f"rule for {target.name!r} has arity {rule.target.arity}, "
                 f"role declared with arity {self.role_arity(target.name)}")
         self._activation_rules.setdefault(target.name, []).append(rule)
+        self._dispatch.pop(("activation", target.name), None)
 
     def add_authorization_rule(self, rule: AuthorizationRule) -> None:
         self._authorization_rules.setdefault(rule.method, []).append(rule)
+        self._dispatch.pop(("authorization", rule.method), None)
 
     def add_appointment_rule(self, rule: AppointmentRule) -> None:
         self._appointment_rules.setdefault(rule.name, []).append(rule)
+        self._dispatch.pop(("appointment", rule.name), None)
 
-    def activation_rules_for(self, role_name: str) -> List[ActivationRule]:
-        if not self.defines_role(role_name):
-            raise UnknownRole(
-                f"service {self.service} defines no role {role_name!r}")
-        return list(self._activation_rules.get(role_name, []))
+    def activation_rules_for(self, role_name: str
+                             ) -> Tuple[ActivationRule, ...]:
+        key = ("activation", role_name)
+        cached = self._dispatch.get(key)
+        if cached is None:
+            if not self.defines_role(role_name):
+                raise UnknownRole(
+                    f"service {self.service} defines no role {role_name!r}")
+            cached = tuple(self._activation_rules.get(role_name, ()))
+            self._dispatch[key] = cached
+        return cached
 
-    def authorization_rules_for(self, method: str) -> List[AuthorizationRule]:
-        return list(self._authorization_rules.get(method, []))
+    def authorization_rules_for(self, method: str
+                                ) -> Tuple[AuthorizationRule, ...]:
+        key = ("authorization", method)
+        cached = self._dispatch.get(key)
+        if cached is None:
+            cached = tuple(self._authorization_rules.get(method, ()))
+            self._dispatch[key] = cached
+        return cached
 
-    def appointment_rules_for(self, name: str) -> List[AppointmentRule]:
-        return list(self._appointment_rules.get(name, []))
+    def appointment_rules_for(self, name: str) -> Tuple[AppointmentRule, ...]:
+        key = ("appointment", name)
+        cached = self._dispatch.get(key)
+        if cached is None:
+            cached = tuple(self._appointment_rules.get(name, ()))
+            self._dispatch[key] = cached
+        return cached
 
     @property
     def guarded_methods(self) -> List[str]:

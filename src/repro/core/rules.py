@@ -30,6 +30,7 @@ appointment certificates").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import FrozenSet, Iterator, Optional, Tuple, Union
 
 from .constraints import EnvironmentalConstraint
@@ -42,6 +43,7 @@ __all__ = [
     "AppointmentCondition",
     "ConstraintCondition",
     "Condition",
+    "partition_conditions",
     "ActivationRule",
     "AuthorizationRule",
     "AppointmentRule",
@@ -60,6 +62,17 @@ class PrerequisiteRole:
 
     template: RoleTemplate
     membership: bool = False
+
+    @cached_property
+    def index_key(self) -> Tuple[str, object, int]:
+        """Bucket key for the engine's credential index: only RMCs with this
+        exact role name and arity can satisfy the condition."""
+        return ("rmc", self.template.role_name, self.template.arity)
+
+    @cached_property
+    def pattern(self) -> Tuple[Term, ...]:
+        """The parameter terms unified against a candidate credential."""
+        return self.template.parameters
 
     def variables(self) -> FrozenSet[Var]:
         return frozenset(v for param in self.template.parameters
@@ -88,6 +101,17 @@ class AppointmentCondition:
         if not self.name:
             raise PolicyError("appointment name must be non-empty")
 
+    @cached_property
+    def index_key(self) -> Tuple[str, object, str, int]:
+        """Bucket key for the engine's credential index: only appointment
+        certificates of this exact issuer, name and arity can satisfy it."""
+        return ("appointment", self.issuer, self.name, len(self.parameters))
+
+    @cached_property
+    def pattern(self) -> Tuple[Term, ...]:
+        """The parameter terms unified against a candidate credential."""
+        return self.parameters
+
     def variables(self) -> FrozenSet[Var]:
         return frozenset(v for param in self.parameters
                          for v in variables_in(param))
@@ -114,6 +138,23 @@ class ConstraintCondition:
 
 
 Condition = Union[PrerequisiteRole, AppointmentCondition, ConstraintCondition]
+
+
+def partition_conditions(conditions: Tuple[Condition, ...]
+                         ) -> Tuple[Tuple[Condition, ...],
+                                    Tuple[Condition, ...]]:
+    """Split a rule body into (credential conditions, constraints), each in
+    rule order — the canonical evaluation order of the engine.  Rule classes
+    cache this per instance (bodies are immutable), so the solver pays for
+    the split once per rule rather than once per evaluation."""
+    credential_conditions = []
+    constraint_conditions = []
+    for condition in conditions:
+        if isinstance(condition, ConstraintCondition):
+            constraint_conditions.append(condition)
+        else:
+            credential_conditions.append(condition)
+    return tuple(credential_conditions), tuple(constraint_conditions)
 
 
 def _credential_conditions(conditions: Tuple[Condition, ...]
@@ -154,6 +195,11 @@ class ActivationRule:
     def __post_init__(self) -> None:
         _check_constraint_safety(self.head_variables(), self.conditions,
                                  f"activation rule for {self.target.role_name}")
+
+    @cached_property
+    def condition_partition(self) -> Tuple[Tuple[Condition, ...],
+                                           Tuple[Condition, ...]]:
+        return partition_conditions(self.conditions)
 
     def head_variables(self) -> FrozenSet[Var]:
         return frozenset(v for param in self.target.parameters
@@ -209,6 +255,11 @@ class AuthorizationRule:
         _check_constraint_safety(head_vars, self.conditions,
                                  f"authorization rule for {self.method}")
 
+    @cached_property
+    def condition_partition(self) -> Tuple[Tuple[Condition, ...],
+                                           Tuple[Condition, ...]]:
+        return partition_conditions(self.conditions)
+
     def __str__(self) -> str:
         params = ", ".join(repr(p) for p in self.parameters)
         body = ", ".join(str(c) for c in self.conditions) or "true"
@@ -238,6 +289,11 @@ class AppointmentRule:
                               for v in variables_in(param))
         _check_constraint_safety(head_vars, self.conditions,
                                  f"appointment rule for {self.name}")
+
+    @cached_property
+    def condition_partition(self) -> Tuple[Tuple[Condition, ...],
+                                           Tuple[Condition, ...]]:
+        return partition_conditions(self.conditions)
 
     def __str__(self) -> str:
         params = ", ".join(repr(p) for p in self.parameters)

@@ -48,7 +48,7 @@ from .credentials import (
     CredentialRefAllocator,
     RoleMembershipCertificate,
 )
-from .engine import PresentedCredential, RuleEngine, RuleMatch
+from .engine import CredentialIndex, PresentedCredential, RuleEngine, RuleMatch
 from .access_log import AccessKind, AccessLog
 from .exceptions import (
     ActivationDenied,
@@ -97,6 +97,9 @@ class ServiceStats:
     callbacks_served: int = 0
     cache_hits: int = 0
     cache_invalidations: int = 0
+    sig_verifications: int = 0
+    sig_cache_hits: int = 0
+    sig_cache_invalidations: int = 0
     revocations: int = 0
     cascade_revocations: int = 0
     membership_rechecks: int = 0
@@ -211,6 +214,19 @@ class OasisService:
         self._validation_cache: Dict[
             Tuple[CredentialRef, str, Optional[str]], bool] = {}
         self._ecr_subs: Dict[CredentialRef, List[Subscription]] = {}
+        # Signature-verification cache: str(ref) -> set of certificate
+        # fingerprints whose MAC already verified.  A fingerprint covers the
+        # signature bytes, the claimed bindings and the secret generation,
+        # so tampered certificates, stolen presentations and rotated
+        # secrets all miss.  Invalidation rides the same event channels as
+        # the ECR cache: any CREDENTIAL_REVOKED / CREDENTIAL_REISSUED event
+        # for the ref drops its entry (local revocations publish on the
+        # credential's channel and so flow through here too).
+        self._sig_cache: Dict[str, Set[Tuple]] = {}
+        self._sig_cache_subs = [
+            broker.subscribe(CREDENTIAL_REVOKED, self._on_sig_cache_event),
+            broker.subscribe(CREDENTIAL_REISSUED, self._on_sig_cache_event),
+        ]
         # Fig. 5 heartbeat fail-safe: when a timeout is configured, cached
         # validations are only trusted while the issuer's heartbeats keep
         # arriving; silence forces a fresh callback.
@@ -250,11 +266,12 @@ class OasisService:
         """
         presented = self._validate_presentations(principal, credentials)
         context = self.context.with_environment(**(environment or {}))
+        index = CredentialIndex(presented)
         last_denial: Optional[ActivationDenied] = None
         for rule in self.policy.activation_rules_for(role_name):
             try:
                 result = self._engine.match_activation(
-                    rule, parameters, presented, context)
+                    rule, parameters, presented, context, index)
             except ActivationDenied as denial:
                 last_denial = denial
                 continue
@@ -314,9 +331,11 @@ class OasisService:
             raise UnknownMethod(f"{self.id} has no method {method!r}")
         presented = self._validate_presentations(principal, credentials)
         context = self.context.with_environment(**(environment or {}))
+        index = CredentialIndex(presented)
+        arguments = list(arguments)
         for rule in self.policy.authorization_rules_for(method):
             match = self._engine.match_authorization(
-                rule, list(arguments), presented, context)
+                rule, arguments, presented, context, index)
             if match is not None:
                 self.stats.invocations += 1
                 self._audit(AccessKind.INVOCATION, principal.value,
@@ -348,13 +367,15 @@ class OasisService:
         """
         presented = self._validate_presentations(appointer, credentials)
         context = self.context.with_environment(**(environment or {}))
+        index = CredentialIndex(presented)
         rules = self.policy.appointment_rules_for(name)
         if not rules:
             raise AppointmentDenied(
                 f"{self.id} defines no appointment {name!r}")
+        parameters = list(parameters)
         for rule in rules:
             match = self._engine.match_appointment(
-                rule, list(parameters), presented, context)
+                rule, parameters, presented, context, index)
             if match is None:
                 continue
             ground = match.substitution.apply(tuple(parameters))
@@ -390,6 +411,7 @@ class OasisService:
         credential *records* stay valid, so no dependency cascade fires.)
         """
         self.secret = self.secret.rotated()
+        self._sig_cache.clear()
         for record in self._records.values():
             if record.kind == "appointment" and record.active:
                 self.broker.publish(Event.make(
@@ -686,7 +708,7 @@ class OasisService:
                 f"credential {certificate.ref} revoked: "
                 f"{record.revoked_reason}")
         if isinstance(certificate, RoleMembershipCertificate):
-            certificate.verify(self.secret, PrincipalId(principal_value))
+            self._verify_signature(certificate, principal_value, None)
         else:
             if certificate.is_expired(self.clock()):
                 raise CredentialExpired(
@@ -702,7 +724,38 @@ class OasisService:
                 raise SignatureInvalid(
                     f"appointment {certificate.ref} is bound to "
                     f"{bound!r}, presented by {principal_value!r}")
+            self._verify_signature(certificate, principal_value, holder)
+
+    def _verify_signature(self, certificate: Certificate,
+                          principal_value: str,
+                          holder: Optional[str]) -> None:
+        """MAC verification behind the fingerprint-keyed cache.
+
+        Only *successful* verifications are cached; a fingerprint binds the
+        exact signature bytes, the presented identities and the current
+        secret generation, so any change to certificate, presenter or
+        secret re-verifies from scratch.
+        """
+        fingerprint = (certificate.signature, principal_value, holder,
+                       self.secret.generation)
+        ref_key = str(certificate.ref)
+        cached = self._sig_cache.get(ref_key)
+        if cached is not None and fingerprint in cached:
+            self.stats.sig_cache_hits += 1
+            return
+        self.stats.sig_verifications += 1
+        if isinstance(certificate, RoleMembershipCertificate):
+            certificate.verify(self.secret, PrincipalId(principal_value))
+        else:
             certificate.verify(self.secret, holder)
+        if cached is None:
+            self._sig_cache[ref_key] = cached = set()
+        cached.add(fingerprint)
+
+    def _on_sig_cache_event(self, event: Event) -> None:
+        ref = event.get("credential_ref")
+        if ref and self._sig_cache.pop(ref, None) is not None:
+            self.stats.sig_cache_invalidations += 1
 
     # ------------------------------------------------------------------
     # Introspection

@@ -46,12 +46,15 @@ class Var:
     case (``doc``, ``pat``) but nothing is enforced here.
     """
 
-    __slots__ = ("name",)
+    __slots__ = ("name", "_hash")
 
     def __init__(self, name: str) -> None:
         if not isinstance(name, str) or not name:
             raise TypeError("variable name must be a non-empty string")
         self.name = name
+        # Precomputed: variables key every substitution lookup on the
+        # solver's hot path.
+        self._hash = hash(("Var", name))
 
     def __repr__(self) -> str:
         return f"?{self.name}"
@@ -60,7 +63,7 @@ class Var:
         return isinstance(other, Var) and other.name == self.name
 
     def __hash__(self) -> int:
-        return hash(("Var", self.name))
+        return self._hash
 
 
 #: A term is a variable, an atomic Python constant, or a tuple of terms.
@@ -109,6 +112,9 @@ def variables_in(term: Term) -> Iterator[Var]:
             yield from variables_in(sub)
 
 
+_MISSING = object()
+
+
 class Substitution(Mapping[Var, Term]):
     """An immutable map from variables to terms.
 
@@ -116,65 +122,136 @@ class Substitution(Mapping[Var, Term]):
     :meth:`apply`.  They are *idempotent*: bindings are resolved through the
     substitution when applied, so chained bindings (``x -> y, y -> 1``)
     behave correctly.
+
+    Internally a substitution is *persistent*: :meth:`bind` allocates a
+    single chain node sharing all ancestor bindings instead of copying (and
+    re-validating) the whole mapping, so extending a substitution is O(1)
+    and a rule solve that binds n variables costs O(n), not O(n²).  Lookups
+    walk the chain (bounded by the number of bindings a single rule can
+    make, i.e. small); the flat dict is materialised lazily only for
+    iteration, equality and hashing.  :meth:`apply` memoises resolved
+    variables per instance — sound because instances never change.
     """
 
-    __slots__ = ("_bindings",)
+    __slots__ = ("_parent", "_var", "_value", "_size", "_flat", "_cache")
 
     def __init__(self, bindings: Optional[Mapping[Var, Term]] = None) -> None:
-        self._bindings: Dict[Var, Term] = dict(bindings) if bindings else {}
-        for var, value in self._bindings.items():
+        flat: Dict[Var, Term] = dict(bindings) if bindings else {}
+        for var, value in flat.items():
             if not isinstance(var, Var):
                 raise TypeError(f"substitution keys must be Var, got {var!r}")
             _check_term(value)
+        self._parent: Optional[Substitution] = None
+        self._var: Optional[Var] = None
+        self._value: Optional[Term] = None
+        self._size = len(flat)
+        self._flat: Optional[Dict[Var, Term]] = flat
+        self._cache: Dict[Var, Term] = {}
+
+    def _lookup(self, var: Var) -> Term:
+        """Return the direct binding of ``var`` or the _MISSING sentinel."""
+        node: Substitution = self
+        while node._flat is None:
+            if node._var == var:
+                return node._value
+            node = node._parent
+        return node._flat.get(var, _MISSING)
+
+    def _materialize(self) -> Dict[Var, Term]:
+        if self._flat is None:
+            chain = []
+            node: Substitution = self
+            while node._flat is None:
+                chain.append((node._var, node._value))
+                node = node._parent
+            flat = dict(node._flat)
+            for var, value in reversed(chain):
+                flat[var] = value
+            self._flat = flat
+        return self._flat
 
     # -- Mapping interface -------------------------------------------------
     def __getitem__(self, var: Var) -> Term:
-        return self._bindings[var]
+        value = self._lookup(var)
+        if value is _MISSING:
+            raise KeyError(var)
+        return value
 
     def __iter__(self) -> Iterator[Var]:
-        return iter(self._bindings)
+        return iter(self._materialize())
 
     def __len__(self) -> int:
-        return len(self._bindings)
+        return self._size
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{v!r}={t!r}" for v, t in sorted(
-            self._bindings.items(), key=lambda item: item[0].name))
+            self._materialize().items(), key=lambda item: item[0].name))
         return f"{{{inner}}}"
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, Substitution):
-            return self._bindings == other._bindings
+            return self._materialize() == other._materialize()
         return NotImplemented
 
     def __hash__(self) -> int:
-        return hash(frozenset(self._bindings.items()))
+        return hash(frozenset(self._materialize().items()))
 
     # -- operations --------------------------------------------------------
     def apply(self, term: Term) -> Term:
         """Apply this substitution to ``term``, resolving chains of bindings."""
         if isinstance(term, Var):
+            cached = self._cache.get(term, _MISSING)
+            if cached is not _MISSING:
+                return cached
             seen = set()
             current: Term = term
-            while isinstance(current, Var) and current in self._bindings:
+            while isinstance(current, Var):
+                value = self._lookup(current)
+                if value is _MISSING:
+                    break
                 if current in seen:  # defensive: cycles cannot arise via unify()
                     raise ValueError(f"cyclic substitution at {current!r}")
                 seen.add(current)
-                current = self._bindings[current]
+                current = value
             if isinstance(current, tuple):
-                return tuple(self.apply(sub) for sub in current)
+                current = tuple(self.apply(sub) for sub in current)
+            self._cache[term] = current
             return current
         if isinstance(term, tuple):
             return tuple(self.apply(sub) for sub in term)
         return term
 
+    def resolve(self, term: Term) -> Term:
+        """Dereference variable chains *shallowly*: follow ``var -> var ->
+        value`` links but do not rebuild tuples.  Unification only needs the
+        outermost shape of a term, so this avoids :meth:`apply`'s recursive
+        tuple copies on the solver's hot path."""
+        steps = 0
+        while type(term) is Var:
+            value = self._lookup(term)
+            if value is _MISSING:
+                return term
+            term = value
+            steps += 1
+            if steps > self._size:  # defensive: unify() cannot build cycles
+                raise ValueError(f"cyclic substitution at {term!r}")
+        return term
+
     def bind(self, var: Var, value: Term) -> "Substitution":
         """Return a new substitution extended with ``var -> value``."""
-        if var in self._bindings:
+        if not isinstance(var, Var):
+            raise TypeError(f"substitution keys must be Var, got {var!r}")
+        if self._lookup(var) is not _MISSING:
             raise ValueError(f"variable {var!r} already bound")
-        new = dict(self._bindings)
-        new[var] = value
-        return Substitution(new)
+        _check_term(value)
+        new = Substitution.__new__(Substitution)
+        new._parent = self
+        new._var = var
+        new._value = value
+        new._size = self._size + 1
+        new._flat = None
+        new._cache = {}
+        return new
 
     def merged_with(self, other: "Substitution") -> Optional["Substitution"]:
         """Merge two substitutions, unifying on shared variables.
@@ -211,13 +288,15 @@ def unify(left: Term, right: Term,
     here even though ``1 == True`` in Python, because certificate parameters
     must not silently coerce.
     """
-    left = subst.apply(left)
-    right = subst.apply(right)
+    left = subst.resolve(left)
+    right = subst.resolve(right)
 
     if isinstance(left, Var):
         if isinstance(right, Var) and right == left:
             return subst
-        if _occurs(left, right, subst):
+        # Occurs check: only a tuple can contain the variable (an atomic
+        # right cannot, and a distinct resolved variable never equals left).
+        if isinstance(right, tuple) and _occurs(left, right, subst):
             return None
         return subst.bind(left, right)
     if isinstance(right, Var):
@@ -248,5 +327,21 @@ def unify(left: Term, right: Term,
 def unify_sequences(left: Iterable[Term], right: Iterable[Term],
                     subst: Substitution = EMPTY_SUBSTITUTION,
                     ) -> Optional[Substitution]:
-    """Unify two equal-length sequences of terms pair-wise."""
-    return unify(tuple(left), tuple(right), subst)
+    """Unify two equal-length sequences of terms pair-wise.
+
+    Pair-wise iteration (rather than wrapping both sides in tuples and
+    unifying those) skips a tuple copy and a full :meth:`Substitution.apply`
+    of each side per call.
+    """
+    if type(left) is not tuple:
+        left = tuple(left)
+    if type(right) is not tuple:
+        right = tuple(right)
+    if len(left) != len(right):
+        return None
+    current: Optional[Substitution] = subst
+    for sub_left, sub_right in zip(left, right):
+        current = unify(sub_left, sub_right, current)
+        if current is None:
+            return None
+    return current

@@ -55,6 +55,16 @@ class ServiceId:
         if not self.domain or not self.name:
             raise ValueError("service id needs both domain and name")
 
+    def __hash__(self) -> int:
+        # Cached: service ids key credential-index buckets, registries and
+        # caches on every request, and the fields are immutable.
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash((self.domain, self.name))
+            self.__dict__["_hash"] = value
+            return value
+
     def __str__(self) -> str:
         return f"{self.domain}/{self.name}"
 
@@ -73,6 +83,16 @@ class RoleName:
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("role name must be non-empty")
+
+    def __hash__(self) -> int:
+        # Cached for the same reason as ServiceId (nested dataclass hashing
+        # is otherwise recomputed on every index lookup).
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash((self.service, self.name))
+            self.__dict__["_hash"] = value
+            return value
 
     def __str__(self) -> str:
         return f"{self.service}:{self.name}"

@@ -84,7 +84,7 @@ class TestRuleAddition:
         assert policy.guarded_methods == ["read"]
         assert policy.appointment_names == ["allocated"]
         assert len(policy.authorization_rules_for("read")) == 1
-        assert policy.authorization_rules_for("unknown") == []
+        assert policy.authorization_rules_for("unknown") == ()
 
 
 class TestAnalysis:
