@@ -25,11 +25,16 @@ from repro.domains import Deployment
 from repro.lang import PolicyUniverse, load_policies, parse_policy
 
 POLICY_DIR = os.path.join(os.path.dirname(__file__), "policies")
+# buggy_clinic.oasis also lives in that directory, but it is the linter's
+# golden fixture of seeded defects (docs/policy-analysis.md), not part of
+# the deployed hospital.
+POLICY_FILES = [os.path.join(POLICY_DIR, name)
+                for name in ("admin.oasis", "login.oasis", "records.oasis")]
 
 
 def main() -> None:
     # 1. Load and statically check the policy files.
-    policies, universe = load_policies([POLICY_DIR],
+    policies, universe = load_policies(POLICY_FILES,
                                        allow_unresolved=True)
     print(f"loaded {len(policies)} service policies from {POLICY_DIR}")
 
@@ -79,7 +84,7 @@ def main() -> None:
         "not_excluded",
         lambda pat, doc: DatabaseLookupConstraint.not_exists(
             "main", "excluded", patient=pat, doctor=doc))
-    deployed, _ = load_policies([POLICY_DIR], registry=registry)
+    deployed, _ = load_policies(POLICY_FILES, registry=registry)
 
     deployment = Deployment()
     hospital = deployment.create_domain("hospital")

@@ -23,6 +23,10 @@ from repro.db import Database
 from repro.lang import Endowment, GroundReachability, load_policies
 
 POLICY_DIR = os.path.join(os.path.dirname(__file__), "policies")
+# Only the hospital's deployed policies — buggy_clinic.oasis in the same
+# directory is the linter's golden fixture (docs/policy-analysis.md).
+POLICY_FILES = [os.path.join(POLICY_DIR, name)
+                for name in ("admin.oasis", "login.oasis", "records.oasis")]
 
 LOGIN = ServiceId("hospital", "login")
 ADMIN = ServiceId("hospital", "admin")
@@ -39,7 +43,7 @@ def main() -> None:
         "not_excluded",
         lambda pat, doc: DatabaseLookupConstraint.not_exists(
             "main", "excluded", patient=pat, doctor=doc))
-    _, universe = load_policies([POLICY_DIR], registry=registry)
+    _, universe = load_policies(POLICY_FILES, registry=registry)
 
     # The environment snapshot the verdicts are exact for:
     db = Database("main")

@@ -14,7 +14,7 @@ against OASIS in ``benchmarks/bench_baselines.py``.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, Set, Tuple
 
 __all__ = ["AclSystem"]
 

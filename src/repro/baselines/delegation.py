@@ -19,7 +19,7 @@ OASIS appointment — the behavioural distinction
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 __all__ = ["DelegationSystem", "DelegationError"]
 

@@ -14,10 +14,9 @@ same revocation workload and reports staleness and message cost.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, Optional
 
 from ..core.credentials import CredentialRef
-from ..core.exceptions import CredentialInvalid
 from ..core.service import OasisService
 from ..net import Scheduler
 

@@ -17,7 +17,7 @@ that blow-up measurable.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, Set, Tuple
 
 __all__ = ["Rbac0System", "Rbac1System"]
 

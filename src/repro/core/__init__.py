@@ -68,6 +68,7 @@ from .rules import (
     Condition,
     ConstraintCondition,
     PrerequisiteRole,
+    SourceSpan,
 )
 from .policy import ServicePolicy
 from .credentials import (
@@ -131,7 +132,7 @@ __all__ = [
     # rules
     "ActivationRule", "AppointmentCondition", "AppointmentRule",
     "AuthorizationRule", "Condition", "ConstraintCondition",
-    "PrerequisiteRole",
+    "PrerequisiteRole", "SourceSpan",
     # policy
     "ServicePolicy",
     # credentials

@@ -12,8 +12,8 @@ be filtered by principal, kind or time window.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional, Tuple
 
 __all__ = ["AccessRecord", "AccessLog"]
 

@@ -20,16 +20,11 @@ rooted at an initial role).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from .exceptions import PolicyError, UnknownRole
-from .rules import (
-    ActivationRule,
-    AppointmentRule,
-    AuthorizationRule,
-    PrerequisiteRole,
-)
-from .types import RoleName, RoleTemplate, ServiceId
+from .rules import ActivationRule, AppointmentRule, AuthorizationRule
+from .types import RoleName, ServiceId
 
 __all__ = ["ServicePolicy"]
 

@@ -39,6 +39,7 @@ from .terms import Term, Var, variables_in
 from .types import RoleTemplate, ServiceId
 
 __all__ = [
+    "SourceSpan",
     "PrerequisiteRole",
     "AppointmentCondition",
     "ConstraintCondition",
@@ -48,6 +49,26 @@ __all__ = [
     "AuthorizationRule",
     "AppointmentRule",
 ]
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """Provenance of a rule or condition in policy source text.
+
+    Lines and columns are 1-based; ``end_column`` is exclusive.  Compiled
+    rules carry spans so that analysis findings can point at the policy
+    *source* a reviewer edits rather than at a compiled object.  Spans are
+    excluded from equality/hashing of the objects that carry them: two
+    rules compiled from different files are still the same rule.
+    """
+
+    line: int
+    column: int
+    end_line: int
+    end_column: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
 
 
 @dataclass(frozen=True)
@@ -62,6 +83,8 @@ class PrerequisiteRole:
 
     template: RoleTemplate
     membership: bool = False
+    origin: Optional[SourceSpan] = field(default=None, compare=False,
+                                         repr=False)
 
     @cached_property
     def index_key(self) -> Tuple[str, object, int]:
@@ -96,6 +119,8 @@ class AppointmentCondition:
     name: str
     parameters: Tuple[Term, ...] = field(default=())
     membership: bool = False
+    origin: Optional[SourceSpan] = field(default=None, compare=False,
+                                         repr=False)
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -128,6 +153,8 @@ class ConstraintCondition:
 
     constraint: EnvironmentalConstraint
     membership: bool = False
+    origin: Optional[SourceSpan] = field(default=None, compare=False,
+                                         repr=False)
 
     def variables(self) -> FrozenSet[Var]:
         return self.constraint.free_variables()
@@ -191,6 +218,8 @@ class ActivationRule:
 
     target: RoleTemplate
     conditions: Tuple[Condition, ...] = field(default=())
+    origin: Optional[SourceSpan] = field(default=None, compare=False,
+                                         repr=False)
 
     def __post_init__(self) -> None:
         _check_constraint_safety(self.head_variables(), self.conditions,
@@ -246,6 +275,8 @@ class AuthorizationRule:
     method: str
     parameters: Tuple[Term, ...] = field(default=())
     conditions: Tuple[Condition, ...] = field(default=())
+    origin: Optional[SourceSpan] = field(default=None, compare=False,
+                                         repr=False)
 
     def __post_init__(self) -> None:
         if not self.method:
@@ -281,6 +312,8 @@ class AppointmentRule:
     name: str
     parameters: Tuple[Term, ...] = field(default=())
     conditions: Tuple[Condition, ...] = field(default=())
+    origin: Optional[SourceSpan] = field(default=None, compare=False,
+                                         repr=False)
 
     def __post_init__(self) -> None:
         if not self.name:

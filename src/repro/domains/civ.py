@@ -32,7 +32,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.audit import AuditCertificate, Outcome
 from ..core.credentials import CredentialRef
-from ..core.exceptions import CredentialInvalid, CredentialRevoked, SignatureInvalid
+from ..core.exceptions import CredentialInvalid, CredentialRevoked
 from ..core.types import ServiceId
 from ..crypto.hmac_sig import ServiceSecret
 

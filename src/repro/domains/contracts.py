@@ -24,7 +24,7 @@ counterparty's own key endorses the stated outcome, so later repudiation
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple
+from typing import Tuple
 
 from ..core.audit import AuditCertificate, Outcome
 from ..crypto.hmac_sig import canonical_encode

@@ -23,7 +23,7 @@ the paper's protocol:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
 from ..core.audit import (
     AuditCertificate,

@@ -37,7 +37,7 @@ from ..core.rules import (
     PrerequisiteRole,
 )
 from ..core.service import OasisService
-from ..core.terms import Term, Var
+from ..core.terms import Term
 from ..core.types import RoleTemplate, ServiceId
 
 __all__ = ["SlaTerm", "ServiceLevelAgreement"]

@@ -16,25 +16,54 @@ from .ast import (
     PolicyDocument,
     RoleAtom,
     RoleDecl,
+    SourceSpan,
 )
 from .lexer import LexError, Token, tokenize
 from .parser import ParseError, parse_document
 from .compiler import UnresolvedConstraint, compile_document, parse_policy
 from .printer import format_document
+from .diagnostics import (
+    CODES,
+    CodeInfo,
+    Diagnostic,
+    render_json,
+    render_sarif,
+    render_text,
+)
 from .analysis import Finding, PolicyUniverse
-from .loader import discover_policy_files, load_policies, load_policy_file
+from .loader import (
+    PolicyUnit,
+    discover_policy_files,
+    load_policies,
+    load_policy_file,
+    load_unit,
+    load_units,
+)
+from .passes import LintContext, run_passes
 from .model_check import Endowment, GroundReachability, ReachabilityResult
 
 __all__ = [
+    "CODES",
+    "CodeInfo",
+    "Diagnostic",
     "Endowment",
     "Finding",
     "GroundReachability",
+    "LintContext",
     "PolicyUniverse",
+    "PolicyUnit",
     "ReachabilityResult",
+    "SourceSpan",
     "UnresolvedConstraint",
     "discover_policy_files",
     "load_policies",
     "load_policy_file",
+    "load_unit",
+    "load_units",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "run_passes",
     "ActivateStmt",
     "AppointStmt",
     "AppointmentAtom",

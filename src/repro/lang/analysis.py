@@ -27,15 +27,10 @@ service under analysis and provides:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..core.policy import ServicePolicy
-from ..core.rules import (
-    ActivationRule,
-    AppointmentCondition,
-    ConstraintCondition,
-    PrerequisiteRole,
-)
+from ..core.rules import ActivationRule
 from ..core.types import RoleName, ServiceId
 
 __all__ = ["Finding", "PolicyUniverse", "AppointmentKey"]
@@ -209,81 +204,30 @@ class PolicyUniverse:
         return cycles
 
     # -- lint --------------------------------------------------------------
+    def diagnose(self) -> "List":
+        """Deployment-review findings as framework
+        :class:`~repro.lang.diagnostics.Diagnostic` objects.
+
+        Runs every registered pass of :mod:`repro.lang.passes` over this
+        universe.  Spans are present when the policies were compiled from
+        source (e.g. via :mod:`repro.lang.loader`); programmatically built
+        rules simply have no provenance.
+        """
+        from .passes import LintContext, run_passes
+
+        return run_passes(LintContext(universe=self))
+
     def lint(self) -> List[Finding]:
-        """Deployment-review findings across the whole universe."""
-        findings: List[Finding] = []
-        known_roles = set(self.all_roles())
-        defined_appointments = self.appointments_defined()
+        """Deployment-review findings across the whole universe.
 
-        for target, rule in self._activation_rules():
-            # Passive dependencies: credential conditions outside the
-            # membership rule do not trigger revocation cascades.
-            for condition in rule.conditions:
-                if isinstance(condition, (PrerequisiteRole,
-                                          AppointmentCondition)) \
-                        and not condition.membership:
-                    what = (str(condition.template)
-                            if isinstance(condition, PrerequisiteRole)
-                            else f"appointment {condition.issuer}:"
-                                 f"{condition.name}")
-                    findings.append(Finding(
-                        "warning", "passive-dependency", str(target),
-                        f"condition {what} is not in the membership rule: "
-                        f"revoking that credential will NOT deactivate "
-                        f"{target.name}"))
-            # Dangling references.
-            for prereq in rule.prerequisite_roles():
-                foreign = prereq.template.role_name
-                if foreign.service in self._policies \
-                        and foreign not in known_roles:
-                    findings.append(Finding(
-                        "error", "unknown-role", str(target),
-                        f"prerequisite {foreign} is not defined by "
-                        f"{foreign.service}"))
-            for condition in rule.appointment_conditions():
-                key = (condition.issuer, condition.name,
-                       len(condition.parameters))
-                if condition.issuer in self._policies \
-                        and key not in defined_appointments:
-                    findings.append(Finding(
-                        "error", "unissuable-appointment", str(target),
-                        f"no appointment rule issues "
-                        f"{condition.issuer}:{condition.name}/"
-                        f"{len(condition.parameters)}"))
-
-        for role in self.unreachable_roles():
-            findings.append(Finding(
-                "error", "unreachable-role", str(role),
-                "no combination of reachable roles and issuable "
-                "appointments satisfies any activation rule"))
-
-        for cycle in self.find_cycles():
-            names = " -> ".join(str(role) for role in cycle)
-            findings.append(Finding(
-                "error", "prerequisite-cycle", names,
-                "mutually prerequisite roles can never be activated"))
-
-        # Roles that gate nothing: no privilege and no dependants.
-        gated = {prereq for prereq, _ in self.role_dependency_graph()}
-        privileged: Set[RoleName] = set()
-        appointer: Set[RoleName] = set()
-        for service, policy in self._policies.items():
-            for method in policy.guarded_methods:
-                for rule in policy.authorization_rules_for(method):
-                    for condition in rule.conditions:
-                        if isinstance(condition, PrerequisiteRole):
-                            privileged.add(condition.template.role_name)
-            for name in policy.appointment_names:
-                for rule in policy.appointment_rules_for(name):
-                    for condition in rule.conditions:
-                        if isinstance(condition, PrerequisiteRole):
-                            appointer.add(condition.template.role_name)
-        for role in self.all_roles():
-            if role not in gated and role not in privileged \
-                    and role not in appointer:
-                findings.append(Finding(
-                    "info", "privilege-less-role", str(role),
-                    "role gates no method, appointment or other role"))
+        Compatibility facade over :meth:`diagnose`: each diagnostic is
+        flattened to a legacy :class:`Finding` whose ``code`` is the
+        diagnostic's slug name (``passive-dependency``, ...).  New code
+        should prefer :meth:`diagnose`, which keeps ``OASxxx`` codes and
+        source spans.
+        """
+        findings = [Finding(d.severity, d.name, d.subject, d.message)
+                    for d in self.diagnose()]
         return sorted(findings,
                       key=lambda f: ({"error": 0, "warning": 1,
                                       "info": 2}[f.severity], f.code,

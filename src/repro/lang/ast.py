@@ -38,7 +38,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple, Union
 
+from ..core.rules import SourceSpan
+
 __all__ = [
+    "SourceSpan",
     "ArgVar",
     "ArgConst",
     "Argument",
@@ -83,6 +86,8 @@ class RoleAtom:
     domain: Optional[str] = None
     service: Optional[str] = None
     membership: bool = False
+    span: Optional[SourceSpan] = field(default=None, compare=False,
+                                       repr=False)
 
     @property
     def qualified(self) -> bool:
@@ -98,6 +103,8 @@ class AppointmentAtom:
     name: str
     arguments: Tuple[Argument, ...]
     membership: bool = False
+    span: Optional[SourceSpan] = field(default=None, compare=False,
+                                       repr=False)
 
 
 @dataclass(frozen=True)
@@ -107,6 +114,8 @@ class ConstraintAtom:
     name: str
     arguments: Tuple[Argument, ...]
     membership: bool = False
+    span: Optional[SourceSpan] = field(default=None, compare=False,
+                                       repr=False)
 
 
 BodyAtom = Union[RoleAtom, AppointmentAtom, ConstraintAtom]
@@ -118,6 +127,8 @@ class RoleDecl:
 
     name: str
     parameters: Tuple[str, ...]
+    span: Optional[SourceSpan] = field(default=None, compare=False,
+                                       repr=False)
 
 
 @dataclass(frozen=True)
@@ -127,6 +138,8 @@ class ActivateStmt:
     head_name: str
     head_arguments: Tuple[Argument, ...]
     body: Tuple[BodyAtom, ...]
+    span: Optional[SourceSpan] = field(default=None, compare=False,
+                                       repr=False)
 
 
 @dataclass(frozen=True)
@@ -136,6 +149,8 @@ class AuthorizeStmt:
     method: str
     arguments: Tuple[Argument, ...]
     body: Tuple[BodyAtom, ...]
+    span: Optional[SourceSpan] = field(default=None, compare=False,
+                                       repr=False)
 
 
 @dataclass(frozen=True)
@@ -145,6 +160,8 @@ class AppointStmt:
     name: str
     arguments: Tuple[Argument, ...]
     body: Tuple[BodyAtom, ...]
+    span: Optional[SourceSpan] = field(default=None, compare=False,
+                                       repr=False)
 
 
 @dataclass(frozen=True)

@@ -2,9 +2,15 @@
 
 Commands:
 
+* ``lint <paths...>`` — run the full static-analysis framework
+  (:mod:`repro.lang.passes`) and report diagnostics with stable
+  ``OASxxx`` codes and source positions.  ``--format`` selects human
+  text (caret excerpts), JSON, or SARIF 2.1.0 output; ``--select`` /
+  ``--ignore`` filter by code; ``--strict`` makes warnings fail the
+  build.  Exit status 1 on any error (or warning with ``--strict``).
 * ``check <paths...>`` — parse, compile and validate every policy file,
-  then run the cross-service lint of :mod:`repro.lang.analysis`.  Exit
-  status 1 when any error-severity finding (or a parse failure) occurs.
+  then lint.  Exit status 1 when any error-severity finding (or a parse
+  failure) occurs; ``--strict`` extends that to warnings.
 * ``format <file>`` — print the canonical pretty-printed form (useful for
   normalising policies before review/diff).
 * ``graph <paths...>`` — print the cross-service role dependency edges.
@@ -19,8 +25,17 @@ from typing import List, Optional
 
 from ..core.exceptions import PolicyError
 from .analysis import PolicyUniverse
-from .loader import load_policies
+from .diagnostics import (
+    Diagnostic,
+    filter_diagnostics,
+    render_excerpt,
+    render_json,
+    render_sarif,
+    render_text,
+)
+from .loader import discover_policy_files, load_policies, load_unit
 from .parser import ParseError, parse_document
+from .passes import LintContext, run_passes
 from .printer import format_document
 
 __all__ = ["main"]
@@ -31,11 +46,37 @@ def _load(paths: List[str]) -> PolicyUniverse:
     return universe
 
 
+def _print_source_error(error: Exception) -> None:
+    """Report a parse/compile failure with position and caret excerpt."""
+    path = getattr(error, "path", None)
+    line = getattr(error, "line", 0)
+    column = getattr(error, "column", 0)
+    message = getattr(error, "bare_message", None) or str(error)
+    if path and line:
+        print(f"{path}:{line}:{column}: error: {message}", file=sys.stderr)
+    elif path:
+        print(f"{path}: error: {message}", file=sys.stderr)
+    else:
+        print(f"error: {error}", file=sys.stderr)
+        return
+    if line:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                excerpt = render_excerpt(handle.read(), line, column)
+        except OSError:
+            excerpt = ""
+        if excerpt:
+            print(excerpt, file=sys.stderr)
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     try:
         policies, universe = load_policies(args.paths,
                                            allow_unresolved=True)
-    except (ParseError, PolicyError, ValueError, OSError) as error:
+    except (ParseError, PolicyError) as error:
+        _print_source_error(error)
+        return 1
+    except (ValueError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
     status = 0
@@ -52,16 +93,92 @@ def _cmd_check(args: argparse.Namespace) -> int:
         print(str(finding), file=stream)
         if finding.severity == "error":
             status = 1
+        elif finding.severity == "warning" and args.strict:
+            status = 1
     if not findings:
         print("lint: clean")
     return status
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    files: List[str] = []
+    for path in args.paths:
+        files.extend(discover_policy_files(path))
+    if not files:
+        print("error: no .oasis policy files found", file=sys.stderr)
+        return 2
+
+    units = []
+    diagnostics: List[Diagnostic] = []
+    seen_services = {}
+    for path in files:
+        try:
+            unit = load_unit(path, allow_unresolved=True)
+        except (ParseError, PolicyError) as error:
+            diagnostics.append(_parse_diagnostic(path, error))
+            continue
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if unit.service in seen_services:
+            diagnostics.append(Diagnostic(
+                "OAS000",
+                f"service {unit.service} already defined by "
+                f"{seen_services[unit.service]}",
+                subject=str(unit.service), file=path))
+            continue
+        seen_services[unit.service] = path
+        units.append(unit)
+
+    context = LintContext.from_units(units)
+    diagnostics.extend(run_passes(context))
+    try:
+        diagnostics = filter_diagnostics(diagnostics, context.sources,
+                                         select=args.select,
+                                         ignore=args.ignore)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(render_json(diagnostics))
+    elif args.format == "sarif":
+        print(render_sarif(diagnostics))
+    else:
+        report = render_text(diagnostics, context.sources)
+        if report:
+            print(report)
+        else:
+            print(f"lint: clean ({len(files)} file(s), "
+                  f"{len(context.files)} service(s))")
+
+    worst = {d.severity for d in diagnostics}
+    if "error" in worst:
+        return 1
+    if "warning" in worst and args.strict:
+        return 1
+    return 0
+
+
+def _parse_diagnostic(path: str, error: Exception) -> Diagnostic:
+    from ..core.rules import SourceSpan
+
+    line = getattr(error, "line", 0)
+    column = getattr(error, "column", 0)
+    span = SourceSpan(line, column, line, column + 1) if line else None
+    message = getattr(error, "bare_message", None) or str(error)
+    return Diagnostic("OAS000", message, subject=path, file=path, span=span)
 
 
 def _cmd_format(args: argparse.Namespace) -> int:
     try:
         with open(args.file, "r", encoding="utf-8") as handle:
             document = parse_document(handle.read())
-    except (ParseError, OSError) as error:
+    except ParseError as error:
+        error.path = args.file
+        _print_source_error(error)
+        return 1
+    except OSError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
     output = format_document(document)
@@ -92,11 +209,28 @@ def _cmd_reach(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.lang.cli",
-        description="OASIS policy tooling: check, format, graph, reach")
+        description="OASIS policy tooling: lint, check, format, graph, "
+                    "reach")
     sub = parser.add_subparsers(dest="command", required=True)
+
+    lint = sub.add_parser(
+        "lint", help="static analysis with OASxxx diagnostics")
+    lint.add_argument("paths", nargs="+")
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text", help="report format")
+    lint.add_argument("--strict", action="store_true",
+                      help="warnings also fail the build")
+    lint.add_argument("--select", action="append", metavar="CODES",
+                      help="only report these codes (comma-separated "
+                           "OASxxx or slug names); repeatable")
+    lint.add_argument("--ignore", action="append", metavar="CODES",
+                      help="drop these codes; repeatable")
+    lint.set_defaults(func=_cmd_lint)
 
     check = sub.add_parser("check", help="validate and lint policy files")
     check.add_argument("paths", nargs="+")
+    check.add_argument("--strict", action="store_true",
+                       help="warnings also fail the build")
     check.set_defaults(func=_cmd_check)
 
     fmt = sub.add_parser("format", help="canonical pretty-print")

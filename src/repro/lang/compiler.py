@@ -32,12 +32,12 @@ from ..core.rules import (
     Condition,
     ConstraintCondition,
     PrerequisiteRole,
+    SourceSpan,
 )
 from ..core.terms import Term, Var
 from ..core.types import RoleName, RoleTemplate, ServiceId
 from .ast import (
     AppointmentAtom,
-    ArgConst,
     ArgVar,
     Argument,
     BodyAtom,
@@ -77,6 +77,15 @@ class UnresolvedConstraint(EnvironmentalConstraint):
         return f"UnresolvedConstraint({self.name})"
 
 
+def _positioned(error: PolicyError,
+                span: Optional[SourceSpan]) -> PolicyError:
+    """Tag a compile error with the source position of the offending node
+    (message unchanged; tooling reads ``error.line``/``error.column``)."""
+    error.line = span.line if span is not None else 0
+    error.column = span.column if span is not None else 0
+    return error
+
+
 def _term(argument: Argument) -> Term:
     if isinstance(argument, ArgVar):
         return Var(argument.name)
@@ -101,30 +110,34 @@ class _Compiler:
         for decl in self.document.roles:
             self.policy.define_role(decl.name, len(decl.parameters))
         for stmt in self.document.activations:
-            self._check_local_head(stmt.head_name, len(stmt.head_arguments))
+            self._check_local_head(stmt.head_name, len(stmt.head_arguments),
+                                   stmt.span)
             rule = ActivationRule(
                 RoleTemplate(RoleName(self.service, stmt.head_name),
                              _terms(stmt.head_arguments)),
-                self._body(stmt.body))
+                self._body(stmt.body), origin=stmt.span)
             self.policy.add_activation_rule(rule)
         for stmt in self.document.authorizations:
             self.policy.add_authorization_rule(AuthorizationRule(
-                stmt.method, _terms(stmt.arguments), self._body(stmt.body)))
+                stmt.method, _terms(stmt.arguments), self._body(stmt.body),
+                origin=stmt.span))
         for stmt in self.document.appointments:
             self.policy.add_appointment_rule(AppointmentRule(
-                stmt.name, _terms(stmt.arguments), self._body(stmt.body)))
+                stmt.name, _terms(stmt.arguments), self._body(stmt.body),
+                origin=stmt.span))
         return self.policy
 
-    def _check_local_head(self, name: str, arity: int) -> None:
+    def _check_local_head(self, name: str, arity: int,
+                          span: Optional[SourceSpan]) -> None:
         if not self.policy.defines_role(name):
-            raise PolicyError(
+            raise _positioned(PolicyError(
                 f"activate targets undeclared role {name!r}; add a "
-                f"'role {name}(...)' declaration")
+                f"'role {name}(...)' declaration"), span)
         declared = self.policy.role_arity(name)
         if declared != arity:
-            raise PolicyError(
+            raise _positioned(PolicyError(
                 f"activate {name!r} has {arity} arguments, role declared "
-                f"with arity {declared}")
+                f"with arity {declared}"), span)
 
     def _body(self, atoms: Tuple[BodyAtom, ...]) -> Tuple[Condition, ...]:
         return tuple(self._condition(atom) for atom in atoms)
@@ -136,7 +149,7 @@ class _Compiler:
             return AppointmentCondition(
                 issuer=ServiceId(atom.issuer_domain, atom.issuer_service),
                 name=atom.name, parameters=_terms(atom.arguments),
-                membership=atom.membership)
+                membership=atom.membership, origin=atom.span)
         assert isinstance(atom, ConstraintAtom)
         if self.registry is not None and atom.name in self.registry:
             constraint = self.registry.build(atom.name,
@@ -145,13 +158,14 @@ class _Compiler:
             constraint = UnresolvedConstraint(atom.name,
                                               _terms(atom.arguments))
         elif self.registry is None:
-            raise PolicyError(
+            raise _positioned(PolicyError(
                 f"policy uses constraint {atom.name!r} but no constraint "
-                f"registry was supplied")
+                f"registry was supplied"), atom.span)
         else:
             constraint = self.registry.build(atom.name,
                                              *_terms(atom.arguments))
-        return ConstraintCondition(constraint, membership=atom.membership)
+        return ConstraintCondition(constraint, membership=atom.membership,
+                                   origin=atom.span)
 
     def _role_condition(self, atom: RoleAtom) -> PrerequisiteRole:
         if atom.qualified:
@@ -160,19 +174,19 @@ class _Compiler:
                                  atom.name)
         else:
             if not self.policy.defines_role(atom.name):
-                raise PolicyError(
+                raise _positioned(PolicyError(
                     f"rule body uses undeclared local role {atom.name!r} "
                     f"(qualify it as domain/service:{atom.name} if it is "
-                    f"foreign)")
+                    f"foreign)"), atom.span)
             declared = self.policy.role_arity(atom.name)
             if declared != len(atom.arguments):
-                raise PolicyError(
+                raise _positioned(PolicyError(
                     f"role {atom.name!r} used with {len(atom.arguments)} "
-                    f"arguments, declared with arity {declared}")
+                    f"arguments, declared with arity {declared}"), atom.span)
             role_name = RoleName(self.service, atom.name)
         return PrerequisiteRole(
             RoleTemplate(role_name, _terms(atom.arguments)),
-            membership=atom.membership)
+            membership=atom.membership, origin=atom.span)
 
 
 def compile_document(document: PolicyDocument,

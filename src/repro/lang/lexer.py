@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import List
 
 __all__ = ["Token", "LexError", "tokenize", "KEYWORDS"]
 
@@ -15,7 +15,19 @@ KEYWORDS = frozenset({
 
 
 class LexError(ValueError):
-    """Raised on unrecognisable input, with line/column context."""
+    """Raised on unrecognisable input, with line/column context.
+
+    ``line``/``column`` are 1-based; ``bare_message`` is the message
+    without the position prefix (for callers that render positions
+    themselves, e.g. the caret excerpts of :mod:`repro.lang.diagnostics`).
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        prefix = f"line {line}, column {column}: " if line else ""
+        super().__init__(f"{prefix}{message}")
+        self.bare_message = message
+        self.line = line
+        self.column = column
 
 
 @dataclass(frozen=True)
@@ -60,9 +72,8 @@ def tokenize(text: str) -> List[Token]:
         match = _MASTER.match(text, position)
         if match is None:
             column = position - line_start + 1
-            raise LexError(
-                f"line {line}, column {column}: unexpected character "
-                f"{text[position]!r}")
+            raise LexError(f"unexpected character {text[position]!r}",
+                           line, column)
         kind = match.lastgroup
         value = match.group()
         column = position - line_start + 1

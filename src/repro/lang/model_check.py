@@ -21,8 +21,8 @@ for the optimistic over-approximation instead.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
 
 from ..core.constraints import EvaluationContext
 from ..core.credentials import (

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from ..core.rules import SourceSpan
 from .ast import (
     ActivateStmt,
     AppointStmt,
@@ -47,13 +48,33 @@ __all__ = ["ParseError", "parse_document"]
 
 
 class ParseError(ValueError):
-    """Raised on a syntactically invalid policy document."""
+    """Raised on a syntactically invalid policy document.
+
+    Carries 1-based ``line``/``column`` (0 when unknown) so tooling can
+    point at the offending source; ``bare_message`` omits the position
+    prefix.  ``path`` is filled in by callers that know which file was
+    being parsed (e.g. :mod:`repro.lang.loader`).
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        prefix = ""
+        if line:
+            prefix = f"line {line}"
+            if column:
+                prefix += f", column {column}"
+            prefix += ": "
+        super().__init__(f"{prefix}{message}")
+        self.bare_message = message
+        self.line = line
+        self.column = column
+        self.path: Optional[str] = None
 
 
 class _Parser:
     def __init__(self, tokens: List[Token]) -> None:
         self._tokens = tokens
         self._index = 0
+        self._last = tokens[0] if tokens else None
 
     # -- token plumbing -----------------------------------------------------
     @property
@@ -64,19 +85,24 @@ class _Parser:
         token = self.current
         if token.kind != "EOF":
             self._index += 1
+        self._last = token
         return token
 
     def _expect(self, kind: str, value: Optional[str] = None) -> Token:
         token = self.current
         if token.kind != kind or (value is not None and token.value != value):
             want = value or kind
-            raise ParseError(
-                f"line {token.line}: expected {want}, found "
-                f"{token.value!r}")
+            raise ParseError(f"expected {want}, found {token.value!r}",
+                             token.line, token.column)
         return self._advance()
 
     def _at_keyword(self, word: str) -> bool:
         return self.current.kind == "KEYWORD" and self.current.value == word
+
+    def _span_from(self, start: Token) -> SourceSpan:
+        end = self._last if self._last is not None else start
+        return SourceSpan(start.line, start.column,
+                          end.line, end.column + len(end.value))
 
     # -- grammar ------------------------------------------------------------
     def parse(self) -> PolicyDocument:
@@ -102,9 +128,9 @@ class _Parser:
             else:
                 token = self.current
                 raise ParseError(
-                    f"line {token.line}: expected a statement keyword "
+                    f"expected a statement keyword "
                     f"(role/activate/authorize/appoint), found "
-                    f"{token.value!r}")
+                    f"{token.value!r}", token.line, token.column)
         return PolicyDocument(
             domain=domain, service=service, roles=tuple(roles),
             activations=tuple(activations),
@@ -112,8 +138,9 @@ class _Parser:
             appointments=tuple(appointments))
 
     def _parse_role_decl(self) -> RoleDecl:
-        self._expect("KEYWORD", "role")
-        name = self._expect("IDENT").value
+        start = self._expect("KEYWORD", "role")
+        name_token = self._expect("IDENT")
+        name = name_token.value
         self._expect("LPAREN")
         parameters: List[str] = []
         if self.current.kind != "RPAREN":
@@ -123,8 +150,10 @@ class _Parser:
                 parameters.append(self._expect("IDENT").value)
         self._expect("RPAREN")
         if len(set(parameters)) != len(parameters):
-            raise ParseError(f"role {name!r}: duplicate parameter names")
-        return RoleDecl(name=name, parameters=tuple(parameters))
+            raise ParseError(f"role {name!r}: duplicate parameter names",
+                             name_token.line, name_token.column)
+        return RoleDecl(name=name, parameters=tuple(parameters),
+                        span=self._span_from(start))
 
     def _parse_head(self) -> Tuple[str, Tuple[Argument, ...]]:
         name = self._expect("IDENT").value
@@ -134,23 +163,28 @@ class _Parser:
         return name, arguments
 
     def _parse_activate(self) -> ActivateStmt:
-        self._expect("KEYWORD", "activate")
+        start = self._expect("KEYWORD", "activate")
         name, arguments = self._parse_head()
+        span = self._span_from(start)        # keyword through head ')'
         body = self._parse_optional_body()
         return ActivateStmt(head_name=name, head_arguments=arguments,
-                            body=body)
+                            body=body, span=span)
 
     def _parse_authorize(self) -> AuthorizeStmt:
-        self._expect("KEYWORD", "authorize")
+        start = self._expect("KEYWORD", "authorize")
         name, arguments = self._parse_head()
+        span = self._span_from(start)
         body = self._parse_optional_body()
-        return AuthorizeStmt(method=name, arguments=arguments, body=body)
+        return AuthorizeStmt(method=name, arguments=arguments, body=body,
+                             span=span)
 
     def _parse_appoint(self) -> AppointStmt:
-        self._expect("KEYWORD", "appoint")
+        start = self._expect("KEYWORD", "appoint")
         name, arguments = self._parse_head()
+        span = self._span_from(start)
         body = self._parse_optional_body()
-        return AppointStmt(name=name, arguments=arguments, body=body)
+        return AppointStmt(name=name, arguments=arguments, body=body,
+                           span=span)
 
     def _parse_optional_body(self) -> Tuple[BodyAtom, ...]:
         if self.current.kind != "ARROW":
@@ -163,6 +197,9 @@ class _Parser:
         return tuple(atoms)
 
     def _parse_condition(self) -> BodyAtom:
+        from dataclasses import replace
+
+        start = self.current
         if self._at_keyword("appointment"):
             atom = self._parse_appointment_atom()
         elif self._at_keyword("where"):
@@ -171,8 +208,8 @@ class _Parser:
             atom = self._parse_role_atom()
         if self.current.kind == "STAR":
             self._advance()
-            return _with_membership(atom)
-        return atom
+            atom = _with_membership(atom)
+        return replace(atom, span=self._span_from(start))
 
     def _parse_appointment_atom(self) -> AppointmentAtom:
         self._expect("KEYWORD", "appointment")
@@ -237,7 +274,8 @@ class _Parser:
             raw = token.value[1:-1]
             return ArgConst(raw.replace('\\"', '"').replace("\\\\", "\\"))
         raise ParseError(
-            f"line {token.line}: expected an argument, found {token.value!r}")
+            f"expected an argument, found {token.value!r}",
+            token.line, token.column)
 
 
 def _with_membership(atom: BodyAtom) -> BodyAtom:
@@ -255,5 +293,6 @@ def parse_document(text: str) -> PolicyDocument:
     try:
         tokens = tokenize(text)
     except LexError as error:
-        raise ParseError(str(error)) from error
+        raise ParseError(error.bare_message, error.line,
+                         error.column) from error
     return _Parser(tokens).parse()

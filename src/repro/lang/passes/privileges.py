@@ -1,0 +1,52 @@
+"""OAS012 — roles that gate nothing.
+
+A role that appears in no authorization rule, appoints nothing and is
+prerequisite to no other role confers no privilege: activating it costs
+credential checks and an RMC issue for no effect.  Informational — such
+roles are sometimes placeholders for policy still being rolled out — but
+at the paper's "large-scale deployment" size they are dead weight worth
+surfacing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Set
+
+from ...core.rules import PrerequisiteRole
+from ...core.types import RoleName
+from ..diagnostics import Diagnostic
+
+if TYPE_CHECKING:
+    from . import LintContext
+
+__all__ = ["run"]
+
+
+def run(context: "LintContext") -> Iterator[Diagnostic]:
+    universe = context.universe
+    gating: Set[RoleName] = {
+        prereq for prereq, _ in universe.role_dependency_graph()}
+    for service, policy in context.policies():
+        for method in policy.guarded_methods:
+            for rule in policy.authorization_rules_for(method):
+                for condition in rule.conditions:
+                    if isinstance(condition, PrerequisiteRole):
+                        gating.add(condition.template.role_name)
+        for name in policy.appointment_names:
+            for rule in policy.appointment_rules_for(name):
+                for condition in rule.conditions:
+                    if isinstance(condition, PrerequisiteRole):
+                        gating.add(condition.template.role_name)
+
+    anchors = {}
+    for _, target, rule in context.activation_rules():
+        anchors.setdefault(target, rule)
+    for role in universe.all_roles():
+        if role in gating:
+            continue
+        rule = anchors.get(role)
+        yield Diagnostic(
+            "OAS012",
+            "role gates no method, appointment or other role",
+            subject=str(role), file=context.file_of(role.service),
+            span=rule.origin if rule is not None else None)

@@ -1,0 +1,48 @@
+"""OAS004/OAS005 — unreachable roles and prerequisite cycles.
+
+Uses the optimistic fixpoint of
+:meth:`~repro.lang.analysis.PolicyUniverse.reachable_roles` (constraints
+assumed satisfiable, every issuable appointment assumed obtainable), so
+an *unreachable* verdict is sound: no principal, ever, under any
+environment, can activate the role.  Cycles are reported separately
+because they have a distinct fix (break the cycle) from plain
+unreachability (add an activation path).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterator
+
+from ...core.rules import ActivationRule
+from ...core.types import RoleName
+from ..diagnostics import Diagnostic
+
+if TYPE_CHECKING:
+    from . import LintContext
+
+__all__ = ["run"]
+
+
+def run(context: "LintContext") -> Iterator[Diagnostic]:
+    universe = context.universe
+    anchor: Dict[RoleName, ActivationRule] = {}
+    for _, target, rule in context.activation_rules():
+        anchor.setdefault(target, rule)
+
+    for role in universe.unreachable_roles():
+        rule = anchor.get(role)
+        yield Diagnostic(
+            "OAS004",
+            "no combination of reachable roles and issuable "
+            "appointments satisfies any activation rule",
+            subject=str(role), file=context.file_of(role.service),
+            span=rule.origin if rule is not None else None)
+
+    for cycle in universe.find_cycles():
+        names = " -> ".join(str(role) for role in cycle)
+        rule = anchor.get(cycle[0])
+        yield Diagnostic(
+            "OAS005",
+            "mutually prerequisite roles can never be activated",
+            subject=names, file=context.file_of(cycle[0].service),
+            span=rule.origin if rule is not None else None)

@@ -1,0 +1,83 @@
+"""OAS002/OAS003/OAS010 — dangling cross-service references.
+
+OASIS has no global schema: a rule may name any ``domain/service:role``
+or appointment kind, and nothing at compile time guarantees the foreign
+service defines it.  When the named service *is* part of the analysed
+universe, the reference can be checked exactly:
+
+* OAS002 — the prerequisite role is not defined by that service;
+* OAS003 — no appointment rule of the issuer can issue the certificate;
+* OAS010 — the role/appointment exists but is used with the wrong arity
+  (parameterised roles, Sect. 2's ``treating_doctor(doc, pat)``).
+
+References to services outside the universe are left alone — their
+arities are "the foreign service's business", checked at presentation
+time by unification.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterator, Set, Tuple
+
+from ...core.rules import AppointmentCondition, PrerequisiteRole
+from ...core.types import RoleName, ServiceId
+from ..diagnostics import Diagnostic
+
+if TYPE_CHECKING:
+    from . import LintContext
+
+__all__ = ["run"]
+
+
+def run(context: "LintContext") -> Iterator[Diagnostic]:
+    universe = context.universe
+    services = set(universe.services)
+    arities: Dict[RoleName, int] = {}
+    for service, policy in context.policies():
+        for name in policy.role_names:
+            arities[RoleName(service, name)] = policy.role_arity(name)
+    issuable: Dict[Tuple[ServiceId, str], Set[int]] = {}
+    for issuer, name, arity in universe.appointments_defined():
+        issuable.setdefault((issuer, name), set()).add(arity)
+
+    for service, subject, rule in context.all_rules():
+        path = context.file_of(service)
+        for condition in rule.conditions:
+            if isinstance(condition, PrerequisiteRole):
+                role = condition.template.role_name
+                if role.service not in services:
+                    continue
+                used = condition.template.arity
+                if role not in arities:
+                    yield Diagnostic(
+                        "OAS002",
+                        f"prerequisite {role} is not defined by "
+                        f"{role.service}",
+                        subject=subject, file=path, span=condition.origin)
+                elif arities[role] != used:
+                    yield Diagnostic(
+                        "OAS010",
+                        f"prerequisite {role} used with {used} "
+                        f"parameter(s), declared with arity "
+                        f"{arities[role]}",
+                        subject=subject, file=path, span=condition.origin)
+            elif isinstance(condition, AppointmentCondition):
+                if condition.issuer not in services:
+                    continue
+                key = (condition.issuer, condition.name)
+                used = len(condition.parameters)
+                if key not in issuable:
+                    yield Diagnostic(
+                        "OAS003",
+                        f"no appointment rule issues "
+                        f"{condition.issuer}:{condition.name}/{used}",
+                        subject=subject, file=path, span=condition.origin)
+                elif used not in issuable[key]:
+                    declared = ", ".join(
+                        str(a) for a in sorted(issuable[key]))
+                    yield Diagnostic(
+                        "OAS010",
+                        f"appointment {condition.issuer}:{condition.name} "
+                        f"used with {used} parameter(s), issued with "
+                        f"arity {declared}",
+                        subject=subject, file=path, span=condition.origin)

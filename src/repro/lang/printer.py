@@ -12,13 +12,9 @@ from __future__ import annotations
 from typing import Iterable
 
 from .ast import (
-    ActivateStmt,
-    AppointStmt,
     AppointmentAtom,
-    ArgConst,
     ArgVar,
     Argument,
-    AuthorizeStmt,
     BodyAtom,
     ConstraintAtom,
     PolicyDocument,

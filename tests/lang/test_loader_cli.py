@@ -97,6 +97,30 @@ class TestCli:
     def test_format_missing_file(self, capsys):
         assert main(["format", "/nonexistent.oasis"]) == 1
 
+    def test_check_strict_fails_on_warnings(self, policy_dir, capsys):
+        # A credential held without the membership flag is a warning:
+        # plain check passes but --strict gates on it.
+        (policy_dir / "audit.oasis").write_text(
+            "service hospital/audit\n"
+            "role auditor(u)\n"
+            "activate auditor(u) <- hospital/login:logged_in_user(u)\n"
+            "authorize view() <- auditor(a)\n")
+        assert main(["check", str(policy_dir)]) == 0
+        capsys.readouterr()
+        status = main(["check", "--strict", str(policy_dir)])
+        out = capsys.readouterr().out
+        assert status == 1
+        assert "passive-dependency" in out
+
+    def test_check_strict_passes_when_clean(self, tmp_path, capsys):
+        (tmp_path / "clean.oasis").write_text(
+            "service hospital/clean\n"
+            "role a(u)\n"
+            "activate a(u)\n"
+            "authorize use() <- a(u)\n")
+        assert main(["check", "--strict", str(tmp_path)]) == 0
+        assert "lint: clean" in capsys.readouterr().out
+
     def test_graph(self, policy_dir, capsys):
         status = main(["graph", str(policy_dir)])
         out = capsys.readouterr().out
@@ -104,9 +128,41 @@ class TestCli:
         assert ("hospital/login:logged_in_user -> "
                 "hospital/admin:administrator") in out
 
+    def test_graph_lists_each_edge_once(self, policy_dir, capsys):
+        main(["graph", str(policy_dir)])
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == len(set(lines)) == 1
+        assert all(" -> " in line for line in lines)
+
     def test_reach(self, policy_dir, capsys):
         status = main(["reach", str(policy_dir)])
         out = capsys.readouterr().out
         assert status == 0
         assert "reachable" in out
         assert "UNREACHABLE" not in out
+
+    def test_reach_marks_unreachable_roles(self, policy_dir, capsys):
+        (policy_dir / "broken.oasis").write_text(BROKEN)
+        status = main(["reach", str(policy_dir)])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "UNREACHABLE  hospital/broken:needs_ghost" in out
+        assert "reachable    hospital/login:logged_in_user" in out
+
+    def test_lint_clean(self, tmp_path, capsys):
+        (tmp_path / "clean.oasis").write_text(
+            "service hospital/clean\n"
+            "role a(u)\n"
+            "activate a(u)\n"
+            "authorize use() <- a(u)\n")
+        status = main(["lint", "--strict", str(tmp_path)])
+        assert status == 0
+        assert "lint: clean" in capsys.readouterr().out
+
+    def test_lint_reports_errors_with_positions(self, policy_dir, capsys):
+        (policy_dir / "broken.oasis").write_text(BROKEN)
+        status = main(["lint", str(policy_dir)])
+        out = capsys.readouterr().out
+        assert status == 1
+        assert "error[OAS002]" in out
+        assert "broken.oasis:3:28:" in out
