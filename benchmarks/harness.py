@@ -49,10 +49,24 @@ from repro.core.credentials import CredentialRef  # noqa: E402
 from repro.crypto import ServiceSecret  # noqa: E402
 
 from seed_engine import SeedRuleEngine  # noqa: E402
-from workloads import ChainWorld, HospitalWorld  # noqa: E402
+from workloads import ChainWorld, FanoutWorld, HospitalWorld  # noqa: E402
 
 DEFAULT_OUTPUT = os.path.join(_REPO, "BENCH_CORE.json")
 SPEEDUP_CRITERION = 2.0  # FIG1 depth-16 activation: optimized vs seed engine
+#: FIG5 depth-16 cascade: indexed dispatch + batched cascades vs the
+#: seed baseline recorded in BENCH_CORE.json before the optimization.
+CASCADE_SPEEDUP_CRITERION = 5.0
+#: ``cascade_fig5_revoke_depth16`` as recorded by this harness at the
+#: previous PR, before indexed dispatch / batched cascades existed.  The
+#: re-measured reference path (``indexed_broker=False,
+#: batched_cascades=False``) runs faster than this baseline because the
+#: satellite fixes (cached ref hashing, two-level validation cache, tap
+#: fast path) apply to both configurations; the criterion is against the
+#: recorded number, per the optimization's acceptance bar.
+SEED_CASCADE_BASELINE_OPS = 147.35
+#: FIG5 independence: per-revocation cost with 1000 unrelated live trees
+#: may be at most this many times the cost with 100 (ideal ratio: 1.0).
+INDEPENDENCE_CRITERION = 3.0
 CHAIN_DEPTH = 16
 
 
@@ -227,24 +241,126 @@ def bench_fig4_certificates(results: Dict[str, dict], *, rounds: int,
                   rounds=rounds, inner=inner))
 
 
-def bench_fig5_cascade(results: Dict[str, dict], *, rounds: int) -> None:
-    """FIG5: revoking the session root collapses the depth-16 chain."""
-    world = ChainWorld(CHAIN_DEPTH)
-    counter = [0]
+def bench_fig5_cascade(results: Dict[str, dict],
+                       *, rounds: int) -> Dict[str, object]:
+    """FIG5: revoking the session root collapses the depth-16 chain.
 
-    def setup() -> RoleMembershipCertificate:
-        counter[0] += 1
-        session, _ = world.build_session(user=f"user-{counter[0]}")
-        return session.root_rmc
+    Measured twice — on the optimized configuration (indexed broker
+    dispatch + batched reverse-index cascades, the defaults) and on the
+    pre-optimization reference configuration (naive subscriber scan,
+    per-dependency subscriptions) — yielding the cascade speedup
+    comparison.
+    """
+    configurations = (
+        ("cascade_fig5_revoke_depth16", True,
+         f"revoke the session root of a depth-{CHAIN_DEPTH} chain; "
+         f"batched cascade over indexed dispatch collapses every "
+         f"dependent role (session rebuilt per op, untimed)"),
+        ("cascade_fig5_revoke_depth16_seed", False,
+         "same workload on the pre-optimization path: naive subscriber "
+         "scan and one subscription per membership dependency — baseline "
+         "for the cascade speedup criterion"),
+    )
+    for name, optimized, description in configurations:
+        world = ChainWorld(CHAIN_DEPTH, indexed_broker=optimized,
+                           batched_cascades=optimized)
+        counter = [0]
 
-    def revoke(root: RoleMembershipCertificate) -> None:
-        world.services[0].revoke(root.ref, "logout")
+        def setup(world=world, counter=counter) -> RoleMembershipCertificate:
+            counter[0] += 1
+            session, _ = world.build_session(user=f"user-{counter[0]}")
+            return session.root_rmc
 
-    results["cascade_fig5_revoke_depth16"] = dict(
-        description=(f"revoke the session root of a depth-{CHAIN_DEPTH} "
-                     f"chain; event cascade deactivates every dependent "
-                     f"role (session rebuilt per op, untimed)"),
-        **measure(revoke, rounds=rounds, inner=1, setup=setup))
+        def revoke(root: RoleMembershipCertificate, world=world) -> None:
+            world.services[0].revoke(root.ref, "logout")
+
+        results[name] = dict(description=description,
+                             **measure(revoke, rounds=rounds, inner=1,
+                                       setup=setup))
+
+    opt_ops = results["cascade_fig5_revoke_depth16"]["ops_per_sec"]
+    ref_ops = results["cascade_fig5_revoke_depth16_seed"]["ops_per_sec"]
+    speedup = round(opt_ops / SEED_CASCADE_BASELINE_OPS, 2)
+    return {
+        "workload": "cascade_fig5_revoke_depth16",
+        "optimized_ops_per_sec": opt_ops,
+        "reference_path_ops_per_sec": ref_ops,
+        "recorded_seed_baseline_ops_per_sec": SEED_CASCADE_BASELINE_OPS,
+        "speedup": speedup,
+        "speedup_vs_reference_path": (round(opt_ops / ref_ops, 2)
+                                      if ref_ops else math.inf),
+        "criterion": (f">= {CASCADE_SPEEDUP_CRITERION}x vs recorded "
+                      f"seed baseline"),
+        "criterion_met": speedup >= CASCADE_SPEEDUP_CRITERION,
+    }
+
+
+def bench_fig5_fanout(results: Dict[str, dict],
+                      *, quick: bool) -> Dict[str, object]:
+    """FIG5 fan-out: wide subtrees, and independence from unrelated state.
+
+    ``cascade_fanout_K``: one revocation collapses a subtree of K+1
+    credentials (K dependents on one root) — throughput is reported per
+    *collapsed credential* so widths are comparable.
+
+    ``cascade_unrelated_K``: K unrelated two-credential trees stay live;
+    each op revokes a fresh tree's root.  With indexed dispatch and the
+    reverse dependency index, per-revocation cost must not grow with K —
+    the independence comparison checks the 100-vs-1000 cost ratio.
+    """
+    for fanout, rounds in ((100, 3 if quick else 10),
+                           (1000, 2 if quick else 5)):
+        world = FanoutWorld()
+
+        def setup(world=world, fanout=fanout):
+            root_rmc, _ = world.new_tree(fanout)
+            return root_rmc
+
+        def revoke(root, world=world):
+            world.root.revoke(root.ref, "logout")
+
+        timing = measure(revoke, rounds=rounds, inner=1, setup=setup)
+        # One op collapses fanout+1 credentials; report both rates.
+        timing["credentials_per_sec"] = round(
+            timing["ops_per_sec"] * (fanout + 1), 2)
+        results[f"cascade_fanout_{fanout}"] = dict(
+            description=(f"revoke a root with {fanout} dependents; one "
+                         f"batched cascade collapses all {fanout + 1} "
+                         f"credentials (tree rebuilt per op, untimed)"),
+            **timing)
+
+    unrelated_ops: Dict[int, float] = {}
+    for standing, rounds in ((100, 5 if quick else 20),
+                             (1000, 5 if quick else 20)):
+        world = FanoutWorld()
+        for _ in range(standing):
+            world.new_tree(1)  # unrelated live state, never revoked
+
+        def setup(world=world):
+            root_rmc, _ = world.new_tree(1)
+            return root_rmc
+
+        def revoke(root, world=world):
+            world.root.revoke(root.ref, "logout")
+
+        results[f"cascade_unrelated_{standing}"] = dict(
+            description=(f"revoke a fresh 2-credential tree while "
+                         f"{standing} unrelated trees stay live — cost "
+                         f"must not depend on unrelated state"),
+            **measure(revoke, rounds=rounds, inner=1, setup=setup))
+        unrelated_ops[standing] = \
+            results[f"cascade_unrelated_{standing}"]["ops_per_sec"]
+
+    ratio = (round(unrelated_ops[100] / unrelated_ops[1000], 2)
+             if unrelated_ops[1000] else math.inf)
+    return {
+        "workload": "cascade_unrelated_100_vs_1000",
+        "ops_per_sec_100_unrelated": unrelated_ops[100],
+        "ops_per_sec_1000_unrelated": unrelated_ops[1000],
+        "cost_ratio_1000_vs_100": ratio,
+        "criterion": f"<= {INDEPENDENCE_CRITERION}x",
+        "criterion_met": ratio <= INDEPENDENCE_CRITERION,
+    }
 
 
 # -- driver ------------------------------------------------------------------
@@ -254,11 +370,12 @@ def run(quick: bool = False) -> Dict[str, object]:
     cascade_rounds = 5 if quick else 25
     results: Dict[str, dict] = {}
 
-    comparison = bench_fig1_activation(results, **scale)
+    activation_cmp = bench_fig1_activation(results, **scale)
     bench_fig2_entry_and_invocation(results, **scale)
     bench_fig3_cross_domain(results, **scale)
     bench_fig4_certificates(results, **scale)
-    bench_fig5_cascade(results, rounds=cascade_rounds)
+    cascade_cmp = bench_fig5_cascade(results, rounds=cascade_rounds)
+    independence_cmp = bench_fig5_fanout(results, quick=quick)
 
     return {
         "schema": "bench-core/1",
@@ -268,7 +385,11 @@ def run(quick: bool = False) -> Dict[str, object]:
         "python": platform.python_version(),
         "platform": platform.platform(),
         "workloads": results,
-        "comparisons": {"activation_fig1_depth16": comparison},
+        "comparisons": {
+            "activation_fig1_depth16": activation_cmp,
+            "cascade_fig5_depth16": cascade_cmp,
+            "cascade_unrelated_independence": independence_cmp,
+        },
     }
 
 
@@ -285,14 +406,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         json.dump(report, handle, indent=2, sort_keys=False)
         handle.write("\n")
 
-    comparison = report["comparisons"]["activation_fig1_depth16"]
+    comparisons = report["comparisons"]
     print(f"wrote {args.output}")
     for name, entry in report["workloads"].items():
         print(f"  {name:44s} {entry['ops_per_sec']:>12,.0f} ops/s  "
               f"p50 {entry['p50_us']:>9.1f}us  p99 {entry['p99_us']:>9.1f}us")
-    print(f"  fig1 depth-16 activation speedup: {comparison['speedup']}x "
-          f"(criterion {comparison['criterion']}: "
-          f"{'met' if comparison['criterion_met'] else 'NOT met'})")
+
+    def verdict(entry: dict) -> str:
+        return (f"(criterion {entry['criterion']}: "
+                f"{'met' if entry['criterion_met'] else 'NOT met'})")
+
+    activation = comparisons["activation_fig1_depth16"]
+    cascade = comparisons["cascade_fig5_depth16"]
+    independence = comparisons["cascade_unrelated_independence"]
+    print(f"  fig1 depth-16 activation speedup: {activation['speedup']}x "
+          f"{verdict(activation)}")
+    print(f"  fig5 depth-16 cascade speedup:    {cascade['speedup']}x "
+          f"{verdict(cascade)}")
+    print(f"  fig5 unrelated-state cost ratio:  "
+          f"{independence['cost_ratio_1000_vs_100']}x "
+          f"{verdict(independence)}")
     return 0
 
 

@@ -23,6 +23,7 @@ from repro.core import (
     DatabaseLookupConstraint,
     OasisService,
     PrerequisiteRole,
+    Presentation,
     Principal,
     RoleTemplate,
     ServiceId,
@@ -118,12 +119,19 @@ class HospitalWorld:
 
 
 class ChainWorld:
-    """A chain of services: svc-i's role requires svc-(i-1)'s (Fig. 1)."""
+    """A chain of services: svc-i's role requires svc-(i-1)'s (Fig. 1).
+
+    ``indexed_broker`` / ``batched_cascades`` select the optimized event
+    dispatch and cascade paths (both default on); turning both off rebuilds
+    the pre-optimization reference configuration for before/after numbers.
+    """
 
     def __init__(self, depth: int,
-                 cache_validations: bool = True) -> None:
+                 cache_validations: bool = True,
+                 indexed_broker: bool = True,
+                 batched_cascades: bool = True) -> None:
         self.clock = SimClock()
-        self.broker = EventBroker()
+        self.broker = EventBroker(indexed=indexed_broker)
         self.registry = ServiceRegistry()
         self.depth = depth
 
@@ -133,7 +141,8 @@ class ChainWorld:
             ActivationRule(RoleTemplate(root, (Var("u"),))))
         self.services: List[OasisService] = [
             OasisService(login_policy, self.broker, self.registry,
-                         self.clock, cache_validations=cache_validations)]
+                         self.clock, cache_validations=cache_validations,
+                         batched_cascades=batched_cascades)]
         previous = RoleTemplate(root, (Var("u"),))
         for level in range(1, depth + 1):
             policy = ServicePolicy(ServiceId("dom", f"svc-{level}"))
@@ -143,7 +152,8 @@ class ChainWorld:
                 (PrerequisiteRole(previous, membership=True),)))
             self.services.append(
                 OasisService(policy, self.broker, self.registry, self.clock,
-                             cache_validations=cache_validations))
+                             cache_validations=cache_validations,
+                             batched_cascades=batched_cascades))
             previous = RoleTemplate(role, (Var("u"),))
 
     def build_session(self, user: str = "user"):
@@ -153,3 +163,59 @@ class ChainWorld:
         for service in self.services[1:]:
             rmcs.append(session.activate(service, "role"))
         return session, rmcs
+
+
+class FanoutWorld:
+    """Fig. 5 fan-out: one root service, one leaf service whose role takes
+    the root role as a membership dependency.
+
+    :meth:`new_tree` activates one root credential plus ``fanout`` leaf
+    credentials that all hang off it — revoking the root must collapse
+    exactly that subtree.  Trees for distinct users are fully unrelated, so
+    keeping many of them live measures whether per-revocation cost depends
+    on the amount of unrelated live state.
+    """
+
+    def __init__(self, cache_validations: bool = True,
+                 indexed_broker: bool = True,
+                 batched_cascades: bool = True) -> None:
+        self.clock = SimClock()
+        self.broker = EventBroker(indexed=indexed_broker)
+        self.registry = ServiceRegistry()
+
+        root_policy = ServicePolicy(ServiceId("dom", "fan-root"))
+        root_role = root_policy.define_role("role", 1)
+        root_template = RoleTemplate(root_role, (Var("u"),))
+        root_policy.add_activation_rule(ActivationRule(root_template))
+        self.root = OasisService(root_policy, self.broker, self.registry,
+                                 self.clock,
+                                 cache_validations=cache_validations,
+                                 batched_cascades=batched_cascades)
+
+        leaf_policy = ServicePolicy(ServiceId("dom", "fan-leaf"))
+        leaf_role = leaf_policy.define_role("role", 1)
+        leaf_policy.add_activation_rule(ActivationRule(
+            RoleTemplate(leaf_role, (Var("u"),)),
+            (PrerequisiteRole(root_template, membership=True),)))
+        self.leaf = OasisService(leaf_policy, self.broker, self.registry,
+                                 self.clock,
+                                 cache_validations=cache_validations,
+                                 batched_cascades=batched_cascades)
+        self._users = 0
+
+    def new_tree(self, fanout: int):
+        """Issue one root RMC with ``fanout`` dependents hanging off it.
+
+        Activates directly against the services (no Session) so building a
+        wide tree stays O(fanout): each leaf activation presents just the
+        shared root credential.
+        """
+        self._users += 1
+        principal = Principal(f"user-{self._users}")
+        root_rmc = self.root.activate_role(
+            principal.id, "role", [principal.id.value], [])
+        presentation = [Presentation(root_rmc)]
+        leaves = [self.leaf.activate_role(principal.id, "role", None,
+                                          presentation)
+                  for _ in range(fanout)]
+        return root_rmc, leaves

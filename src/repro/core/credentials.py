@@ -66,6 +66,16 @@ class CredentialRef:
         and subscriptions on every hot path."""
         return f"{self.service}#{self.serial}"
 
+    def __hash__(self) -> int:
+        # Refs key the credential/validation/dependency maps consulted on
+        # every activation and revocation; caching avoids re-hashing the
+        # nested ServiceId dataclass on each dict operation.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.service, self.serial))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
     def __str__(self) -> str:
         return self.qualified
 

@@ -26,6 +26,7 @@ An :class:`OasisService` implements the full life-cycle of Fig. 2:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
@@ -186,7 +187,8 @@ class OasisService:
                  cache_validations: bool = True,
                  secret: Optional[ServiceSecret] = None,
                  heartbeat_timeout: Optional[float] = None,
-                 access_log: Optional[AccessLog] = None) -> None:
+                 access_log: Optional[AccessLog] = None,
+                 batched_cascades: bool = True) -> None:
         self.policy = policy
         self.id: ServiceId = policy.service
         self.broker = broker
@@ -207,12 +209,27 @@ class OasisService:
         self._refs = CredentialRefAllocator(self.id)
         self._records: Dict[CredentialRef, CredentialRecord] = {}
         self._channels: Dict[CredentialRef, CredentialChannel] = {}
+        # Fig. 5 dependency edges, consolidated.  The default (batched)
+        # mode keeps a reverse index ``dependency ref string -> ordered set
+        # of local dependent refs`` behind ONE service-level subscription;
+        # issuing/tearing down a credential is O(dependencies) dict work
+        # and a revocation cascade collapses the whole local subtree in a
+        # single pass.  ``batched_cascades=False`` retains the original
+        # per-dependency Subscription objects (``_dependency_subs``) and
+        # per-event recursive revocation as a reference path for
+        # differential tests and the seed cascade benchmark.
+        self._batched_cascades = batched_cascades
+        self._dependents: Dict[str, Dict[CredentialRef, None]] = {}
         self._dependency_subs: Dict[CredentialRef, List[Subscription]] = {}
         self._watches: Dict[CredentialRef, _MembershipWatch] = {}
         self._methods: Dict[str, Callable[..., Any]] = {}
-        # validation cache: (ref, requester, holder-claim); presence = valid
+        # validation cache, two-level: ref -> {(requester, holder-claim)};
+        # presence = valid.  Keying the outer level by ref makes the ECR
+        # drop on revocation O(entries for that ref) instead of a scan of
+        # the whole cache — revocation cost must not grow with the number
+        # of unrelated cached validations.
         self._validation_cache: Dict[
-            Tuple[CredentialRef, str, Optional[str]], bool] = {}
+            CredentialRef, Dict[Tuple[str, Optional[str]], bool]] = {}
         self._ecr_subs: Dict[CredentialRef, List[Subscription]] = {}
         # Signature-verification cache: str(ref) -> set of certificate
         # fingerprints whose MAC already verified.  A fingerprint covers the
@@ -223,8 +240,13 @@ class OasisService:
         # for the ref drops its entry (local revocations publish on the
         # credential's channel and so flow through here too).
         self._sig_cache: Dict[str, Set[Tuple]] = {}
-        self._sig_cache_subs = [
-            broker.subscribe(CREDENTIAL_REVOKED, self._on_sig_cache_event),
+        # One service-level (wildcard) subscription covers every
+        # CREDENTIAL_REVOKED consumer in this service — the signature-cache
+        # drop and, in batched mode, the cascade probe over the reverse
+        # dependency index — so a revocation event costs one handler call
+        # per *service*, not one per concern or per dependency edge.
+        self._service_subs = [
+            broker.subscribe(CREDENTIAL_REVOKED, self._on_revoked_event),
             broker.subscribe(CREDENTIAL_REISSUED, self._on_sig_cache_event),
         ]
         # Fig. 5 heartbeat fail-safe: when a timeout is configured, cached
@@ -412,12 +434,12 @@ class OasisService:
         """
         self.secret = self.secret.rotated()
         self._sig_cache.clear()
-        for record in self._records.values():
-            if record.kind == "appointment" and record.active:
-                self.broker.publish(Event.make(
-                    CREDENTIAL_REISSUED, timestamp=self.clock(),
-                    credential_ref=str(record.ref),
-                    reason="issuer secret rotation"))
+        self.broker.publish_batch(
+            Event.make(CREDENTIAL_REISSUED, timestamp=self.clock(),
+                       credential_ref=str(record.ref),
+                       reason="issuer secret rotation")
+            for record in self._records.values()
+            if record.kind == "appointment" and record.active)
 
     def reissue_appointment(self, certificate: AppointmentCertificate
                             ) -> AppointmentCertificate:
@@ -436,11 +458,23 @@ class OasisService:
         """Revoke a credential issued here; triggers the dependency cascade.
 
         Returns False when the credential was already revoked or unknown.
+
+        In the default batched mode the whole *local* dependent subtree is
+        collapsed in one reverse-index traversal and its revocation events
+        are published as a coalesced batch (drained FIFO, so the global
+        cascade stays breadth-first); other services pick the events up
+        through their own service-level subscriptions — the cross-service
+        hand-off of Fig. 5 is unchanged.
         """
         record = self._records.get(ref)
         if record is None or not record.revoke(reason, self.clock()):
             return False
         self.stats.revocations += 1
+        if self._batched_cascades:
+            events = self._collapse_subtree([(record, reason)])
+            if events:
+                self.broker.publish_batch(events)
+            return True
         self._audit(AccessKind.REVOCATION,
                     record.principal.value if record.principal else "-",
                     str(ref), reason=reason)
@@ -452,6 +486,59 @@ class OasisService:
             channel.notify_revoked(reason, timestamp=self.clock())
         return True
 
+    def _collapse_subtree(self, revoked: List[Tuple[CredentialRecord, str]]
+                          ) -> List[Event]:
+        """Collapse the local dependent subtree of already-revoked roots.
+
+        Breadth-first over the reverse dependency index; every reached
+        credential is marked revoked, audited, unlinked from the index,
+        and contributes exactly one ``CREDENTIAL_REVOKED`` event (its
+        channel closes here), matching the per-credential event count of
+        the unbatched reference path.  Cost is O(collapsed subtree), not
+        O(live credentials).
+        """
+        events: List[Event] = []
+        queue = deque(revoked)
+        while queue:
+            record, reason = queue.popleft()
+            ref = record.ref
+            self._audit(AccessKind.REVOCATION,
+                        record.principal.value if record.principal else "-",
+                        str(ref), reason=reason)
+            self._teardown_watch(ref)
+            self._unlink_dependencies(record)
+            channel = self._channels.get(ref)
+            if channel is not None:
+                event = channel.revocation_event(reason,
+                                                 timestamp=self.clock())
+                if event is not None:
+                    events.append(event)
+            dependents = self._dependents.get(ref.qualified)
+            if not dependents:
+                continue
+            dependent_reason = (f"membership dependency {ref} revoked "
+                                f"({reason})")
+            for dependent_ref in list(dependents):
+                dependent = self._records.get(dependent_ref)
+                if dependent is None or not dependent.revoke(
+                        dependent_reason, self.clock()):
+                    continue
+                self.stats.revocations += 1
+                self.stats.cascade_revocations += 1
+                queue.append((dependent, dependent_reason))
+        return events
+
+    def _unlink_dependencies(self, record: CredentialRecord) -> None:
+        """Remove ``record`` from the reverse index buckets of all its
+        membership dependencies (teardown is O(dependencies))."""
+        for dependency in record.membership_dependencies:
+            key = dependency.qualified
+            bucket = self._dependents.get(key)
+            if bucket is not None:
+                bucket.pop(record.ref, None)
+                if not bucket:
+                    del self._dependents[key]
+
     def deactivate_role(self, rmc: RoleMembershipCertificate,
                         reason: str = "deactivated by principal") -> bool:
         """Voluntary role deactivation (e.g. logout of an initial role)."""
@@ -460,8 +547,44 @@ class OasisService:
                 f"RMC {rmc.ref} was not issued by {self.id}")
         return self.revoke(rmc.ref, reason)
 
+    def _on_revoked_event(self, event: Event) -> None:
+        """Service-level entry point for every CREDENTIAL_REVOKED event.
+
+        Two dict probes per event: drop any cached signature verifications
+        for the credential, then (batched mode) probe the reverse
+        dependency index.  Only events whose credential has local
+        dependents cost more, and then only O(local subtree).  Events this
+        service published itself find their buckets already unlinked and
+        fall through immediately.
+        """
+        ref_string = event.get("credential_ref")
+        if ref_string is None:
+            return
+        if self._sig_cache.pop(ref_string, None) is not None:
+            self.stats.sig_cache_invalidations += 1
+        if not self._batched_cascades:
+            return
+        dependents = self._dependents.get(ref_string)
+        if not dependents:
+            return
+        reason = (f"membership dependency {ref_string} revoked "
+                  f"({event.get('reason')})")
+        seeds: List[Tuple[CredentialRecord, str]] = []
+        for dependent_ref in list(dependents):
+            record = self._records.get(dependent_ref)
+            if record is None or not record.revoke(reason, self.clock()):
+                continue
+            self.stats.revocations += 1
+            self.stats.cascade_revocations += 1
+            seeds.append((record, reason))
+        if seeds:
+            events = self._collapse_subtree(seeds)
+            if events:
+                self.broker.publish_batch(events)
+
     def _on_dependency_revoked(self, dependent: CredentialRef,
                                event: Event) -> None:
+        # Reference (unbatched) path: one handler per dependency edge.
         record = self._records.get(dependent)
         if record is None or not record.active:
             return
@@ -478,16 +601,24 @@ class OasisService:
         ref = record.ref
         self._records[ref] = record
         self._channels[ref] = CredentialChannel(self.broker, str(ref))
-        # Subscribe to revocation of every membership dependency: the edge
-        # along which the Fig. 5 cascade travels.
-        subs = []
-        for dependency in record.membership_dependencies:
-            subs.append(self.broker.subscribe(
-                CREDENTIAL_REVOKED,
-                lambda event, dep=ref: self._on_dependency_revoked(dep, event),
-                credential_ref=str(dependency)))
-        if subs:
-            self._dependency_subs[ref] = subs
+        # Register every membership dependency: the edge along which the
+        # Fig. 5 cascade travels.  Batched mode records the edges in the
+        # service-level reverse index (O(dependencies) dict inserts, no
+        # broker churn); the reference path subscribes per dependency.
+        if self._batched_cascades:
+            for dependency in record.membership_dependencies:
+                self._dependents.setdefault(
+                    dependency.qualified, {})[ref] = None
+        else:
+            subs = []
+            for dependency in record.membership_dependencies:
+                subs.append(self.broker.subscribe(
+                    CREDENTIAL_REVOKED,
+                    lambda event, dep=ref: self._on_dependency_revoked(
+                        dep, event),
+                    credential_ref=str(dependency)))
+            if subs:
+                self._dependency_subs[ref] = subs
         constraints = match.membership_constraints()
         if constraints:
             watch = _MembershipWatch(
@@ -579,8 +710,10 @@ class OasisService:
         # binding and the appointment holder binding are checked against it
         # by the issuer.
         requester = self._rmc_binding(principal, presentation)
-        cache_key = (ref, requester, presentation.holder)
-        if self.cache_validations and cache_key in self._validation_cache \
+        cache_key = (requester, presentation.holder)
+        cached_entries = self._validation_cache.get(ref)
+        if self.cache_validations and cached_entries is not None \
+                and cache_key in cached_entries \
                 and not self._heartbeat_silent(ref):
             # Cached result is trustworthy only while the ECR subscription
             # lives; expiry must still be checked locally against the clock.
@@ -592,7 +725,7 @@ class OasisService:
         self._callback_validate(certificate, requester,
                                 presentation.holder)
         if self.cache_validations:
-            self._validation_cache[cache_key] = True
+            self._validation_cache.setdefault(ref, {})[cache_key] = True
             if self._heartbeats is not None:
                 # A successful callback is fresh evidence of issuer
                 # liveness: re-arm the heartbeat window.
@@ -627,8 +760,8 @@ class OasisService:
         if self._heartbeats is None:
             return []
         silent = set(self._heartbeats.silent_credentials())
-        return sorted({key[0] for key in self._validation_cache
-                       if str(key[0]) in silent},
+        return sorted((ref for ref in self._validation_cache
+                       if str(ref) in silent),
                       key=str)
 
     def start_heartbeats(self, scheduler: Any,
@@ -651,10 +784,9 @@ class OasisService:
         return scheduler.schedule_periodic(interval, beat)
 
     def _drop_ecr(self, ref: CredentialRef, final: bool) -> None:
-        stale = [key for key in self._validation_cache if key[0] == ref]
-        for key in stale:
-            del self._validation_cache[key]
-        self.stats.cache_invalidations += len(stale)
+        stale = self._validation_cache.pop(ref, None)
+        if stale:
+            self.stats.cache_invalidations += len(stale)
         if final:
             for sub in self._ecr_subs.pop(ref, []):
                 sub.cancel()
@@ -772,4 +904,9 @@ class OasisService:
 
     @property
     def validation_cache_size(self) -> int:
-        return len(self._validation_cache)
+        return sum(len(entries)
+                   for entries in self._validation_cache.values())
+
+    def dependent_count(self, ref: CredentialRef) -> int:
+        """Live local credentials directly dependent on ``ref``."""
+        return len(self._dependents.get(ref.qualified, ()))

@@ -108,7 +108,11 @@ class Session:
         self.principal = principal
         self.session_id = (f"session-{next(_SESSION_COUNTER)}-"
                            f"{secrets.token_hex(4)}")
+        # ``_rmcs`` holds the *live* view (dead refs are pruned so
+        # presentations stop round-tripping ``is_active`` for long-dead
+        # credentials); ``_history`` keeps every RMC ever acquired.
         self._rmcs: Dict[CredentialRef, RoleMembershipCertificate] = {}
+        self._history: List[RoleMembershipCertificate] = []
         self._issuers: Dict[CredentialRef, OasisService] = {}
         self._root_ref: Optional[CredentialRef] = None
         self._terminated = False
@@ -151,6 +155,7 @@ class Session:
             environment=environment, session_id=self.session_id,
             bound_key=bound_key)
         self._rmcs[rmc.ref] = rmc
+        self._history.append(rmc)
         self._issuers[rmc.ref] = service
         if self._root_ref is None:
             self._root_ref = rmc.ref
@@ -188,8 +193,32 @@ class Session:
         sub = self._watch_subs.pop(rmc.ref, None)
         if sub is not None:
             sub.cancel()
+        self._discard(rmc.ref)
         for handler in list(self._deactivation_handlers):
             handler(rmc, event.get("reason"))
+
+    def _discard(self, ref: CredentialRef) -> None:
+        """Forget a dead credential: drop the live entry and its watch.
+
+        The root RMC stays in the live map so :attr:`root_rmc` and
+        :meth:`logout` keep working after an issuer-side revocation.
+        """
+        if ref != self._root_ref:
+            self._rmcs.pop(ref, None)
+        sub = self._watch_subs.pop(ref, None)
+        if sub is not None:
+            sub.cancel()
+
+    def _release_watches(self) -> None:
+        """Cancel every remaining watch subscription (session over).
+
+        Without this, roles that did not depend on the root — and so
+        survive its deactivation — would keep their revocation
+        subscriptions alive on the broker forever.
+        """
+        for sub in self._watch_subs.values():
+            sub.cancel()
+        self._watch_subs.clear()
 
     def invoke(self, service: OasisService, method: str,
                arguments: Sequence[Term] = (),
@@ -224,6 +253,7 @@ class Session:
         revoked = issuer.deactivate_role(rmc, reason)
         if rmc.ref == self._root_ref:
             self._terminated = True
+            self._release_watches()
         return revoked
 
     def logout(self) -> None:
@@ -238,12 +268,25 @@ class Session:
     # -- inspection ----------------------------------------------------------
     def held_rmcs(self) -> List[RoleMembershipCertificate]:
         """All RMCs ever acquired in this session (including dead ones)."""
-        return list(self._rmcs.values())
+        return list(self._history)
 
     def active_rmcs(self) -> List[RoleMembershipCertificate]:
-        """RMCs whose credential records are still active at their issuers."""
-        return [rmc for ref, rmc in self._rmcs.items()
-                if self._issuers[ref].is_active(ref)]
+        """RMCs whose credential records are still active at their issuers.
+
+        Self-pruning: a credential its issuer reports dead is checked once
+        more at most — it is dropped from the live map here, so repeated
+        presentations do not keep round-tripping ``is_active`` for it.
+        """
+        active = []
+        dead = []
+        for ref, rmc in self._rmcs.items():
+            if self._issuers[ref].is_active(ref):
+                active.append(rmc)
+            else:
+                dead.append(ref)
+        for ref in dead:
+            self._discard(ref)
+        return active
 
     def active_roles(self) -> List[Role]:
         return [rmc.role for rmc in self.active_rmcs()]

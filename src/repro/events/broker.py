@@ -11,19 +11,41 @@ cascades do exactly this); nested publishes are queued and drained in FIFO
 order so the cascade is breadth-first and terminates even with cyclic
 subscription graphs, since the OASIS layer never re-revokes an already
 revoked credential.
+
+Dispatch is *indexed*: subscriptions whose filter includes the broker's
+designated index key (``credential_ref`` by default — every Fig. 5 channel
+event carries it) are bucketed under ``(topic, value)``, so delivering an
+event costs O(matching + wildcard subscribers on the topic) rather than
+O(all topic subscribers).  The FIG5 cascade revokes S credentials against
+a population of N live subscriptions; the naive scan made that O(S·N),
+the index makes it O(S · services).  ``EventBroker(indexed=False)``
+retains the naive linear scan as a reference path; a differential test
+(``tests/events/test_broker_differential.py``) checks both paths deliver
+identical sequences.
 """
 
 from __future__ import annotations
 
+import itertools
 from collections import deque
-from dataclasses import dataclass
-from typing import Any, Callable, Deque, Dict, List, Mapping, Optional
+from dataclasses import dataclass, field
+from typing import (Any, Callable, Deque, Dict, Iterable, List, Mapping,
+                    Optional, Tuple)
 
 from .messages import Event
 
 __all__ = ["Subscription", "EventBroker"]
 
 Handler = Callable[[Event], None]
+
+#: The default equality-filter key the dispatch index is built on.  Every
+#: per-credential channel event (revocation, re-issue, heartbeat) carries
+#: this attribute, so the index covers all Fig. 5 traffic.
+DEFAULT_INDEX_KEY = "credential_ref"
+
+#: Sentinel distinguishing "attribute absent" from any real value during
+#: residual filter checks (an event attribute can legitimately be None).
+_MISSING = object()
 
 
 @dataclass
@@ -35,6 +57,14 @@ class Subscription:
     filter_attrs: Mapping[str, Any]
     _broker: "EventBroker"
     _active: bool = True
+    #: Global registration order; delivery merges index buckets and
+    #: wildcard lists on it so indexed dispatch preserves the naive order.
+    seq: int = field(default=0)
+    #: Filters still to check at delivery time, given where the broker
+    #: placed this subscription: a bucketed subscription's index-key
+    #: filter is guaranteed by bucket selection and the topic by candidate
+    #: selection, so only the rest is re-checked per event.
+    residual: Tuple[Tuple[str, Any], ...] = ()
 
     @property
     def active(self) -> bool:
@@ -58,18 +88,40 @@ class Subscription:
 class EventBroker:
     """Topic-based pub/sub broker with attribute filtering.
 
-    Statistics (`published_count`, `delivered_count`) support the FIG5/ABL1
-    benchmarks, which compare the message cost of event-driven revocation
-    against polling.
+    Statistics (`published_count`, `delivered_count`, :meth:`stats`)
+    support the FIG5/ABL1 benchmarks, which compare the message cost of
+    event-driven revocation against polling.
     """
 
-    def __init__(self) -> None:
-        self._subs: Dict[str, List[Subscription]] = {}
+    def __init__(self, indexed: bool = True,
+                 index_key: str = DEFAULT_INDEX_KEY) -> None:
+        self._indexed = indexed
+        self._index_key = index_key
+        self._seq = itertools.count(1)
+        # topic -> {seq: Subscription}; authoritative registry.  Dicts keep
+        # insertion (= registration) order and give O(1) removal by seq.
+        self._subs: Dict[str, Dict[int, Subscription]] = {}
+        # (topic, index-key value) -> {seq: Subscription} — subscriptions
+        # whose filter pins the index key to one value.
+        self._buckets: Dict[Tuple[str, Any], Dict[int, Subscription]] = {}
+        # topic -> {seq: Subscription} — subscriptions with no index-key
+        # filter; they must be considered for every event on the topic.
+        self._wildcards: Dict[str, Dict[int, Subscription]] = {}
         self._taps: List[Handler] = []
         self._publishing = False
         self._queue: Deque[Event] = deque()
         self.published_count = 0
         self.delivered_count = 0
+        self._topic_published: Dict[str, int] = {}
+        self._topic_delivered: Dict[str, int] = {}
+
+    @property
+    def indexed(self) -> bool:
+        return self._indexed
+
+    @property
+    def index_key(self) -> str:
+        return self._index_key
 
     def add_tap(self, handler: Handler) -> Callable[[], None]:
         """Register a tap that sees *every* delivered event, any topic.
@@ -92,14 +144,24 @@ class EventBroker:
         if not topic:
             raise ValueError("topic must be non-empty")
         sub = Subscription(topic=topic, handler=handler,
-                           filter_attrs=dict(filter_attrs), _broker=self)
-        self._subs.setdefault(topic, []).append(sub)
+                           filter_attrs=dict(filter_attrs), _broker=self,
+                           seq=next(self._seq))
+        sub.residual = tuple(sub.filter_attrs.items())
+        self._subs.setdefault(topic, {})[sub.seq] = sub
+        if self._indexed:
+            if self._index_key in sub.filter_attrs:
+                key = (topic, sub.filter_attrs[self._index_key])
+                self._buckets.setdefault(key, {})[sub.seq] = sub
+                sub.residual = tuple(
+                    (k, v) for k, v in sub.residual if k != self._index_key)
+            else:
+                self._wildcards.setdefault(topic, {})[sub.seq] = sub
         return sub
 
     def subscriber_count(self, topic: Optional[str] = None) -> int:
         if topic is None:
             return sum(len(subs) for subs in self._subs.values())
-        return len(self._subs.get(topic, []))
+        return len(self._subs.get(topic, ()))
 
     def publish(self, event: Event) -> int:
         """Publish an event; returns the number of deliveries it caused.
@@ -108,39 +170,171 @@ class EventBroker:
         counted in `delivered_count` but not in the return value.
         """
         self.published_count += 1
+        self._topic_published[event.topic] = \
+            self._topic_published.get(event.topic, 0) + 1
         self._queue.append(event)
         if self._publishing:
             return 0  # outer publish loop will drain the queue
+        return self._drain(first=1)
+
+    def publish_batch(self, events: Iterable[Event]) -> int:
+        """Publish a coalesced batch of events in one queue pass.
+
+        The batch is appended to the delivery queue in order and drained
+        FIFO exactly as individually-published events would be, so batched
+        revocation cascades keep breadth-first semantics.  Returns the
+        number of deliveries the batch's own events caused (transitive
+        deliveries are counted in ``delivered_count`` only); inside an
+        outer publish the batch is queued and 0 is returned, as with
+        :meth:`publish`.
+        """
+        batch = list(events)
+        if not batch:
+            return 0
+        self.published_count += len(batch)
+        for event in batch:
+            self._topic_published[event.topic] = \
+                self._topic_published.get(event.topic, 0) + 1
+            self._queue.append(event)
+        if self._publishing:
+            return 0
+        return self._drain(first=len(batch))
+
+    def _drain(self, first: int) -> int:
+        """Drain the queue; count deliveries of the first ``first`` events
+        (they are the caller's own — the queue was empty before them)."""
         self._publishing = True
-        first_deliveries = 0
-        first = True
+        own_deliveries = 0
+        popped = 0
         try:
             while self._queue:
                 current = self._queue.popleft()
                 delivered = self._deliver(current)
-                if first:
-                    first_deliveries = delivered
-                    first = False
+                popped += 1
+                if popped <= first:
+                    own_deliveries += delivered
         finally:
             self._publishing = False
-        return first_deliveries
+        return own_deliveries
+
+    def _candidates(self, event: Event) -> List[Subscription]:
+        """Subscriptions that may match ``event``, in registration order."""
+        if not self._indexed:
+            return list(self._subs.get(event.topic, {}).values())
+        wildcards = self._wildcards.get(event.topic)
+        bucket = None
+        for key, value in event.attributes:
+            if key == self._index_key:
+                bucket = self._buckets.get((event.topic, value))
+                break
+        # An event without the index key cannot match any indexed
+        # subscription (their filters require it), so buckets are skipped.
+        if not bucket:
+            return list(wildcards.values()) if wildcards else []
+        if not wildcards:
+            return list(bucket.values())
+        # Merge the two registration-ordered lists by seq so delivery
+        # order is identical to the naive scan's.
+        merged: List[Subscription] = []
+        left = iter(bucket.values())
+        right = iter(wildcards.values())
+        a = next(left, None)
+        b = next(right, None)
+        while a is not None and b is not None:
+            if a.seq < b.seq:
+                merged.append(a)
+                a = next(left, None)
+            else:
+                merged.append(b)
+                b = next(right, None)
+        while a is not None:
+            merged.append(a)
+            a = next(left, None)
+        while b is not None:
+            merged.append(b)
+            b = next(right, None)
+        return merged
 
     def _deliver(self, event: Event) -> int:
-        # Copy: handlers may subscribe/cancel during delivery.
-        subs = list(self._subs.get(event.topic, []))
+        # Candidates are copied out: handlers may subscribe/cancel during
+        # delivery.  Only each subscription's *residual* filters need
+        # checking here — topic and (for bucketed subscriptions) the index
+        # key are guaranteed by candidate selection.
         delivered = 0
-        for sub in subs:
-            if sub.active and sub.matches(event):
-                sub.handler(event)
-                delivered += 1
+        for sub in self._candidates(event):
+            if not sub._active:
+                continue
+            residual = sub.residual
+            if residual:
+                attrs = event.attrs
+                satisfied = True
+                for key, want in residual:
+                    if attrs.get(key, _MISSING) != want:
+                        satisfied = False
+                        break
+                if not satisfied:
+                    continue
+            sub.handler(event)
+            delivered += 1
         self.delivered_count += delivered
-        for tap in list(self._taps):
-            tap(event)
+        if delivered:
+            self._topic_delivered[event.topic] = \
+                self._topic_delivered.get(event.topic, 0) + delivered
+        if self._taps:
+            for tap in tuple(self._taps):
+                tap(event)
         return delivered
 
     def _remove(self, sub: Subscription) -> None:
         subs = self._subs.get(sub.topic)
-        if subs and sub in subs:
-            subs.remove(sub)
+        if subs is not None and subs.pop(sub.seq, None) is not None:
             if not subs:
                 del self._subs[sub.topic]
+        if not self._indexed:
+            return
+        if self._index_key in sub.filter_attrs:
+            key = (sub.topic, sub.filter_attrs[self._index_key])
+            bucket = self._buckets.get(key)
+            if bucket is not None:
+                bucket.pop(sub.seq, None)
+                if not bucket:
+                    del self._buckets[key]
+        else:
+            wildcards = self._wildcards.get(sub.topic)
+            if wildcards is not None:
+                wildcards.pop(sub.seq, None)
+                if not wildcards:
+                    del self._wildcards[sub.topic]
+
+    def stats(self) -> Dict[str, Any]:
+        """Observability snapshot: global/per-topic counters and the
+        current shape of the dispatch index.
+
+        Consumed by the benchmark harness and asserted in tests; cheap
+        enough to call from monitoring loops.
+        """
+        topics: Dict[str, Dict[str, int]] = {}
+        for topic, count in self._topic_published.items():
+            topics.setdefault(topic, {"published": 0, "delivered": 0})[
+                "published"] = count
+        for topic, count in self._topic_delivered.items():
+            topics.setdefault(topic, {"published": 0, "delivered": 0})[
+                "delivered"] = count
+        bucket_sizes: Dict[str, Dict[str, int]] = {}
+        for (topic, _value), bucket in self._buckets.items():
+            entry = bucket_sizes.setdefault(
+                topic, {"buckets": 0, "subscriptions": 0, "largest": 0})
+            entry["buckets"] += 1
+            entry["subscriptions"] += len(bucket)
+            entry["largest"] = max(entry["largest"], len(bucket))
+        return {
+            "indexed": self._indexed,
+            "index_key": self._index_key,
+            "published_count": self.published_count,
+            "delivered_count": self.delivered_count,
+            "subscriptions": self.subscriber_count(),
+            "wildcard_subscriptions": sum(
+                len(subs) for subs in self._wildcards.values()),
+            "topics": topics,
+            "index_buckets": bucket_sizes,
+        }

@@ -42,12 +42,27 @@ class CredentialChannel:
 
     def notify_revoked(self, reason: str, timestamp: float = 0.0) -> int:
         """Publish a revocation event; closes the channel."""
-        if self._closed:
+        event = self.revocation_event(reason, timestamp)
+        if event is None:
             return 0
+        return self._broker.publish(event)
+
+    def revocation_event(self, reason: str,
+                         timestamp: float = 0.0) -> Optional[Event]:
+        """Close the channel and return its revocation event *unpublished*.
+
+        Batched cascades collect one event per collapsed credential and
+        hand them to :meth:`EventBroker.publish_batch` in one pass; the
+        channel still closes exactly once, so event counts per credential
+        are identical to publishing eagerly.  Returns None if already
+        closed.
+        """
+        if self._closed:
+            return None
         self._closed = True
-        return self._broker.publish(Event.make(
+        return Event.make(
             CREDENTIAL_REVOKED, timestamp=timestamp,
-            credential_ref=self.credential_ref, reason=reason))
+            credential_ref=self.credential_ref, reason=reason)
 
     def heartbeat(self, timestamp: float = 0.0) -> int:
         """Publish a liveness heartbeat for the credential."""

@@ -57,7 +57,18 @@ class Event:
 
     @property
     def attrs(self) -> Mapping[str, Any]:
-        return dict(self.attributes)
+        # Memoized: events are immutable and the broker consults the map
+        # once per candidate subscription on the delivery hot path.
+        cached = self.__dict__.get("_attrs")
+        if cached is None:
+            cached = dict(self.attributes)
+            object.__setattr__(self, "_attrs", cached)
+        return cached
 
     def get(self, key: str, default: Any = None) -> Any:
-        return dict(self.attributes).get(key, default)
+        # Events carry a handful of attributes; scanning the tuple avoids
+        # materialising a dict for one lookup.
+        for name, value in self.attributes:
+            if name == key:
+                return value
+        return default

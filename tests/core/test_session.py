@@ -4,6 +4,8 @@ import pytest
 
 from repro.core import Principal, SessionError
 
+from conftest import build_hospital
+
 
 class TestPrincipal:
     def test_wallet_stores_and_filters(self, hospital):
@@ -178,3 +180,70 @@ class TestSessionLifecycle:
         session = principal.start_session(hospital.login, "logged_in_user",
                                           ["alice"])
         assert session.root_rmc.bound_key == principal.key_fingerprint
+
+
+class TestWatchSubscriptionLifecycle:
+    """The session must not leak broker subscriptions (satellite fix)."""
+
+    def _watched_session(self, hospital, doctor):
+        session = doctor.start_session(hospital.login, "logged_in_user",
+                                       ["d1"])
+        session.on_deactivation(lambda rmc, reason: None)
+        session.activate(hospital.records, "treating_doctor",
+                         use_appointments=doctor.appointments())
+        return session
+
+    def test_logout_releases_all_watch_subscriptions(self, hospital):
+        doctor = hospital.new_doctor("d1", "p1")
+        session = self._watched_session(hospital, doctor)
+        assert session._watch_subs
+        session.logout()
+        assert session._watch_subs == {}
+
+    def test_watched_session_leaves_no_residue_on_broker(self):
+        """After logout, a session that registered deactivation handlers
+        leaves exactly as many broker subscriptions behind as one that
+        never watched anything."""
+        counts = []
+        for watch in (False, True):
+            world = build_hospital()
+            doctor = world.new_doctor("d1", "p1")
+            session = doctor.start_session(world.login, "logged_in_user",
+                                           ["d1"])
+            if watch:
+                session.on_deactivation(lambda rmc, reason: None)
+            session.activate(world.records, "treating_doctor",
+                             use_appointments=doctor.appointments())
+            session.logout()
+            counts.append(world.broker.subscriber_count())
+        assert counts[0] == counts[1]
+
+    def test_issuer_revocation_cancels_that_watch(self, hospital):
+        doctor = hospital.new_doctor("d1", "p1")
+        session = self._watched_session(hospital, doctor)
+        before = len(session._watch_subs)
+        hospital.db.delete("registered", doctor="d1", patient="p1")
+        assert len(session._watch_subs) == before - 1
+
+    def test_dead_rmcs_pruned_from_live_view(self, hospital):
+        doctor = hospital.new_doctor("d1", "p1")
+        session = doctor.start_session(hospital.login, "logged_in_user",
+                                       ["d1"])
+        treating = session.activate(hospital.records, "treating_doctor",
+                                    use_appointments=doctor.appointments())
+        assert treating.ref in session._rmcs
+        hospital.records.revoke(treating.ref, "suspension")
+        session.active_rmcs()
+        assert treating.ref not in session._rmcs
+        # History keeps the dead credential for audit/inspection.
+        assert treating in session.held_rmcs()
+
+    def test_root_survives_pruning_for_logout(self, hospital):
+        session = Principal("u").start_session(hospital.login,
+                                               "logged_in_user", ["u"])
+        root = session.root_rmc
+        hospital.login.revoke(root.ref, "admin kick")
+        session.active_rmcs()
+        assert session.root_rmc is root
+        session.logout()
+        assert session.terminated

@@ -150,3 +150,97 @@ class TestCounters:
         broker.publish(Event.make("untopic"))
         assert broker.published_count == 2
         assert broker.delivered_count == 2
+
+
+class TestPublishBatch:
+    def test_batch_delivers_in_order(self, broker):
+        seen = []
+        broker.subscribe("t", lambda e: seen.append(e.get("n")))
+        delivered = broker.publish_batch(
+            [Event.make("t", n=1), Event.make("t", n=2), Event.make("t", n=3)])
+        assert seen == [1, 2, 3]
+        assert delivered == 3
+        assert broker.published_count == 3
+
+    def test_empty_batch_is_noop(self, broker):
+        assert broker.publish_batch([]) == 0
+        assert broker.published_count == 0
+
+    def test_transitive_deliveries_not_in_return_value(self, broker):
+        broker.subscribe("a", lambda e: broker.publish(Event.make("b")))
+        broker.subscribe("b", lambda e: None)
+        delivered = broker.publish_batch([Event.make("a")])
+        assert delivered == 1  # the nested "b" delivery is transitive
+        assert broker.delivered_count == 2
+
+    def test_batch_inside_delivery_is_queued_fifo(self, broker):
+        order = []
+
+        def handler(event):
+            order.append("first")
+            broker.publish_batch([Event.make("second"),
+                                  Event.make("third")])
+
+        broker.subscribe("first", handler)
+        broker.subscribe("second", lambda e: order.append("second"))
+        broker.subscribe("third", lambda e: order.append("third"))
+        broker.publish(Event.make("first"))
+        assert order == ["first", "second", "third"]
+
+
+class TestIndexedDispatch:
+    def test_default_is_indexed_on_credential_ref(self, broker):
+        assert broker.indexed
+        assert broker.index_key == "credential_ref"
+
+    def test_bucketed_subscription_still_checks_other_filters(self, broker):
+        seen = []
+        broker.subscribe("t", seen.append, credential_ref="r",
+                         reason="logout")
+        broker.publish(Event.make("t", credential_ref="r", reason="other"))
+        assert seen == []
+        broker.publish(Event.make("t", credential_ref="r", reason="logout"))
+        assert len(seen) == 1
+
+    def test_bucket_and_wildcard_merge_preserves_order(self, broker):
+        order = []
+        broker.subscribe("t", lambda e: order.append("indexed-1"),
+                         credential_ref="r")
+        broker.subscribe("t", lambda e: order.append("wild"))
+        broker.subscribe("t", lambda e: order.append("indexed-2"),
+                         credential_ref="r")
+        broker.publish(Event.make("t", credential_ref="r"))
+        assert order == ["indexed-1", "wild", "indexed-2"]
+
+
+class TestStats:
+    def test_per_topic_counters(self, broker):
+        broker.subscribe("t", lambda e: None)
+        broker.publish(Event.make("t"))
+        broker.publish(Event.make("t"))
+        broker.publish(Event.make("quiet"))
+        stats = broker.stats()
+        assert stats["published_count"] == 3
+        assert stats["delivered_count"] == 2
+        assert stats["topics"]["t"] == {"published": 2, "delivered": 2}
+        assert stats["topics"]["quiet"] == {"published": 1, "delivered": 0}
+
+    def test_index_bucket_sizes(self, broker):
+        broker.subscribe("t", lambda e: None, credential_ref="a")
+        broker.subscribe("t", lambda e: None, credential_ref="a")
+        broker.subscribe("t", lambda e: None, credential_ref="b")
+        wild = broker.subscribe("t", lambda e: None)
+        stats = broker.stats()
+        assert stats["subscriptions"] == 4
+        assert stats["wildcard_subscriptions"] == 1
+        assert stats["index_buckets"]["t"] == {
+            "buckets": 2, "subscriptions": 3, "largest": 2}
+        wild.cancel()
+        assert broker.stats()["wildcard_subscriptions"] == 0
+
+    def test_buckets_shrink_on_cancel(self, broker):
+        sub = broker.subscribe("t", lambda e: None, credential_ref="a")
+        assert broker.stats()["index_buckets"]["t"]["buckets"] == 1
+        sub.cancel()
+        assert broker.stats()["index_buckets"] == {}
+        assert broker.subscriber_count() == 0

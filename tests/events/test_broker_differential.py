@@ -1,0 +1,126 @@
+"""Differential tests: indexed dispatch vs the naive linear scan.
+
+The indexed broker (``EventBroker(indexed=True)``, the default) buckets
+subscriptions that pin the index key (``credential_ref``) and merges the
+matching bucket with the topic's wildcard subscriptions at delivery time.
+These tests drive randomized publish/subscribe/cancel scripts through both
+paths and assert delivery is *identical*: same handler invocations, same
+order, same per-publish delivery counts, same broker counters.
+"""
+
+import random
+
+import pytest
+
+from repro.events import Event, EventBroker
+
+TOPICS = ["credential.revoked", "credential.heartbeat", "app.custom"]
+REFS = [f"dom:svc#{serial}" for serial in range(8)]
+REASONS = ["logout", "cascade", None]
+
+
+def run_script(broker: EventBroker, seed: int, steps: int = 500):
+    """Drive one deterministic random script; return everything observable."""
+    rng = random.Random(seed)
+    log = []
+    live_subs = {}
+    counter = [0]
+
+    def make_handler(sub_id):
+        return lambda event: log.append(
+            (sub_id, event.topic, event.attributes))
+
+    returned = []
+    for _ in range(steps):
+        roll = rng.random()
+        if roll < 0.40 or not live_subs:
+            sub_id = counter[0]
+            counter[0] += 1
+            filters = {}
+            if rng.random() < 0.55:
+                filters["credential_ref"] = rng.choice(REFS)
+            if rng.random() < 0.25:
+                filters["reason"] = rng.choice(["logout", "cascade"])
+            live_subs[sub_id] = broker.subscribe(
+                rng.choice(TOPICS), make_handler(sub_id), **filters)
+        elif roll < 0.55:
+            sub_id = rng.choice(sorted(live_subs))
+            live_subs.pop(sub_id).cancel()
+        else:
+            attrs = {}
+            if rng.random() < 0.80:
+                attrs["credential_ref"] = rng.choice(REFS)
+            reason = rng.choice(REASONS)
+            if reason is not None:
+                attrs["reason"] = reason
+            returned.append(
+                broker.publish(Event.make(rng.choice(TOPICS), **attrs)))
+    return {
+        "log": log,
+        "returned": returned,
+        "published": broker.published_count,
+        "delivered": broker.delivered_count,
+        "subscriber_count": broker.subscriber_count(),
+    }
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_randomized_scripts_deliver_identically(seed):
+    indexed = run_script(EventBroker(indexed=True), seed)
+    naive = run_script(EventBroker(indexed=False), seed)
+    assert indexed == naive
+
+
+@pytest.mark.parametrize("indexed", [True, False])
+def test_nested_publish_order_matches(indexed):
+    """Handlers that publish (cascades) keep FIFO order on both paths."""
+    broker = EventBroker(indexed=indexed)
+    order = []
+
+    def fanout(event):
+        ref = event.get("credential_ref")
+        order.append(("hit", ref))
+        serial = int(ref.split("#")[1])
+        if serial < 4:
+            broker.publish(Event.make("t", credential_ref=f"s#{serial + 1}"))
+
+    for serial in range(5):
+        broker.subscribe("t", fanout, credential_ref=f"s#{serial}")
+    broker.subscribe("t", lambda e: order.append(("wild", e.get("credential_ref"))))
+
+    broker.publish(Event.make("t", credential_ref="s#0"))
+    assert order == [("hit", "s#0"), ("wild", "s#0"),
+                     ("hit", "s#1"), ("wild", "s#1"),
+                     ("hit", "s#2"), ("wild", "s#2"),
+                     ("hit", "s#3"), ("wild", "s#3"),
+                     ("hit", "s#4"), ("wild", "s#4")]
+
+
+@pytest.mark.parametrize("indexed", [True, False])
+def test_cancel_during_delivery_matches(indexed):
+    broker = EventBroker(indexed=indexed)
+    seen = []
+    subs = {}
+
+    def canceller(event):
+        subs["victim"].cancel()
+
+    broker.subscribe("t", canceller, credential_ref="r")
+    subs["victim"] = broker.subscribe("t", seen.append, credential_ref="r")
+    broker.publish(Event.make("t", credential_ref="r"))
+    broker.publish(Event.make("t", credential_ref="r"))
+    assert seen == []
+
+
+def test_event_without_index_key_skips_buckets():
+    """Indexed subscriptions cannot match an event lacking the key, so
+    only wildcard subscriptions are consulted — and outcomes agree."""
+    for indexed in (True, False):
+        broker = EventBroker(indexed=indexed)
+        seen = []
+        broker.subscribe("t", lambda e: seen.append("indexed"),
+                         credential_ref="r")
+        broker.subscribe("t", lambda e: seen.append("wild"))
+        delivered = broker.publish(Event.make("t", other="x"))
+        assert seen == ["wild"]
+        assert delivered == 1
