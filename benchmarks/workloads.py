@@ -129,7 +129,8 @@ class ChainWorld:
     def __init__(self, depth: int,
                  cache_validations: bool = True,
                  indexed_broker: bool = True,
-                 batched_cascades: bool = True) -> None:
+                 batched_cascades: bool = True,
+                 service_cls: type = OasisService) -> None:
         self.clock = SimClock()
         self.broker = EventBroker(indexed=indexed_broker)
         self.registry = ServiceRegistry()
@@ -140,9 +141,9 @@ class ChainWorld:
         login_policy.add_activation_rule(
             ActivationRule(RoleTemplate(root, (Var("u"),))))
         self.services: List[OasisService] = [
-            OasisService(login_policy, self.broker, self.registry,
-                         self.clock, cache_validations=cache_validations,
-                         batched_cascades=batched_cascades)]
+            service_cls(login_policy, self.broker, self.registry,
+                        self.clock, cache_validations=cache_validations,
+                        batched_cascades=batched_cascades)]
         previous = RoleTemplate(root, (Var("u"),))
         for level in range(1, depth + 1):
             policy = ServicePolicy(ServiceId("dom", f"svc-{level}"))
@@ -151,9 +152,9 @@ class ChainWorld:
                 RoleTemplate(role, (Var("u"),)),
                 (PrerequisiteRole(previous, membership=True),)))
             self.services.append(
-                OasisService(policy, self.broker, self.registry, self.clock,
-                             cache_validations=cache_validations,
-                             batched_cascades=batched_cascades))
+                service_cls(policy, self.broker, self.registry, self.clock,
+                            cache_validations=cache_validations,
+                            batched_cascades=batched_cascades))
             previous = RoleTemplate(role, (Var("u"),))
 
     def build_session(self, user: str = "user"):

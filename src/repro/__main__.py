@@ -1,0 +1,13 @@
+"""``python -m repro`` — umbrella command-line entry point.
+
+Delegates to :mod:`repro.lang.cli`, which hosts both the policy tooling
+(``lint``, ``check``, ``format``, ``graph``, ``reach``) and the
+observability demos (``trace``, ``metrics``).
+"""
+
+import sys
+
+from .lang.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

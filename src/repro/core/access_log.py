@@ -44,6 +44,10 @@ class AccessRecord:
     subject: str            # role name / method / appointment / CRR
     detail: Tuple[Any, ...] = ()
     reason: Optional[str] = None
+    #: Causal trace this record belongs to, when the observability
+    #: pipeline (:mod:`repro.obs`) was active; None otherwise.  Lets an
+    #: auditor jump from an audit line to the full span tree.
+    trace_id: Optional[str] = None
 
     def __str__(self) -> str:
         parts = [f"t={self.timestamp:.3f}", self.kind, self.principal,
@@ -85,19 +89,27 @@ class AccessLog:
 
     def record(self, timestamp: float, kind: str, principal: str,
                subject: str, detail: Tuple[Any, ...] = (),
-               reason: Optional[str] = None) -> None:
+               reason: Optional[str] = None,
+               trace_id: Optional[str] = None) -> None:
         if kind not in AccessKind.ALL:
             raise ValueError(f"unknown access record kind {kind!r}")
         self.append(AccessRecord(timestamp, kind, principal, subject,
-                                 detail, reason))
+                                 detail, reason, trace_id))
 
     # -- querying --------------------------------------------------------------
     def query(self, kind: Optional[str] = None,
               principal: Optional[str] = None,
               subject: Optional[str] = None,
               since: Optional[float] = None,
-              until: Optional[float] = None) -> List[AccessRecord]:
-        """All records matching every given filter."""
+              until: Optional[float] = None,
+              trace_id: Optional[str] = None) -> List[AccessRecord]:
+        """All records matching every given filter.
+
+        The time window is half-open, ``[since, until)``: a record at
+        exactly ``since`` is included, one at exactly ``until`` is not —
+        so consecutive windows ``[a, b)`` and ``[b, c)`` partition the
+        log with no duplicated or dropped records.
+        """
         results = []
         for record in self._records:
             if kind is not None and record.kind != kind:
@@ -109,6 +121,8 @@ class AccessLog:
             if since is not None and record.timestamp < since:
                 continue
             if until is not None and record.timestamp >= until:
+                continue
+            if trace_id is not None and record.trace_id != trace_id:
                 continue
             results.append(record)
         return results

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from functools import cached_property
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from ..obs import runtime as _obs_runtime
 from .constraints import EvaluationContext
 from .credentials import AppointmentCertificate, CredentialRef, RoleMembershipCertificate
 from .exceptions import ActivationDenied, PolicyError
@@ -48,11 +49,30 @@ from .terms import (
     is_ground,
     unify,
     unify_sequences,
+    variables_in,
 )
 from .types import Role
 
 __all__ = ["PresentedCredential", "RuleMatch", "MatchedCondition",
-           "CredentialIndex", "RuleEngine"]
+           "ConditionFailure", "CredentialIndex", "RuleEngine"]
+
+#: Buckets for the unification-step histogram (steps per activation match).
+STEP_BUCKETS = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000)
+
+
+@dataclass(frozen=True)
+class ConditionFailure:
+    """Why a rule body could not be satisfied (see ``explain_*``).
+
+    ``kind`` is one of the failure kinds documented in
+    :mod:`repro.obs.explain`; ``condition`` is the deepest condition (in
+    canonical order) at which the search frontier died, None for
+    rule-level failures (``head-mismatch``, ``unbound-parameters``).
+    """
+
+    kind: str
+    condition: Optional[Condition]
+    detail: str
 
 Certificate = Union[RoleMembershipCertificate, AppointmentCertificate]
 
@@ -216,6 +236,18 @@ class RuleEngine:
         # a tuple's contents cannot change under us.
         self._index_memo: Optional[Tuple[Sequence[PresentedCredential],
                                          CredentialIndex]] = None
+        # Observability snapshot (see repro.obs.runtime): None keeps every
+        # hot path on a single attribute-load-plus-branch guard.  When a
+        # pipeline is installed, activation matches count unification
+        # steps (the indexed solver only; the naive path stays the
+        # untouched seed reference) into this histogram.
+        self._obs = _obs_runtime.pipeline()
+        self._step_counter: Optional[List[int]] = None
+        if self._obs is not None:
+            self._steps_histogram = self._obs.metrics.histogram(
+                "oasis_unification_steps", STEP_BUCKETS,
+                help_text="unification attempts + constraint evaluations "
+                          "per activation match (optimized solver)")
 
     # -- public entry points -------------------------------------------------
     def match_activation(self, rule: ActivationRule,
@@ -234,6 +266,9 @@ class RuleEngine:
         satisfiable but leaves a role parameter unbound — the caller must
         then supply it explicitly.
         """
+        if self._obs is not None:
+            return self._match_activation_observed(
+                rule, requested_parameters, credentials, context, index)
         context = context or self.context
         unbound_error: Optional[ActivationDenied] = None
         for match, role in self.enumerate_activations(
@@ -248,6 +283,42 @@ class RuleEngine:
         if unbound_error is not None:
             raise unbound_error
         return None
+
+    def _match_activation_observed(
+            self, rule: ActivationRule,
+            requested_parameters: Optional[Sequence[Term]],
+            credentials: Sequence[PresentedCredential],
+            context: Optional[EvaluationContext],
+            index: Optional[CredentialIndex],
+            ) -> Optional[Tuple[RuleMatch, Role]]:
+        """:meth:`match_activation` with unification-step accounting.
+
+        Identical semantics; the step counter is armed for the duration so
+        the indexed solver's counting closure is selected (see
+        :meth:`_solve_indexed`), and the count lands in the
+        ``oasis_unification_steps`` histogram.
+        """
+        context = context or self.context
+        steps = [0]
+        self._step_counter = steps
+        try:
+            unbound_error: Optional[ActivationDenied] = None
+            for match, role in self.enumerate_activations(
+                    rule, credentials, context, requested_parameters, index):
+                if role is None:
+                    unbound_error = ActivationDenied(
+                        f"rule for {rule.target.role_name} satisfied but "
+                        f"leaves parameters unbound; supply them in the "
+                        f"activation request")
+                    continue
+                return match, role
+            if unbound_error is not None:
+                raise unbound_error
+            return None
+        finally:
+            self._step_counter = None
+            if self.optimized:
+                self._steps_histogram.observe(steps[0])
 
     def enumerate_activations(self, rule: ActivationRule,
                               credentials: Sequence[PresentedCredential],
@@ -400,25 +471,56 @@ class RuleEngine:
             slots_for = [slot_queues[id(c)].popleft() for c in ordered]
         slots: List[Optional[MatchedCondition]] = [None] * total
 
-        def solve(at: int, subst: Substitution) -> Iterator[RuleMatch]:
-            if at == total:
-                yield RuleMatch(substitution=subst, matched=tuple(slots))
-                return
-            condition = ordered[at]
-            slot = slots_for[at]
-            if isinstance(condition, ConstraintCondition):
-                if condition.constraint.evaluate(subst, context):
-                    slots[slot] = MatchedCondition(condition, None)
-                    yield from solve(at + 1, subst)
-                return
-            pattern = condition.pattern
-            for credential in index.candidates(condition):
-                extended = unify_sequences(pattern,
-                                           credential.parameter_values, subst)
-                if extended is None:
-                    continue
-                slots[slot] = MatchedCondition(condition, credential)
-                yield from solve(at + 1, extended)
+        # Two variants of the inner search, selected ONCE per call: the
+        # pristine closure when no step counter is armed (the common,
+        # benchmark-guarded case — zero per-step instrumentation cost) and
+        # a counting twin when an observed match is in flight.  A per-step
+        # ``if counter`` inside one shared closure would cost several
+        # percent on the ~9µs FIG1 engine op; selecting the closure up
+        # front costs one attribute load for the whole solve.
+        counter = self._step_counter
+        if counter is None:
+            def solve(at: int, subst: Substitution) -> Iterator[RuleMatch]:
+                if at == total:
+                    yield RuleMatch(substitution=subst, matched=tuple(slots))
+                    return
+                condition = ordered[at]
+                slot = slots_for[at]
+                if isinstance(condition, ConstraintCondition):
+                    if condition.constraint.evaluate(subst, context):
+                        slots[slot] = MatchedCondition(condition, None)
+                        yield from solve(at + 1, subst)
+                    return
+                pattern = condition.pattern
+                for credential in index.candidates(condition):
+                    extended = unify_sequences(
+                        pattern, credential.parameter_values, subst)
+                    if extended is None:
+                        continue
+                    slots[slot] = MatchedCondition(condition, credential)
+                    yield from solve(at + 1, extended)
+        else:
+            def solve(at: int, subst: Substitution) -> Iterator[RuleMatch]:
+                if at == total:
+                    yield RuleMatch(substitution=subst, matched=tuple(slots))
+                    return
+                condition = ordered[at]
+                slot = slots_for[at]
+                if isinstance(condition, ConstraintCondition):
+                    counter[0] += 1
+                    if condition.constraint.evaluate(subst, context):
+                        slots[slot] = MatchedCondition(condition, None)
+                        yield from solve(at + 1, subst)
+                    return
+                pattern = condition.pattern
+                for credential in index.candidates(condition):
+                    counter[0] += 1
+                    extended = unify_sequences(
+                        pattern, credential.parameter_values, subst)
+                    if extended is None:
+                        continue
+                    slots[slot] = MatchedCondition(condition, credential)
+                    yield from solve(at + 1, extended)
 
         return solve(0, subst)
 
@@ -460,3 +562,168 @@ class RuleEngine:
             yield from self._solve_naive(rest, extended, credentials,
                                          context, matched)
             matched.pop()
+
+    # -- explanation (repro.obs decision explainers) -------------------------
+    #
+    # The explain_* methods answer "why did this rule NOT match?" with the
+    # deepest failing condition in CANONICAL order (credential conditions
+    # in rule order, then constraints).  They run their own dedicated
+    # probe, independent of ``self.optimized`` and of the solve-order
+    # heuristics, so both engine configurations explain identically by
+    # construction — the property the differential tests assert.  They
+    # only run on denial paths, so their cost is irrelevant to the hot
+    # path.
+
+    @staticmethod
+    def _bindings_detail(condition: Condition, subst: Substitution) -> str:
+        names = sorted(condition.variables(), key=lambda v: v.name)
+        if not names:
+            return "no variables"
+        pairs = ", ".join(f"{v.name}={subst.apply(v)!r}" for v in names)
+        return f"bindings: {{{pairs}}}"
+
+    def _probe(self, conditions: Sequence[Condition], head: Tuple[Term, ...],
+               subst: Substitution,
+               credentials: Sequence[PresentedCredential],
+               context: EvaluationContext,
+               require_ground_head: bool,
+               ) -> Tuple[Optional[Substitution],
+                          Optional[ConditionFailure]]:
+        """Canonical-order satisfiability probe tracking the deepest
+        failure frontier.  Returns ``(solution, None)`` on success or
+        ``(None, failure)`` where ``failure`` is the deepest point the
+        search died — the most specific explanation of the denial.  With
+        ``require_ground_head``, solutions leaving ``head`` non-ground are
+        rejected at maximal depth (mirroring :meth:`match_activation`'s
+        preference for unbound-parameter errors over plain no-match)."""
+        total = len(conditions)
+        best: List[Optional[ConditionFailure]] = [None]
+        best_at = [-1]
+
+        def note(at: int, kind: str, condition: Optional[Condition],
+                 detail: str) -> None:
+            if at > best_at[0]:
+                best_at[0] = at
+                best[0] = ConditionFailure(kind, condition, detail)
+
+        def walk(at: int, subst: Substitution) -> Optional[Substitution]:
+            if at == total:
+                if require_ground_head:
+                    parameters = subst.apply(head)
+                    if not is_ground(parameters):
+                        unbound = sorted({v.name for p in parameters
+                                          for v in variables_in(p)})
+                        note(total, "unbound-parameters", None,
+                             f"body satisfiable but role parameters "
+                             f"{{{', '.join(unbound)}}} remain unbound; "
+                             f"supply them in the request")
+                        return None
+                return subst
+            condition = conditions[at]
+            if isinstance(condition, ConstraintCondition):
+                if condition.constraint.evaluate(subst, context):
+                    return walk(at + 1, subst)
+                note(at, "constraint", condition,
+                     f"constraint evaluated false; "
+                     f"{self._bindings_detail(condition, subst)}")
+                return None
+            key = condition.index_key
+            candidates = [credential for credential in credentials
+                          if credential.index_key == key]
+            if not candidates:
+                note(at, "no-candidates", condition,
+                     "no presented credential has the required "
+                     "kind/name/arity — credential missing")
+                return None
+            unified_any = False
+            for credential in candidates:
+                extended = unify_sequences(
+                    condition.pattern, credential.parameter_values, subst)
+                if extended is None:
+                    continue
+                unified_any = True
+                solution = walk(at + 1, extended)
+                if solution is not None:
+                    return solution
+            if not unified_any:
+                note(at, "unification", condition,
+                     f"{len(candidates)} credential(s) of the right kind "
+                     f"presented, but none unify; "
+                     f"{self._bindings_detail(condition, subst)}")
+            return None
+
+        solution = walk(0, subst)
+        if solution is not None:
+            return solution, None
+        return None, best[0]
+
+    def explain_activation(self, rule: ActivationRule,
+                           requested_parameters: Optional[Sequence[Term]],
+                           credentials: Sequence[PresentedCredential],
+                           context: Optional[EvaluationContext] = None,
+                           ) -> Optional[ConditionFailure]:
+        """Why :meth:`match_activation` failed for ``rule`` — or None if it
+        would in fact succeed (the rule is not the reason for a denial)."""
+        context = context or self.context
+        subst = self._bind_head(rule.target.parameters, requested_parameters)
+        if subst is None:
+            return ConditionFailure(
+                "head-mismatch", None,
+                f"requested parameters {tuple(requested_parameters or ())!r}"
+                f" do not unify with rule head {rule.target}")
+        credential_conditions, constraint_conditions = rule.condition_partition
+        _, failure = self._probe(
+            credential_conditions + constraint_conditions,
+            rule.target.parameters, subst, tuple(credentials), context,
+            require_ground_head=True)
+        return failure
+
+    def explain_authorization(self, rule: AuthorizationRule,
+                              arguments: Sequence[Term],
+                              credentials: Sequence[PresentedCredential],
+                              context: Optional[EvaluationContext] = None,
+                              ) -> Optional[ConditionFailure]:
+        """Why :meth:`match_authorization` failed, or None if it would
+        succeed."""
+        context = context or self.context
+        if len(arguments) != len(rule.parameters):
+            return ConditionFailure(
+                "head-mismatch", None,
+                f"method takes {len(rule.parameters)} argument(s), "
+                f"{len(arguments)} given")
+        subst = unify_sequences(rule.parameters, arguments)
+        if subst is None:
+            return ConditionFailure(
+                "head-mismatch", None,
+                f"arguments {tuple(arguments)!r} do not unify with rule "
+                f"parameters {rule.parameters!r}")
+        credential_conditions, constraint_conditions = rule.condition_partition
+        _, failure = self._probe(
+            credential_conditions + constraint_conditions, rule.parameters,
+            subst, tuple(credentials), context, require_ground_head=False)
+        return failure
+
+    def explain_appointment(self, rule: AppointmentRule,
+                            requested_parameters: Sequence[Term],
+                            credentials: Sequence[PresentedCredential],
+                            context: Optional[EvaluationContext] = None,
+                            ) -> Optional[ConditionFailure]:
+        """Why :meth:`match_appointment` failed, or None if it would
+        succeed."""
+        context = context or self.context
+        if len(requested_parameters) != len(rule.parameters):
+            return ConditionFailure(
+                "head-mismatch", None,
+                f"appointment takes {len(rule.parameters)} parameter(s), "
+                f"{len(requested_parameters)} given")
+        subst = unify_sequences(rule.parameters, requested_parameters)
+        if subst is None:
+            return ConditionFailure(
+                "head-mismatch", None,
+                f"parameters {tuple(requested_parameters)!r} do not unify "
+                f"with rule parameters {rule.parameters!r}")
+        credential_conditions, constraint_conditions = rule.condition_partition
+        _, failure = self._probe(
+            credential_conditions + constraint_conditions, rule.parameters,
+            subst, tuple(credentials), context, require_ground_head=False)
+        return failure

@@ -26,11 +26,15 @@ An :class:`OasisService` implements the full life-cycle of Fig. 2:
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from ..db import Database
+from ..obs import runtime as _obs_runtime
+from ..obs.explain import Decision, RuleAttempt
+from ..obs.tracing import Span, SpanContext
 from ..events import (
     CREDENTIAL_REISSUED,
     CREDENTIAL_REVOKED,
@@ -109,6 +113,15 @@ class ServiceStats:
     def reset(self) -> None:
         for name in vars(self):
             setattr(self, name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """A defensive copy of the counters.
+
+        Callers get a plain dict they may mutate freely; the live stats
+        object is unaffected.  (Prefer this over ``vars(stats)``, which
+        returns the live ``__dict__``.)
+        """
+        return dict(vars(self))
 
 
 @dataclass(frozen=True)
@@ -256,6 +269,14 @@ class OasisService:
             HeartbeatMonitor(broker, heartbeat_timeout, clock)
             if heartbeat_timeout is not None else None)
 
+        # Observability snapshot (see repro.obs.runtime): taken once at
+        # construction, so every hot-path guard below is a single
+        # attribute load plus an ``is None`` branch.  Enable the pipeline
+        # BEFORE constructing a service to instrument it.
+        self._obs = _obs_runtime.pipeline()
+        if self._obs is not None:
+            self._init_obs()
+
         registry.register(self)
         if network is not None:
             network.register(self.id.domain, _endpoint_name(self.id),
@@ -263,11 +284,113 @@ class OasisService:
         for database in self.context.databases.values():
             database.add_listener(self._on_database_change)
 
+    # ------------------------------------------------------------------
+    # Observability wiring (only runs when a pipeline is installed)
+    # ------------------------------------------------------------------
+    def _init_obs(self) -> None:
+        """Create this service's bound instruments and register the
+        ServiceStats collector (pull-at-export; zero hot-path cost)."""
+        metrics = self._obs.metrics
+        service = str(self.id)
+        activations = metrics.counter(
+            "oasis_activations_total",
+            help_text="role activation outcomes",
+            label_names=("service", "outcome"))
+        self._obs_activation_granted = activations.bind(
+            service=service, outcome="granted")
+        self._obs_activation_denied = activations.bind(
+            service=service, outcome="denied")
+        invocations = metrics.counter(
+            "oasis_invocations_total",
+            help_text="guarded method invocation outcomes",
+            label_names=("service", "outcome"))
+        self._obs_invocation_granted = invocations.bind(
+            service=service, outcome="granted")
+        self._obs_invocation_denied = invocations.bind(
+            service=service, outcome="denied")
+        self._obs_activation_latency = metrics.histogram(
+            "oasis_activation_latency_seconds",
+            help_text="wall-clock activate_role latency",
+            label_names=("service",)).bind(service=service)
+        self._obs_cascade_width = metrics.histogram(
+            "oasis_cascade_width",
+            buckets=(1, 2, 5, 10, 20, 50, 100, 200, 500, 1000),
+            help_text="credentials collapsed per local cascade pass",
+            label_names=("service",)).bind(service=service)
+        self._obs_cascade_depth = metrics.histogram(
+            "oasis_cascade_depth",
+            buckets=(1, 2, 3, 5, 8, 12, 16, 24, 32, 64),
+            help_text="dependency depth reached per local cascade pass",
+            label_names=("service",)).bind(service=service)
+        metrics.register_collector(self._collect_obs_metrics)
+
+    def _collect_obs_metrics(self) -> Iterator[Tuple[str, str, str,
+                                                     List[Tuple[Dict[str, Any],
+                                                                Any]]]]:
+        """ServiceStats and cache/credential state as metric families.
+
+        Sampled at export time only — the counters themselves stay plain
+        attribute increments on the hot paths.
+        """
+        service = str(self.id)
+        yield ("oasis_service_stats", "counter",
+               "ServiceStats operational counters, by field",
+               [({"service": service, "field": name}, value)
+                for name, value in self.stats.snapshot().items()])
+        live = sum(1 for record in self._records.values() if record.active)
+        yield ("oasis_live_credentials", "gauge",
+               "credential records currently active",
+               [({"service": service}, live)])
+        yield ("oasis_validation_cache_entries", "gauge",
+               "cached foreign-credential validations (ECR-backed)",
+               [({"service": service}, self.validation_cache_size)])
+
+    def _record_decision(self, kind: str, outcome: str, principal: str,
+                         subject: str,
+                         attempts: Tuple[RuleAttempt, ...] = (),
+                         reason: Optional[str] = None,
+                         span: Optional[Span] = None,
+                         detail: Tuple[Tuple[str, Any], ...] = ()) -> None:
+        if span is not None:
+            trace_id: Optional[str] = span.trace_id
+        else:
+            context = self._obs.tracer.current_context()
+            trace_id = context.trace_id if context is not None else None
+        self._obs.decisions.record(Decision(
+            timestamp=self.clock(), kind=kind, outcome=outcome,
+            service=str(self.id), principal=principal, subject=subject,
+            rule_attempts=attempts, reason=reason, trace_id=trace_id,
+            detail=detail))
+
+    def _explain_activation_attempt(self, rule: Any,
+                                    parameters: Optional[Sequence[Term]],
+                                    presented: Sequence[PresentedCredential],
+                                    context: EvaluationContext
+                                    ) -> RuleAttempt:
+        failure = self._engine.explain_activation(rule, parameters,
+                                                  presented, context)
+        if failure is None:
+            # The solver said no but the probe says yes — cannot happen
+            # while both implement the same semantics; surface honestly
+            # rather than fabricate a condition.
+            return RuleAttempt(rule=str(rule), outcome="failed",
+                               failure_kind="unknown")
+        return RuleAttempt(
+            rule=str(rule), outcome="failed", failure_kind=failure.kind,
+            failed_condition=(str(failure.condition)
+                              if failure.condition is not None else None),
+            detail=failure.detail)
+
     def _audit(self, kind: str, principal: str, subject: str,
                detail: Tuple[Any, ...] = (),
-               reason: Optional[str] = None) -> None:
+               reason: Optional[str] = None,
+               trace_id: Optional[str] = None) -> None:
+        if self._obs is not None and trace_id is None:
+            context = self._obs.tracer.current_context()
+            if context is not None:
+                trace_id = context.trace_id
         self.access_log.record(self.clock(), kind, principal, subject,
-                               detail, reason)
+                               detail, reason, trace_id)
 
     # ------------------------------------------------------------------
     # Role activation (Fig. 2 paths 1-2)
@@ -286,6 +409,10 @@ class OasisService:
         :class:`CredentialInvalid` subclass when a presented certificate
         fails validation.
         """
+        if self._obs is not None:
+            return self._activate_role_observed(
+                principal, role_name, parameters, credentials,
+                environment, session_id, bound_key)
         presented = self._validate_presentations(principal, credentials)
         context = self.context.with_environment(**(environment or {}))
         index = CredentialIndex(presented)
@@ -309,6 +436,84 @@ class OasisService:
         self._audit(AccessKind.ACTIVATION_DENIED, principal.value,
                     role_name, reason=str(denial))
         raise denial
+
+    def _activate_role_observed(self, principal: PrincipalId, role_name: str,
+                                parameters: Optional[Sequence[Term]],
+                                credentials: Sequence[Presentation],
+                                environment: Optional[Dict[str, Any]],
+                                session_id: Optional[str],
+                                bound_key: Optional[str],
+                                ) -> RoleMembershipCertificate:
+        """Same semantics as :meth:`activate_role`, plus a span, a latency
+        sample and a structured :class:`Decision` per outcome."""
+        wall_start = time.perf_counter()
+        span = self._obs.tracer.start_span(
+            "activate_role", timestamp=self.clock(),
+            service=str(self.id), principal=principal.value, role=role_name)
+        attempts: List[RuleAttempt] = []
+        try:
+            try:
+                presented = self._validate_presentations(principal,
+                                                         credentials)
+            except CredentialInvalid as failure:
+                attempts.append(RuleAttempt(
+                    rule="(credential validation)", outcome="failed",
+                    failure_kind="credential-invalid", detail=str(failure)))
+                self._record_decision(
+                    "activation", "denied", principal.value, role_name,
+                    tuple(attempts), reason=str(failure), span=span)
+                self._obs_activation_denied.inc()
+                span.error(str(failure))
+                raise
+            context = self.context.with_environment(**(environment or {}))
+            index = CredentialIndex(presented)
+            last_denial: Optional[ActivationDenied] = None
+            for rule in self.policy.activation_rules_for(role_name):
+                try:
+                    result = self._engine.match_activation(
+                        rule, parameters, presented, context, index)
+                except ActivationDenied as denial:
+                    last_denial = denial
+                    attempts.append(self._explain_activation_attempt(
+                        rule, parameters, presented, context))
+                    continue
+                if result is None:
+                    attempts.append(self._explain_activation_attempt(
+                        rule, parameters, presented, context))
+                    continue
+                match, role = result
+                rmc = self._issue_rmc(principal, role, match,
+                                      environment or {}, session_id,
+                                      bound_key)
+                attempts.append(RuleAttempt(rule=str(rule),
+                                            outcome="matched"))
+                self._record_decision(
+                    "activation", "granted", principal.value, role_name,
+                    tuple(attempts), span=span,
+                    detail=(("credential_ref", str(rmc.ref)),))
+                self._obs_activation_granted.inc()
+                span.set_attr("credential_ref", str(rmc.ref))
+                return rmc
+            self.stats.activations_denied += 1
+            denial = last_denial or ActivationDenied(
+                f"{principal} cannot activate {self.id}:{role_name} with "
+                f"the presented credentials")
+            if not attempts:
+                attempts.append(RuleAttempt(
+                    rule=f"(no activation rule for {role_name!r})",
+                    outcome="failed", failure_kind="no-rule"))
+            self._audit(AccessKind.ACTIVATION_DENIED, principal.value,
+                        role_name, reason=str(denial))
+            self._record_decision(
+                "activation", "denied", principal.value, role_name,
+                tuple(attempts), reason=str(denial), span=span)
+            self._obs_activation_denied.inc()
+            span.error(str(denial))
+            raise denial
+        finally:
+            span.finish(self.clock())
+            self._obs_activation_latency.observe(
+                time.perf_counter() - wall_start)
 
     def _issue_rmc(self, principal: PrincipalId, role: Role, match: RuleMatch,
                    environment: Dict[str, Any], session_id: Optional[str],
@@ -351,6 +556,9 @@ class OasisService:
         """
         if method not in self._methods:
             raise UnknownMethod(f"{self.id} has no method {method!r}")
+        if self._obs is not None:
+            return self._invoke_observed(principal, method, arguments,
+                                         credentials, environment)
         presented = self._validate_presentations(principal, credentials)
         context = self.context.with_environment(**(environment or {}))
         index = CredentialIndex(presented)
@@ -368,6 +576,80 @@ class OasisService:
                     method, detail=tuple(arguments))
         raise InvocationDenied(
             f"{principal} may not invoke {self.id}.{method}{tuple(arguments)!r}")
+
+    def _invoke_observed(self, principal: PrincipalId, method: str,
+                         arguments: Sequence[Term],
+                         credentials: Sequence[Presentation],
+                         environment: Optional[Dict[str, Any]]) -> Any:
+        """Same semantics as :meth:`invoke`, plus a span and a Decision."""
+        span = self._obs.tracer.start_span(
+            "invoke", timestamp=self.clock(),
+            service=str(self.id), principal=principal.value, method=method)
+        attempts: List[RuleAttempt] = []
+        try:
+            try:
+                presented = self._validate_presentations(principal,
+                                                         credentials)
+            except CredentialInvalid as failure:
+                attempts.append(RuleAttempt(
+                    rule="(credential validation)", outcome="failed",
+                    failure_kind="credential-invalid", detail=str(failure)))
+                self._record_decision(
+                    "invocation", "denied", principal.value, method,
+                    tuple(attempts), reason=str(failure), span=span)
+                self._obs_invocation_denied.inc()
+                span.error(str(failure))
+                raise
+            context = self.context.with_environment(**(environment or {}))
+            index = CredentialIndex(presented)
+            arguments = list(arguments)
+            for rule in self.policy.authorization_rules_for(method):
+                match = self._engine.match_authorization(
+                    rule, arguments, presented, context, index)
+                if match is None:
+                    failure = self._engine.explain_authorization(
+                        rule, arguments, presented, context)
+                    if failure is None:
+                        attempts.append(RuleAttempt(
+                            rule=str(rule), outcome="failed",
+                            failure_kind="unknown"))
+                    else:
+                        attempts.append(RuleAttempt(
+                            rule=str(rule), outcome="failed",
+                            failure_kind=failure.kind,
+                            failed_condition=(
+                                str(failure.condition)
+                                if failure.condition is not None else None),
+                            detail=failure.detail))
+                    continue
+                self.stats.invocations += 1
+                self._audit(AccessKind.INVOCATION, principal.value,
+                            method, detail=tuple(arguments))
+                attempts.append(RuleAttempt(rule=str(rule),
+                                            outcome="matched"))
+                self._record_decision(
+                    "invocation", "granted", principal.value, method,
+                    tuple(attempts), span=span)
+                self._obs_invocation_granted.inc()
+                return self._methods[method](*arguments)
+            self.stats.invocations_denied += 1
+            if not attempts:
+                attempts.append(RuleAttempt(
+                    rule=f"(no authorization rule for {method!r})",
+                    outcome="failed", failure_kind="no-rule"))
+            self._audit(AccessKind.INVOCATION_DENIED, principal.value,
+                        method, detail=tuple(arguments))
+            denial = InvocationDenied(
+                f"{principal} may not invoke "
+                f"{self.id}.{method}{tuple(arguments)!r}")
+            self._record_decision(
+                "invocation", "denied", principal.value, method,
+                tuple(attempts), reason=str(denial), span=span)
+            self._obs_invocation_denied.inc()
+            span.error(str(denial))
+            raise denial
+        finally:
+            span.finish(self.clock())
 
     # ------------------------------------------------------------------
     # Appointment (Sect. 2)
@@ -469,6 +751,8 @@ class OasisService:
         record = self._records.get(ref)
         if record is None or not record.revoke(reason, self.clock()):
             return False
+        if self._obs is not None:
+            return self._revoke_observed(record, ref, reason)
         self.stats.revocations += 1
         if self._batched_cascades:
             events = self._collapse_subtree([(record, reason)])
@@ -486,7 +770,44 @@ class OasisService:
             channel.notify_revoked(reason, timestamp=self.clock())
         return True
 
-    def _collapse_subtree(self, revoked: List[Tuple[CredentialRecord, str]]
+    def _revoke_observed(self, record: CredentialRecord, ref: CredentialRef,
+                         reason: str) -> bool:
+        """Tail of :meth:`revoke` under a root ``revoke`` span.
+
+        The batch is published *inside* the span: the broker delivers
+        synchronously, so every downstream handler (including unbatched
+        per-edge cascades on other services) runs with this span on the
+        tracer stack and stitches into the same trace automatically.
+        """
+        span = self._obs.tracer.start_span(
+            "revoke", timestamp=self.clock(), service=str(self.id),
+            credential_ref=str(ref), reason=reason)
+        try:
+            self.stats.revocations += 1
+            if self._batched_cascades:
+                events = self._collapse_subtree([(record, reason)])
+                if events:
+                    self.broker.publish_batch(events)
+                return True
+            self._audit(AccessKind.REVOCATION,
+                        record.principal.value if record.principal else "-",
+                        str(ref), reason=reason)
+            self._record_decision(
+                "revocation", "revoked",
+                record.principal.value if record.principal else "-",
+                str(ref), reason=reason, span=span)
+            self._teardown_watch(ref)
+            for subscription in self._dependency_subs.pop(ref, []):
+                subscription.cancel()
+            channel = self._channels.get(ref)
+            if channel is not None:
+                channel.notify_revoked(reason, timestamp=self.clock())
+            return True
+        finally:
+            span.finish(self.clock())
+
+    def _collapse_subtree(self, revoked: List[Tuple[CredentialRecord, str]],
+                          parent_ctx: Optional[SpanContext] = None,
                           ) -> List[Event]:
         """Collapse the local dependent subtree of already-revoked roots.
 
@@ -497,6 +818,12 @@ class OasisService:
         the unbatched reference path.  Cost is O(collapsed subtree), not
         O(live credentials).
         """
+        # Dual loop, same trick as the engine's dual solve closures: the
+        # common disabled-pipeline path runs the lean two-tuple loop below
+        # (one guard for the whole traversal); the span-carrying variant
+        # lives in :meth:`_collapse_subtree_observed`.
+        if self._obs is not None:
+            return self._collapse_subtree_observed(revoked, parent_ctx)
         events: List[Event] = []
         queue = deque(revoked)
         while queue:
@@ -526,6 +853,79 @@ class OasisService:
                 self.stats.revocations += 1
                 self.stats.cascade_revocations += 1
                 queue.append((dependent, dependent_reason))
+        return events
+
+    def _collapse_subtree_observed(
+            self, revoked: List[Tuple[CredentialRecord, str]],
+            parent_ctx: Optional[SpanContext] = None) -> List[Event]:
+        """Span-carrying variant of :meth:`_collapse_subtree`.
+
+        Every collapsed credential gets a ``cascade.revoke`` span parented
+        on its revoker (the queue carries each record's parent context and
+        depth), the span context rides out on the revocation event for
+        cross-service stitching, and the traversal's width and depth feed
+        the cascade histograms.
+        """
+        tracer = self._obs.tracer
+        if parent_ctx is None:
+            # Root-side collapse: hang cascade spans off whatever span is
+            # active (the ``revoke`` root span, or a caller's span).
+            parent_ctx = tracer.current_context()
+        events: List[Event] = []
+        width = 0
+        max_depth = 1
+        queue: deque = deque((record, reason, parent_ctx, 1)
+                             for record, reason in revoked)
+        while queue:
+            record, reason, ctx, depth = queue.popleft()
+            ref = record.ref
+            span = tracer.start_span(
+                "cascade.revoke", timestamp=self.clock(), parent=ctx,
+                activate=False, service=str(self.id),
+                credential_ref=str(ref), reason=reason)
+            width += 1
+            if depth > max_depth:
+                max_depth = depth
+            self._audit(AccessKind.REVOCATION,
+                        record.principal.value if record.principal else "-",
+                        str(ref), reason=reason, trace_id=span.trace_id)
+            self._teardown_watch(ref)
+            self._unlink_dependencies(record)
+            channel = self._channels.get(ref)
+            if channel is not None:
+                event = channel.revocation_event(reason,
+                                                 timestamp=self.clock())
+                if event is not None:
+                    # Span context rides on the event so a service that
+                    # picks it up later (batched delivery) can parent its
+                    # own cascade spans under this one.
+                    event = event.with_attributes(
+                        trace_id=span.trace_id, span_id=span.span_id)
+                    events.append(event)
+            self._record_decision(
+                "revocation", "revoked",
+                record.principal.value if record.principal else "-",
+                str(ref), reason=reason, span=span)
+            dependents = self._dependents.get(ref.qualified)
+            if not dependents:
+                span.finish(self.clock())
+                continue
+            dependent_reason = (f"membership dependency {ref} revoked "
+                                f"({reason})")
+            child_ctx = span.context
+            for dependent_ref in list(dependents):
+                dependent = self._records.get(dependent_ref)
+                if dependent is None or not dependent.revoke(
+                        dependent_reason, self.clock()):
+                    continue
+                self.stats.revocations += 1
+                self.stats.cascade_revocations += 1
+                queue.append((dependent, dependent_reason, child_ctx,
+                              depth + 1))
+            span.finish(self.clock())
+        if width:
+            self._obs_cascade_width.observe(width)
+            self._obs_cascade_depth.observe(max_depth)
         return events
 
     def _unlink_dependencies(self, record: CredentialRecord) -> None:
@@ -578,7 +978,15 @@ class OasisService:
             self.stats.cascade_revocations += 1
             seeds.append((record, reason))
         if seeds:
-            events = self._collapse_subtree(seeds)
+            parent_ctx: Optional[SpanContext] = None
+            if self._obs is not None:
+                trace_id = event.get("trace_id")
+                span_id = event.get("span_id")
+                if trace_id is not None and span_id is not None:
+                    # Stitch: the publishing service put its cascade span's
+                    # context on the event; our local subtree hangs off it.
+                    parent_ctx = SpanContext(trace_id, span_id)
+            events = self._collapse_subtree(seeds, parent_ctx)
             if events:
                 self.broker.publish_batch(events)
 

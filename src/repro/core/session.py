@@ -24,6 +24,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..crypto.keys import KeyPair, generate_keypair
 from ..events import CREDENTIAL_REVOKED, Event, Subscription
+from ..obs import runtime as _obs_runtime
 from .credentials import AppointmentCertificate, CredentialRef, RoleMembershipCertificate
 from .exceptions import SessionError
 from .service import OasisService, Presentation
@@ -118,6 +119,7 @@ class Session:
         self._terminated = False
         self._deactivation_handlers: List[DeactivationHandler] = []
         self._watch_subs: Dict[CredentialRef, Subscription] = {}
+        self._obs = _obs_runtime.pipeline()
 
     # -- properties ----------------------------------------------------------
     @property
@@ -146,6 +148,27 @@ class Session:
         explicitly supplied appointment certificates (holder-bound ones are
         presented under this principal's id).
         """
+        if self._obs is None:
+            return self._activate_inner(service, role_name, parameters,
+                                        use_appointments, environment)
+        span = self._obs.tracer.start_span(
+            "session.activate", timestamp=service.clock(),
+            session=self.session_id, principal=self.principal.id.value,
+            service=str(service.id), role=role_name)
+        try:
+            return self._activate_inner(service, role_name, parameters,
+                                        use_appointments, environment)
+        except Exception as failure:
+            span.error(str(failure))
+            raise
+        finally:
+            span.finish(service.clock())
+
+    def _activate_inner(self, service: OasisService, role_name: str,
+                        parameters: Optional[Sequence[Term]],
+                        use_appointments: Sequence[AppointmentCertificate],
+                        environment: Optional[Dict[str, Any]],
+                        ) -> RoleMembershipCertificate:
         self._ensure_live()
         presentations = self._presentations(use_appointments)
         bound_key = self.principal.key_fingerprint

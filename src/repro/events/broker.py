@@ -32,11 +32,15 @@ from dataclasses import dataclass, field
 from typing import (Any, Callable, Deque, Dict, Iterable, List, Mapping,
                     Optional, Tuple)
 
+from ..obs import runtime as _obs_runtime
 from .messages import Event
 
 __all__ = ["Subscription", "EventBroker"]
 
 Handler = Callable[[Event], None]
+
+#: Distinguishes broker instances in exported metric labels.
+_BROKER_COUNTER = itertools.count(1)
 
 #: The default equality-filter key the dispatch index is built on.  Every
 #: per-credential channel event (revocation, re-issue, heartbeat) carries
@@ -114,6 +118,33 @@ class EventBroker:
         self.delivered_count = 0
         self._topic_published: Dict[str, int] = {}
         self._topic_delivered: Dict[str, int] = {}
+        self._queue_depth_peak = 0
+        self._obs = _obs_runtime.pipeline()
+        if self._obs is not None:
+            self._obs_label = f"b{next(_BROKER_COUNTER)}"
+            self._obs.metrics.register_collector(self._collect_obs_metrics)
+
+    def _collect_obs_metrics(self) -> Iterable[Tuple[str, str, str,
+                                                     List[Tuple[Dict[str, Any],
+                                                                Any]]]]:
+        """Pull-time metric families; the publish/deliver hot paths stay
+        plain counter increments."""
+        broker = self._obs_label
+        yield ("oasis_broker_events_total", "counter",
+               "events through the broker, by stage",
+               [({"broker": broker, "kind": "published"},
+                 self.published_count),
+                ({"broker": broker, "kind": "delivered"},
+                 self.delivered_count)])
+        yield ("oasis_broker_queue_depth", "gauge",
+               "events currently queued for delivery",
+               [({"broker": broker}, len(self._queue))])
+        yield ("oasis_broker_queue_depth_peak", "gauge",
+               "high-watermark of the delivery queue",
+               [({"broker": broker}, self._queue_depth_peak)])
+        yield ("oasis_broker_subscriptions", "gauge",
+               "live subscriptions",
+               [({"broker": broker}, self.subscriber_count())])
 
     @property
     def indexed(self) -> bool:
@@ -208,6 +239,10 @@ class EventBroker:
         popped = 0
         try:
             while self._queue:
+                if self._obs is not None:
+                    depth = len(self._queue)
+                    if depth > self._queue_depth_peak:
+                        self._queue_depth_peak = depth
                 current = self._queue.popleft()
                 delivered = self._deliver(current)
                 popped += 1

@@ -54,13 +54,21 @@ class EventLog:
 
     def events(self, topic: Optional[str] = None,
                since: Optional[float] = None,
+               until: Optional[float] = None,
                **attrs) -> List[Event]:
-        """Events matching the filters, in delivery order."""
+        """Events matching the filters, in delivery order.
+
+        The time window is half-open, ``[since, until)`` — consecutive
+        windows partition the log with no duplicates (same convention as
+        :meth:`repro.core.access_log.AccessLog.query`).
+        """
         results = []
         for event in self._events:
             if topic is not None and event.topic != topic:
                 continue
             if since is not None and event.timestamp < since:
+                continue
+            if until is not None and event.timestamp >= until:
                 continue
             event_attrs = event.attrs
             if any(event_attrs.get(key) != want

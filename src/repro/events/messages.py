@@ -72,3 +72,16 @@ class Event:
             if name == key:
                 return value
         return default
+
+    def with_attributes(self, **extra: Any) -> "Event":
+        """A copy carrying additional attributes (same-named ones replaced).
+
+        Used by the observability layer to let span context (``trace_id``,
+        ``span_id``) ride on revocation events: subscriptions filter by
+        attribute *equality on their own keys only*, so extra attributes
+        never change who an event is delivered to.
+        """
+        merged = dict(self.attributes)
+        merged.update(extra)
+        return Event(topic=self.topic, attributes=tuple(merged.items()),
+                     timestamp=self.timestamp)

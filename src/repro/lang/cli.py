@@ -15,6 +15,10 @@ Commands:
   normalising policies before review/diff).
 * ``graph <paths...>`` — print the cross-service role dependency edges.
 * ``reach <paths...>`` — print reachable and unreachable roles.
+* ``trace`` / ``metrics`` — observability demos (``repro.obs``): run a
+  Fig. 5 revocation cascade under the tracing pipeline and print the
+  causal trace tree / exported metric families.  Also reachable as
+  ``python -m repro trace`` etc.
 """
 
 from __future__ import annotations
@@ -206,11 +210,23 @@ def _cmd_reach(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    # Lazy: repro.obs.cli builds runtime worlds; plain policy tooling
+    # should not import the whole runtime stack.
+    from ..obs.cli import cmd_trace
+    return cmd_trace(args)
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from ..obs.cli import cmd_metrics
+    return cmd_metrics(args)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.lang.cli",
         description="OASIS policy tooling: lint, check, format, graph, "
-                    "reach")
+                    "reach — plus observability demos (trace, metrics)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     lint = sub.add_parser(
@@ -246,6 +262,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     reach = sub.add_parser("reach", help="reachability report")
     reach.add_argument("paths", nargs="+")
     reach.set_defaults(func=_cmd_reach)
+
+    trace = sub.add_parser(
+        "trace", help="run a demo revocation cascade under the tracing "
+                      "pipeline and print its causal trace tree")
+    trace.add_argument("--depth", type=int, default=16,
+                       help="cascade chain depth (default 16, as Fig. 5)")
+    trace.add_argument("--format", choices=("text", "json"),
+                       default="text", help="rendering")
+    trace.add_argument("--naive-broker", action="store_true",
+                       help="use the unindexed dispatch reference path")
+    trace.set_defaults(func=_cmd_trace)
+
+    metrics = sub.add_parser(
+        "metrics", help="run demo scenarios and export the collected "
+                        "metric families")
+    metrics.add_argument("--depth", type=int, default=16,
+                         help="cascade chain depth (default 16)")
+    metrics.add_argument("--format", choices=("prometheus", "json"),
+                         default="prometheus", help="export format")
+    metrics.set_defaults(func=_cmd_metrics)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -22,6 +22,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..obs import runtime as _obs_runtime
+
 __all__ = [
     "SimClock",
     "Scheduler",
@@ -210,6 +212,12 @@ class SimNetwork:
         self.partition_timeout = partition_timeout
         self._endpoints: Dict[Tuple[str, str], Callable[..., Any]] = {}
         self._partitions: set = set()
+        self._obs = _obs_runtime.pipeline()
+        if self._obs is not None:
+            self._obs_rpc_calls = self._obs.metrics.counter(
+                "oasis_rpc_calls_total",
+                help_text="simulated RPC calls, by outcome",
+                label_names=("outcome",))
 
     # -- failure injection -----------------------------------------------------
     def partition(self, domain_a: str, domain_b: str) -> None:
@@ -246,6 +254,31 @@ class SimNetwork:
         Advances the clock by one one-way latency before the handler runs
         and another after it returns, and counts two messages.
         """
+        if self._obs is not None:
+            return self._call_observed(src_domain, dst_domain, name,
+                                       *args, **kwargs)
+        return self._call(src_domain, dst_domain, name, *args, **kwargs)
+
+    def _call_observed(self, src_domain: str, dst_domain: str, name: str,
+                       *args: Any, **kwargs: Any) -> Any:
+        span = self._obs.tracer.start_span(
+            "rpc.call", timestamp=self.clock.now(),
+            src=src_domain, dst=dst_domain, endpoint=name)
+        try:
+            result = self._call(src_domain, dst_domain, name,
+                                *args, **kwargs)
+        except NetworkError as failure:
+            self._obs_rpc_calls.inc(outcome="failed")
+            span.error(str(failure))
+            raise
+        else:
+            self._obs_rpc_calls.inc(outcome="ok")
+            return result
+        finally:
+            span.finish(self.clock.now())
+
+    def _call(self, src_domain: str, dst_domain: str, name: str,
+              *args: Any, **kwargs: Any) -> Any:
         handler = self._endpoints.get((dst_domain, name))
         if handler is None:
             raise LookupError(f"no endpoint {dst_domain}/{name}")

@@ -1,0 +1,160 @@
+"""Observability CLI: ``python -m repro trace`` / ``python -m repro metrics``.
+
+Both commands build a small demonstration world with the observability
+pipeline enabled, run a scenario, and render what the pipeline captured:
+
+* ``trace`` — a depth-N (default 16) Fig. 5 revocation cascade across a
+  chain of services, one role per service, each role requiring the
+  previous service's role as a membership dependency.  Revoking the root
+  credential collapses the whole chain; the command prints the
+  reconstructed causal trace tree (text or JSON).
+* ``metrics`` — the same cascade plus a granted and a denied activation,
+  rendered as Prometheus text or JSON metric families.
+
+This module is the one part of :mod:`repro.obs` that imports the runtime
+(:mod:`repro.core`, :mod:`repro.events`) — it *builds worlds*.  The
+command-line front end imports it lazily so plain policy tooling never
+pays for it; everything else in the package stays import-cycle-free.
+
+The scenario builders double as test fixtures: the depth-16 JSON tree is
+snapshot-tested in ``tests/obs/test_cli.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Tuple
+
+from ..core import (
+    ActivationRule,
+    OasisService,
+    PrerequisiteRole,
+    Principal,
+    RoleTemplate,
+    ServiceId,
+    ServicePolicy,
+    ServiceRegistry,
+    Var,
+)
+from ..events import EventBroker
+from ..net import SimClock
+from .export import (
+    metrics_to_json_dict,
+    render_prometheus,
+    render_trace_text,
+    trace_to_dict,
+)
+from .runtime import Observability, observed
+
+__all__ = ["run_chain_cascade", "run_denied_activation",
+           "cmd_trace", "cmd_metrics"]
+
+
+def _build_chain(depth: int, broker: EventBroker, clock: SimClock):
+    """A chain of services: svc-i's role requires svc-(i-1)'s (Fig. 1)."""
+    registry = ServiceRegistry()
+    login_policy = ServicePolicy(ServiceId("dom", "svc-0"))
+    root = login_policy.define_role("role", 1)
+    login_policy.add_activation_rule(
+        ActivationRule(RoleTemplate(root, (Var("u"),))))
+    services = [OasisService(login_policy, broker, registry, clock)]
+    previous = RoleTemplate(root, (Var("u"),))
+    for level in range(1, depth + 1):
+        policy = ServicePolicy(ServiceId("dom", f"svc-{level}"))
+        role = policy.define_role("role", 1)
+        policy.add_activation_rule(ActivationRule(
+            RoleTemplate(role, (Var("u"),)),
+            (PrerequisiteRole(previous, membership=True),)))
+        services.append(OasisService(policy, broker, registry, clock))
+        previous = RoleTemplate(role, (Var("u"),))
+    return services
+
+
+def run_chain_cascade(depth: int = 16, indexed_broker: bool = True,
+                      cascade_only: bool = True,
+                      ) -> Tuple[Observability, str]:
+    """Run the demo cascade; returns the pipeline and the cascade's
+    trace id.
+
+    With ``cascade_only`` (the default) the tracer is cleared after the
+    session build-up, so the surviving trace is exactly the revocation
+    cascade — one root ``revoke`` span with ``depth + 1`` nested
+    ``cascade.revoke`` spans.
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    with observed() as obs:
+        clock = SimClock()
+        broker = EventBroker(indexed=indexed_broker)
+        services = _build_chain(depth, broker, clock)
+        principal = Principal("alice")
+        session = principal.start_session(services[0], "role", ["alice"])
+        rmcs = [session.root_rmc]
+        for service in services[1:]:
+            clock.advance(0.001)  # one sim-clock tick per hop of build-up
+            rmcs.append(session.activate(service, "role"))
+        if cascade_only:
+            obs.tracer.reset()
+        clock.advance(0.001)
+        services[0].revoke(rmcs[0].ref, "demo revocation")
+    trace_ids = obs.tracer.trace_ids()
+    if not trace_ids:
+        raise RuntimeError("cascade produced no trace")
+    return obs, trace_ids[-1]
+
+
+def run_denied_activation(obs: Observability) -> None:
+    """Drive one granted and one denied activation under ``obs``.
+
+    The denial exercises the explainer: the clerk role requires the
+    ``role`` of a login service the principal never activated, so the
+    decision names the failing prerequisite condition.
+    """
+    with observed(obs):
+        clock = SimClock()
+        broker = EventBroker()
+        registry = ServiceRegistry()
+        login_policy = ServicePolicy(ServiceId("dom", "login"))
+        logged_in = login_policy.define_role("logged_in", 1)
+        logged_template = RoleTemplate(logged_in, (Var("u"),))
+        login_policy.add_activation_rule(ActivationRule(logged_template))
+        login = OasisService(login_policy, broker, registry, clock)
+
+        desk_policy = ServicePolicy(ServiceId("dom", "desk"))
+        clerk = desk_policy.define_role("clerk", 1)
+        desk_policy.add_activation_rule(ActivationRule(
+            RoleTemplate(clerk, (Var("u"),)),
+            (PrerequisiteRole(logged_template, membership=True),)))
+        desk = OasisService(desk_policy, broker, registry, clock)
+
+        alice = Principal("alice")
+        alice.start_session(login, "logged_in", ["alice"])  # granted
+        try:
+            # Denied: presents no credentials at all.
+            desk.activate_role(alice.id, "clerk")
+        except Exception:
+            pass
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    obs, trace_id = run_chain_cascade(
+        depth=args.depth, indexed_broker=not args.naive_broker)
+    if args.format == "json":
+        print(json.dumps(trace_to_dict(obs.tracer, trace_id), indent=2,
+                         sort_keys=True))
+    else:
+        print(render_trace_text(obs.tracer, trace_id))
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    obs, _ = run_chain_cascade(depth=args.depth)
+    run_denied_activation(obs)
+    families = obs.metrics.collect()
+    if args.format == "json":
+        print(json.dumps(metrics_to_json_dict(families), indent=2,
+                         sort_keys=True))
+    else:
+        print(render_prometheus(families), end="")
+    return 0

@@ -1,0 +1,204 @@
+"""Decision explainers: structured records of why access was (not) granted.
+
+"It is vital that doctors who access patient records may be identified
+individually" (Sect. 2) — but an audit line saying *denied* is not an
+explanation.  A :class:`Decision` captures the full shape of one
+access-control outcome: which rules were tried, in what order, and — for
+denials — exactly which condition failed and *how* (no matching
+credential presented, credentials present but none unify, environmental
+constraint false, head parameters left unbound, presented credential
+revoked/expired/forged).
+
+Decisions are plain data (no imports from :mod:`repro.core`); the engine
+and service layers build them via :class:`RuleAttempt` rows whose fields
+are pre-rendered strings.  This keeps the explainer path-independent: the
+failing condition is computed by a dedicated canonical-order probe in the
+engine (see ``RuleEngine.explain_rule``), not by whichever solver
+(``optimized=True/False``) happened to run, so both engine configurations
+produce identical explanations by construction — a property the
+differential tests pin down.
+
+Failure kinds (``RuleAttempt.failure_kind``):
+
+``no-rule``
+    The policy defines no rule for the requested role/method/appointment.
+``no-candidates``
+    No presented credential has the kind/name/arity the condition needs —
+    a credential is *missing*.
+``unification``
+    Candidates exist but none unifies with the condition's parameter
+    pattern under the bindings accumulated so far (wrong parameters).
+``constraint``
+    An environmental constraint evaluated false under the bindings.
+``unbound-parameters``
+    The body is satisfiable but leaves head parameters unbound; the
+    caller must supply them explicitly.
+``head-mismatch``
+    The requested parameters do not unify with the rule head (wrong
+    arity or conflicting ground values).
+``credential-invalid``
+    A presented certificate failed validation before any rule ran
+    (revoked, expired, bad signature, unreachable issuer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["RuleAttempt", "Decision", "DecisionLog"]
+
+
+@dataclass(frozen=True)
+class RuleAttempt:
+    """One rule tried during a decision, with its outcome."""
+
+    rule: str                              # rendered rule text
+    outcome: str                           # "matched" | "failed"
+    failure_kind: Optional[str] = None     # see module docstring
+    failed_condition: Optional[str] = None  # rendered condition text
+    detail: Optional[str] = None           # bindings / constraint values
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"rule": self.rule, "outcome": self.outcome}
+        if self.failure_kind is not None:
+            out["failure_kind"] = self.failure_kind
+        if self.failed_condition is not None:
+            out["failed_condition"] = self.failed_condition
+        if self.detail is not None:
+            out["detail"] = self.detail
+        return out
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One explained access-control outcome.
+
+    ``kind`` mirrors the access-log vocabulary (``activation``,
+    ``invocation``, ``appointment``, ``revocation``, ``validation``);
+    ``outcome`` is ``granted`` / ``denied`` / ``revoked``.  ``subject`` is
+    the role, method, appointment name, or credential ref the decision is
+    about.  ``trace_id`` joins the decision to the causal trace active
+    when it was made (and through it to :class:`AccessRecord` rows, which
+    carry the same id).
+    """
+
+    timestamp: float
+    kind: str
+    outcome: str
+    service: str
+    principal: str
+    subject: str
+    rule_attempts: Tuple[RuleAttempt, ...] = ()
+    reason: Optional[str] = None
+    trace_id: Optional[str] = None
+    detail: Tuple[Tuple[str, Any], ...] = field(default=())
+
+    @property
+    def failing_attempt(self) -> Optional[RuleAttempt]:
+        """The last failed attempt — for a denial, *the* explanation."""
+        for attempt in reversed(self.rule_attempts):
+            if attempt.outcome == "failed":
+                return attempt
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "timestamp": self.timestamp,
+            "kind": self.kind,
+            "outcome": self.outcome,
+            "service": self.service,
+            "principal": self.principal,
+            "subject": self.subject,
+            "reason": self.reason,
+            "trace_id": self.trace_id,
+            "detail": dict(self.detail),
+            "rule_attempts": [a.to_dict() for a in self.rule_attempts],
+        }
+
+    def render_text(self) -> str:
+        """Multi-line human rendering (the ``repro trace`` text format)."""
+        head = (f"[{self.timestamp:.3f}] {self.kind} {self.outcome}: "
+                f"{self.principal} -> {self.service}:{self.subject}")
+        lines = [head]
+        if self.trace_id:
+            lines.append(f"  trace: {self.trace_id}")
+        if self.reason:
+            lines.append(f"  reason: {self.reason}")
+        for key, value in self.detail:
+            lines.append(f"  {key}: {value}")
+        for attempt in self.rule_attempts:
+            lines.append(f"  rule {attempt.rule}")
+            lines.append(f"    -> {attempt.outcome}"
+                         + (f" ({attempt.failure_kind})"
+                            if attempt.failure_kind else ""))
+            if attempt.failed_condition:
+                lines.append(
+                    f"    failing condition: {attempt.failed_condition}")
+            if attempt.detail:
+                lines.append(f"    {attempt.detail}")
+        return "\n".join(lines)
+
+
+class DecisionLog:
+    """Capacity-bounded store of decisions with half-open time queries.
+
+    Query semantics match :meth:`repro.core.access_log.AccessLog.query`:
+    ``since`` is inclusive, ``until`` exclusive — ``[since, until)`` —
+    so adjacent windows tile without overlap.
+    """
+
+    def __init__(self, capacity: Optional[int] = 10_000) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._decisions: List[Decision] = []
+        self.discarded = 0
+
+    def record(self, decision: Decision) -> None:
+        self._decisions.append(decision)
+        if self._capacity is not None \
+                and len(self._decisions) > self._capacity:
+            overflow = len(self._decisions) - self._capacity
+            del self._decisions[:overflow]
+            self.discarded += overflow
+
+    def __len__(self) -> int:
+        return len(self._decisions)
+
+    def query(self, kind: Optional[str] = None,
+              outcome: Optional[str] = None,
+              service: Optional[str] = None,
+              principal: Optional[str] = None,
+              subject: Optional[str] = None,
+              trace_id: Optional[str] = None,
+              since: Optional[float] = None,
+              until: Optional[float] = None) -> List[Decision]:
+        """Decisions matching every given filter, in record order."""
+        results = []
+        for decision in self._decisions:
+            if kind is not None and decision.kind != kind:
+                continue
+            if outcome is not None and decision.outcome != outcome:
+                continue
+            if service is not None and decision.service != service:
+                continue
+            if principal is not None and decision.principal != principal:
+                continue
+            if subject is not None and decision.subject != subject:
+                continue
+            if trace_id is not None and decision.trace_id != trace_id:
+                continue
+            if since is not None and decision.timestamp < since:
+                continue
+            if until is not None and decision.timestamp >= until:
+                continue
+            results.append(decision)
+        return results
+
+    def denials(self) -> List[Decision]:
+        return [d for d in self._decisions if d.outcome == "denied"]
+
+    def reset(self) -> None:
+        self._decisions.clear()
+        self.discarded = 0

@@ -1,0 +1,112 @@
+"""Exporters: Prometheus exposition text, JSON, and trace-tree renderers.
+
+Pure functions over the data structures of :mod:`repro.obs.metrics` and
+:mod:`repro.obs.tracing` — no I/O, no state.  The CLI (``repro metrics``,
+``repro trace``) is a thin shell around these.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Mapping
+
+from .tracing import SpanTree, Tracer
+
+__all__ = ["render_prometheus", "metrics_to_json_dict",
+           "trace_to_dict", "render_trace_text"]
+
+
+def _escape_label_value(value: Any) -> str:
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _label_text(labels: Mapping[str, Any], extra: str = "") -> str:
+    parts = [f'{key}="{_escape_label_value(value)}"'
+             for key, value in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(families: List[Dict[str, Any]]) -> str:
+    """Render :meth:`MetricsRegistry.collect` output as exposition text.
+
+    One ``# HELP`` / ``# TYPE`` pair per family; histograms expand into
+    ``_bucket`` (cumulative, with ``le`` labels and ``+Inf``), ``_sum``
+    and ``_count`` series, per the text-format spec.
+    """
+    lines: List[str] = []
+    for family in families:
+        name = family["name"]
+        if family.get("help"):
+            lines.append(f"# HELP {name} {family['help']}")
+        lines.append(f"# TYPE {name} {family['type']}")
+        if family["type"] == "histogram":
+            bounds = family.get("buckets", [])
+            for sample in family["samples"]:
+                labels = sample["labels"]
+                snapshot = sample["value"]
+                counts = snapshot["buckets"]
+                for bound, count in zip(list(bounds) + [math.inf], counts):
+                    le = _label_text(
+                        labels, f'le="{_format_value(float(bound))}"')
+                    lines.append(f"{name}_bucket{le} {count}")
+                lines.append(f"{name}_sum{_label_text(labels)} "
+                             f"{_format_value(snapshot['sum'])}")
+                lines.append(f"{name}_count{_label_text(labels)} "
+                             f"{snapshot['count']}")
+        else:
+            for sample in family["samples"]:
+                lines.append(f"{name}{_label_text(sample['labels'])} "
+                             f"{_format_value(float(sample['value']))}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def metrics_to_json_dict(families: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """JSON-ready shape for :meth:`MetricsRegistry.collect` output."""
+    return {"schema": "oasis-metrics/1", "families": families}
+
+
+def trace_to_dict(tracer: Tracer, trace_id: str) -> Dict[str, Any]:
+    """JSON-ready shape of one trace: its roots as nested span dicts."""
+    roots = tracer.tree(trace_id)
+    return {
+        "schema": "oasis-trace/1",
+        "trace_id": trace_id,
+        "span_count": sum(root.span_count() for root in roots),
+        "roots": [root.to_dict() for root in roots],
+    }
+
+
+def _render_node(node: SpanTree, indent: int, lines: List[str]) -> None:
+    span = node.span
+    duration = span.duration
+    timing = (f" [{span.start:.4f}s +{duration:.4f}s]"
+              if duration is not None else f" [{span.start:.4f}s ..]")
+    attrs = ""
+    if span.attrs:
+        rendered = ", ".join(f"{k}={v}" for k, v in span.attrs.items())
+        attrs = f"  ({rendered})"
+    marker = "" if span.status == "ok" else f" !{span.status}"
+    lines.append(f"{'  ' * indent}{span.name}{marker}{timing}{attrs}")
+    for child in node.children:
+        _render_node(child, indent + 1, lines)
+
+
+def render_trace_text(tracer: Tracer, trace_id: str) -> str:
+    """Indented text rendering of a trace tree (``repro trace`` default)."""
+    roots = tracer.tree(trace_id)
+    lines = [f"trace {trace_id} "
+             f"({sum(root.span_count() for root in roots)} spans)"]
+    for root in roots:
+        _render_node(root, 1, lines)
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""The observability pipeline and its process-wide on/off switch.
+
+Design constraint (the PR's acceptance bar): instrumentation must cost
+≤3% on the guarded hot paths **when disabled**.  The mechanism:
+
+* The module-level default is ``None`` — no pipeline at all, not a
+  no-op object.  Instrumented classes snapshot the pipeline **once, at
+  construction** (``self._obs = runtime.pipeline()``), so every hot-path
+  guard is a single attribute load plus an ``is None`` branch — no
+  global lookup, no virtual no-op call.
+* When a pipeline is installed, the same guard routes into the observed
+  code path, which may be arbitrarily rich: spans, metrics, decisions.
+
+Snapshot-at-construction has one documented consequence: **enable
+observability before building the world you want observed**.  Services,
+brokers and engines built while the pipeline was ``None`` stay
+uninstrumented (that is exactly what makes them fast); tests and the CLI
+use :func:`observed` around world construction.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from .explain import DecisionLog
+from .metrics import MetricsRegistry
+from .tracing import Tracer
+
+__all__ = ["Observability", "pipeline", "enable", "disable", "observed"]
+
+
+class Observability:
+    """One tracer + one metrics registry + one decision log.
+
+    A *pipeline* bundles the three pillars so instrumented code holds a
+    single reference.  Independent pipelines (e.g. per test) are fully
+    isolated — ids, metrics and decisions do not bleed across.
+    """
+
+    def __init__(self, span_capacity: Optional[int] = 100_000,
+                 decision_capacity: Optional[int] = 10_000) -> None:
+        self.tracer = Tracer(capacity=span_capacity)
+        self.metrics = MetricsRegistry()
+        self.decisions = DecisionLog(capacity=decision_capacity)
+
+    def reset(self) -> None:
+        self.tracer.reset()
+        self.metrics.reset()
+        self.decisions.reset()
+
+
+_pipeline: Optional[Observability] = None
+
+
+def pipeline() -> Optional[Observability]:
+    """The installed pipeline, or None when observability is off."""
+    return _pipeline
+
+
+def enable(obs: Optional[Observability] = None) -> Observability:
+    """Install (and return) a pipeline; new runtime objects pick it up.
+
+    Objects constructed *before* the call keep their construction-time
+    snapshot (usually None) — rebuild them to instrument them.
+    """
+    global _pipeline
+    _pipeline = obs if obs is not None else Observability()
+    return _pipeline
+
+
+def disable() -> None:
+    """Remove the pipeline; subsequently built objects run uninstrumented."""
+    global _pipeline
+    _pipeline = None
+
+
+@contextmanager
+def observed(obs: Optional[Observability] = None
+             ) -> Iterator[Observability]:
+    """Enable a pipeline for the duration of a ``with`` block.
+
+    The previous pipeline (usually None) is restored on exit; the yielded
+    pipeline stays queryable afterwards.  Build the world to observe
+    *inside* the block.
+    """
+    global _pipeline
+    previous = _pipeline
+    installed = enable(obs)
+    try:
+        yield installed
+    finally:
+        _pipeline = previous

@@ -1,0 +1,258 @@
+"""Causal tracing: spans, trace trees, and cross-service stitching.
+
+The paper's active-security story (Sect. 4, Fig. 5) is a *causal* one: a
+credential revocation at one service propagates along role-dependency
+edges, across services, until every dependent role has collapsed.  The
+``ServiceStats`` counters can say *how many* credentials died; they cannot
+say *why this one* died.  Tracing answers that: every interesting runtime
+operation (activation, validation callback, revocation, cascade step,
+simulated RPC) opens a :class:`Span`; spans carry trace/span/parent ids,
+and span context rides on :class:`~repro.events.messages.Event` attributes
+so a cascade that hops the event broker between services is stitched into
+one :class:`trace tree <Tracer.tree>`.
+
+Ids are deterministic per :class:`Tracer` (``t0001``, ``s0001``, ...) so
+simulated runs — the only runs this repro does — produce stable, snapshot-
+testable trees.  Timestamps are whatever clock the instrumented layer
+uses, which for services and the network is the *simulated* clock: per-hop
+timings in a trace are sim-clock durations, exactly the quantity the
+Fig. 5 experiments reason about.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, NamedTuple, Optional
+
+__all__ = ["SpanContext", "Span", "SpanTree", "Tracer"]
+
+
+class SpanContext(NamedTuple):
+    """The portable part of a span: enough to parent a remote child.
+
+    This is what crosses process boundaries — in this repro, what rides on
+    broker events (``trace_id``/``span_id`` attributes) and what handlers
+    pass back to :meth:`Tracer.start_span` as ``parent``.
+    """
+
+    trace_id: str
+    span_id: str
+
+
+class Span:
+    """One timed operation within a trace.
+
+    ``start``/``end`` are clock readings from whichever clock the
+    instrumented layer runs on (services use the sim clock); ``end`` is
+    None until :meth:`finish`.  Attributes are free-form key/values set at
+    start or via :meth:`set_attr`.
+    """
+
+    __slots__ = ("tracer", "trace_id", "span_id", "parent_id", "name",
+                 "start", "end", "attrs", "status")
+
+    def __init__(self, tracer: "Tracer", trace_id: str, span_id: str,
+                 parent_id: Optional[str], name: str, start: float,
+                 attrs: Dict[str, Any]) -> None:
+        self.tracer = tracer
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.attrs = attrs
+        self.status = "ok"
+
+    @property
+    def context(self) -> SpanContext:
+        return SpanContext(self.trace_id, self.span_id)
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def set_attr(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def error(self, detail: str) -> None:
+        """Mark the span failed (does not finish it)."""
+        self.status = "error"
+        self.attrs["error"] = detail
+
+    def finish(self, timestamp: Optional[float] = None) -> None:
+        """Finish the span; idempotent.  Pops it from the tracer's active
+        stack if it is there (out-of-order finishes remove, not pop)."""
+        if self.end is not None:
+            return
+        self.end = self.start if timestamp is None else timestamp
+        self.tracer._finish(self)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "status": self.status,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name!r}, trace={self.trace_id}, "
+                f"span={self.span_id}, parent={self.parent_id})")
+
+
+class SpanTree(NamedTuple):
+    """A span plus its (start-ordered) children — one node of a trace tree."""
+
+    span: Span
+    children: List["SpanTree"]
+
+    def to_dict(self) -> Dict[str, Any]:
+        node = self.span.to_dict()
+        node["children"] = [child.to_dict() for child in self.children]
+        return node
+
+    def walk(self) -> Iterator["SpanTree"]:
+        """Depth-first, parents before children."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    @property
+    def depth(self) -> int:
+        """Height of this subtree (a leaf has depth 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(child.depth for child in self.children)
+
+    def span_count(self) -> int:
+        return sum(1 for _ in self.walk())
+
+
+class Tracer:
+    """Creates spans, tracks the active span stack, stores finished spans.
+
+    * :meth:`start_span` opens a span; with ``activate=True`` it also
+      becomes the *current* span — the implicit parent of spans opened
+      beneath it (nested activations in a session, the rule engine under
+      ``activate_role``).  Explicit ``parent`` contexts override the
+      stack, which is how event handlers re-parent themselves onto the
+      remote span whose event they are processing.
+    * ``capacity`` bounds memory exactly like the access and event logs:
+      oldest spans are discarded first.
+    """
+
+    def __init__(self, capacity: Optional[int] = 100_000) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._trace_seq = 0
+        self._span_seq = 0
+        self.discarded = 0
+
+    # -- span lifecycle ----------------------------------------------------
+    def start_span(self, name: str, timestamp: float = 0.0,
+                   parent: Optional[SpanContext] = None,
+                   activate: bool = True, **attrs: Any) -> Span:
+        """Open a span.
+
+        Parent resolution: an explicit ``parent`` context wins; otherwise
+        the current active span; otherwise the span roots a new trace.
+        """
+        if parent is not None:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        elif self._stack:
+            current = self._stack[-1]
+            trace_id = current.trace_id
+            parent_id = current.span_id
+        else:
+            self._trace_seq += 1
+            trace_id = f"t{self._trace_seq:04d}"
+            parent_id = None
+        self._span_seq += 1
+        span = Span(self, trace_id, f"s{self._span_seq:04d}", parent_id,
+                    name, timestamp, attrs)
+        self._spans.append(span)
+        if self._capacity is not None and len(self._spans) > self._capacity:
+            overflow = len(self._spans) - self._capacity
+            del self._spans[:overflow]
+            self.discarded += overflow
+        if activate:
+            self._stack.append(span)
+        return span
+
+    def current(self) -> Optional[Span]:
+        """The innermost active span, or None outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    def current_context(self) -> Optional[SpanContext]:
+        span = self.current()
+        return span.context if span is not None else None
+
+    def _finish(self, span: Span) -> None:
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:
+            self._stack.remove(span)
+
+    # -- queries -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def spans(self, trace_id: Optional[str] = None,
+              name: Optional[str] = None) -> List[Span]:
+        """Finished or live spans, in start order, optionally filtered."""
+        return [span for span in self._spans
+                if (trace_id is None or span.trace_id == trace_id)
+                and (name is None or span.name == name)]
+
+    def trace_ids(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for span in self._spans:
+            seen.setdefault(span.trace_id, None)
+        return list(seen)
+
+    def tree(self, trace_id: str) -> List[SpanTree]:
+        """The trace as a forest of :class:`SpanTree` roots.
+
+        A fully stitched trace has exactly one root; orphans (spans whose
+        parent fell out of the capacity window) surface as extra roots
+        rather than disappearing.  Children are ordered by start time,
+        then by span id (sim-clock ties are common).
+        """
+        nodes: Dict[str, SpanTree] = {}
+        order: List[Span] = []
+        for span in self._spans:
+            if span.trace_id == trace_id:
+                nodes[span.span_id] = SpanTree(span, [])
+                order.append(span)
+        roots: List[SpanTree] = []
+        for span in order:
+            node = nodes[span.span_id]
+            parent = (nodes.get(span.parent_id)
+                      if span.parent_id is not None else None)
+            if parent is None:
+                roots.append(node)
+            else:
+                parent.children.append(node)
+        key = lambda tree: (tree.span.start, tree.span.span_id)  # noqa: E731
+        for node in nodes.values():
+            node.children.sort(key=key)
+        roots.sort(key=key)
+        return roots
+
+    def reset(self) -> None:
+        self._spans.clear()
+        self._stack.clear()
+        self._trace_seq = 0
+        self._span_seq = 0
+        self.discarded = 0

@@ -1,0 +1,157 @@
+"""Unit tests for the metrics registry and its exporters."""
+
+import pytest
+
+from repro.obs.export import metrics_to_json_dict, render_prometheus
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_and_value_per_label_set(self):
+        counter = Counter("c_total", label_names=("outcome",))
+        counter.inc(outcome="ok")
+        counter.inc(2, outcome="ok")
+        counter.inc(outcome="fail")
+        assert counter.value(outcome="ok") == 3
+        assert counter.value(outcome="fail") == 1
+        assert counter.value(outcome="never") == 0
+
+    def test_counters_only_go_up(self):
+        with pytest.raises(ValueError):
+            Counter("c_total").inc(-1)
+
+    def test_bound_counter_shares_series(self):
+        counter = Counter("c_total", label_names=("outcome",))
+        bound = counter.bind(outcome="ok")
+        bound.inc()
+        bound.inc(4)
+        assert counter.value(outcome="ok") == 5
+
+    def test_label_mismatch_raises(self):
+        counter = Counter("c_total", label_names=("outcome",))
+        with pytest.raises(ValueError):
+            counter.inc(service="x")
+
+
+class TestGaugeAndHistogram:
+    def test_gauge_set_inc_dec(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value() == 12
+
+    def test_histogram_bucket_placement(self):
+        histogram = Histogram("h", buckets=(1, 5, 10))
+        for value in (0.5, 1, 3, 7, 100):
+            histogram.observe(value)
+        snapshot = histogram.snapshot()
+        # Cumulative: <=1 -> 2, <=5 -> 3, <=10 -> 4, +Inf -> 5.
+        assert snapshot == {"buckets": [2, 3, 4, 5], "sum": 111.5,
+                            "count": 5}
+
+    def test_histogram_empty_series_snapshot(self):
+        histogram = Histogram("h", buckets=(1, 2))
+        assert histogram.snapshot() == {"buckets": [0, 0, 0], "sum": 0.0,
+                                        "count": 0}
+
+    def test_bound_histogram_shares_series(self):
+        histogram = Histogram("h", buckets=(1,), label_names=("svc",))
+        histogram.bind(svc="a").observe(0.5)
+        assert histogram.snapshot(svc="a")["count"] == 1
+
+    def test_buckets_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1, 1))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(5, 1))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c", label_names=("a",)) \
+            is registry.counter("c", label_names=("a",))
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(ValueError):
+            registry.gauge("m")
+
+    def test_label_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("m", label_names=("a",))
+        with pytest.raises(ValueError):
+            registry.counter("m", label_names=("b",))
+
+    def test_histogram_bucket_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1, 2))
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=(1, 3))
+
+    def test_collector_sampled_at_export_time(self):
+        registry = MetricsRegistry()
+        state = {"value": 1}
+
+        def collector():
+            yield ("pull_metric", "gauge", "from a collector",
+                   [({"side": "x"}, state["value"])])
+
+        remove = registry.register_collector(collector)
+        state["value"] = 42  # mutated after registration, before export
+        families = {f["name"]: f for f in registry.collect()}
+        assert families["pull_metric"]["samples"] == [
+            {"labels": {"side": "x"}, "value": 42}]
+        remove()
+        assert all(f["name"] != "pull_metric" for f in registry.collect())
+
+    def test_collect_is_sorted_and_deterministic(self):
+        registry = MetricsRegistry()
+        registry.counter("z_total").inc()
+        registry.gauge("a").set(1)
+        names = [family["name"] for family in registry.collect()]
+        assert names == sorted(names)
+
+
+class TestExporters:
+    def _registry(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("oasis_ops_total", help_text="ops",
+                                   label_names=("outcome",))
+        counter.inc(3, outcome="ok")
+        registry.histogram("oasis_latency", buckets=(0.1, 1.0),
+                           help_text="lat").observe(0.5)
+        return registry
+
+    def test_prometheus_text_format(self):
+        text = render_prometheus(self._registry().collect())
+        lines = text.splitlines()
+        assert "# HELP oasis_latency lat" in lines
+        assert "# TYPE oasis_latency histogram" in lines
+        assert "# TYPE oasis_ops_total counter" in lines
+        assert 'oasis_ops_total{outcome="ok"} 3' in lines
+        assert 'oasis_latency_bucket{le="0.1"} 0' in lines
+        assert 'oasis_latency_bucket{le="1"} 1' in lines
+        assert 'oasis_latency_bucket{le="+Inf"} 1' in lines
+        assert "oasis_latency_sum 0.5" in lines
+        assert "oasis_latency_count 1" in lines
+        assert text.endswith("\n")
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", label_names=("who",)).inc(
+            who='a"b\\c\nd')
+        text = render_prometheus(registry.collect())
+        assert 'c_total{who="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_json_export_shape(self):
+        data = metrics_to_json_dict(self._registry().collect())
+        assert data["schema"] == "oasis-metrics/1"
+        by_name = {family["name"]: family for family in data["families"]}
+        assert by_name["oasis_ops_total"]["type"] == "counter"
+        assert by_name["oasis_latency"]["buckets"] == [0.1, 1.0]

@@ -1,0 +1,153 @@
+"""Unit tests for the tracer: ids, parenting, trees, capacity."""
+
+import pytest
+
+from repro.obs.tracing import SpanContext, Tracer
+
+
+class TestSpanLifecycle:
+    def test_ids_are_deterministic(self):
+        tracer = Tracer()
+        first = tracer.start_span("a")
+        second = tracer.start_span("b")
+        assert (first.trace_id, first.span_id) == ("t0001", "s0001")
+        # b is nested under a (a is still active), so same trace.
+        assert (second.trace_id, second.span_id) == ("t0001", "s0002")
+
+    def test_stack_parenting(self):
+        tracer = Tracer()
+        outer = tracer.start_span("outer")
+        inner = tracer.start_span("inner")
+        assert inner.parent_id == outer.span_id
+        inner.finish(1.0)
+        sibling = tracer.start_span("sibling")
+        assert sibling.parent_id == outer.span_id
+        sibling.finish(2.0)
+        outer.finish(3.0)
+        root = tracer.start_span("new-root")
+        assert root.parent_id is None
+        assert root.trace_id == "t0002"
+
+    def test_explicit_parent_overrides_stack(self):
+        tracer = Tracer()
+        tracer.start_span("active")
+        remote = SpanContext("t9999", "s9999")
+        child = tracer.start_span("child", parent=remote)
+        assert child.trace_id == "t9999"
+        assert child.parent_id == "s9999"
+
+    def test_activate_false_does_not_become_current(self):
+        tracer = Tracer()
+        outer = tracer.start_span("outer")
+        tracer.start_span("side", activate=False)
+        assert tracer.current() is outer
+
+    def test_finish_is_idempotent_and_sets_end(self):
+        tracer = Tracer()
+        span = tracer.start_span("op", timestamp=1.0)
+        assert span.duration is None
+        span.finish(3.0)
+        span.finish(9.0)
+        assert span.end == 3.0
+        assert span.duration == 2.0
+
+    def test_out_of_order_finish_removes_from_stack(self):
+        tracer = Tracer()
+        outer = tracer.start_span("outer")
+        inner = tracer.start_span("inner")
+        outer.finish(1.0)  # finishes while inner is still on top
+        assert tracer.current() is inner
+        inner.finish(2.0)
+        assert tracer.current() is None
+
+    def test_error_marks_status_without_finishing(self):
+        tracer = Tracer()
+        span = tracer.start_span("op")
+        span.error("boom")
+        assert span.status == "error"
+        assert span.end is None
+        assert span.attrs["error"] == "boom"
+
+    def test_current_context_outside_any_span(self):
+        assert Tracer().current_context() is None
+
+
+class TestTreeReconstruction:
+    def _small_trace(self):
+        tracer = Tracer()
+        root = tracer.start_span("root", timestamp=0.0)
+        left = tracer.start_span("left", timestamp=1.0)
+        left.finish(2.0)
+        right = tracer.start_span("right", timestamp=3.0)
+        right.finish(4.0)
+        root.finish(5.0)
+        return tracer, root, left, right
+
+    def test_single_root_with_ordered_children(self):
+        tracer, root, left, right = self._small_trace()
+        trees = tracer.tree(root.trace_id)
+        assert len(trees) == 1
+        tree = trees[0]
+        assert tree.span is root
+        assert [child.span for child in tree.children] == [left, right]
+        assert tree.depth == 2
+        assert tree.span_count() == 3
+
+    def test_walk_is_depth_first_parents_first(self):
+        tracer, root, left, right = self._small_trace()
+        names = [node.span.name
+                 for node in tracer.tree(root.trace_id)[0].walk()]
+        assert names == ["root", "left", "right"]
+
+    def test_orphans_surface_as_extra_roots(self):
+        tracer = Tracer()
+        span = tracer.start_span(
+            "child", parent=SpanContext("t0007", "s-gone"), activate=False)
+        span.finish(1.0)
+        trees = tracer.tree("t0007")
+        assert len(trees) == 1
+        assert trees[0].span is span
+
+    def test_spans_filter_by_trace_and_name(self):
+        tracer = Tracer()
+        a = tracer.start_span("op")
+        a.finish(1.0)
+        b = tracer.start_span("op")
+        b.finish(1.0)
+        assert tracer.spans(name="op") == [a, b]
+        assert tracer.spans(trace_id=a.trace_id) == [a]
+        assert tracer.trace_ids() == [a.trace_id, b.trace_id]
+
+
+class TestCapacityAndReset:
+    def test_capacity_discards_oldest(self):
+        tracer = Tracer(capacity=2)
+        spans = [tracer.start_span(f"s{i}", activate=False)
+                 for i in range(4)]
+        assert len(tracer) == 2
+        assert tracer.discarded == 2
+        assert tracer.spans() == spans[2:]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_reset_restarts_id_sequences(self):
+        tracer = Tracer()
+        tracer.start_span("a")
+        tracer.reset()
+        assert len(tracer) == 0
+        assert tracer.current() is None
+        span = tracer.start_span("b")
+        assert (span.trace_id, span.span_id) == ("t0001", "s0001")
+
+    def test_to_dict_shape(self):
+        tracer = Tracer()
+        span = tracer.start_span("op", timestamp=1.0, service="svc")
+        span.finish(2.0)
+        data = span.to_dict()
+        assert data == {
+            "trace_id": "t0001", "span_id": "s0001", "parent_id": None,
+            "name": "op", "start": 1.0, "end": 2.0, "duration": 1.0,
+            "status": "ok", "attrs": {"service": "svc"},
+        }
