@@ -10,10 +10,12 @@ dependency chain (the seed numbers live in the same file, under
 
 Standalone — no pytest required::
 
-    PYTHONPATH=src python benchmarks/harness.py [--quick] [--output PATH]
+    PYTHONPATH=src python benchmarks/harness.py [--quick] [--full] \
+        [--output PATH]
 
 ``--quick`` shrinks round counts for CI smoke runs; numbers are noisier but
-the file shape is identical.
+the file shape is identical.  ``--full`` additionally runs the opt-in
+``scale_1m_principals`` tier (a bulk-built million-principal world).
 """
 
 from __future__ import annotations
@@ -26,6 +28,7 @@ import os
 import platform
 import sys
 import time
+import tracemalloc
 from typing import Callable, Dict, List, Optional, Tuple
 
 _HERE = os.path.dirname(os.path.abspath(__file__))
@@ -73,6 +76,16 @@ INDEPENDENCE_CRITERION = 3.0
 #: baselines (benchmarks/obs_baseline.py) on the two guarded workloads.
 OBS_OVERHEAD_CRITERION_PCT = 3.0
 CHAIN_DEPTH = 16
+#: Memory-lean sweep: resident bytes per live credential (slots, interning,
+#: virtual channels, adaptive edge buckets) must beat the vendored
+#: pre-sweep representation (benchmarks/unslotted_baseline.py) by this much.
+MEMORY_IMPROVEMENT_CRITERION_PCT = 30.0
+#: Object count for the memory comparison: large enough that container
+#: slack and allocator rounding amortize, small enough to run in CI smoke.
+MEMORY_COMPARISON_OBJECTS = 50_000
+#: Bulk world construction (issue_rmcs_bulk / put_many) vs the per-call
+#: activate_role path, same resulting world.
+BULK_BUILD_SPEEDUP_CRITERION = 2.0
 
 
 def _percentile(sorted_values: List[float], q: float) -> float:
@@ -607,9 +620,145 @@ def bench_obs_overhead(results: Dict[str, dict],
     }
 
 
+def _traced_build_bytes(builder: Callable[[], object]) -> int:
+    """Heap bytes retained by ``builder()``'s result, via tracemalloc.
+
+    Only allocations made inside the call are counted (tracing starts
+    right before it), and a collection runs on both sides so transient
+    garbage does not inflate the figure.  The built state is kept alive
+    until after the final reading.
+    """
+    gc.collect()
+    tracemalloc.start()
+    gc.collect()
+    before = tracemalloc.get_traced_memory()[0]
+    state = builder()
+    gc.collect()
+    after = tracemalloc.get_traced_memory()[0]
+    tracemalloc.stop()
+    del state
+    gc.collect()
+    return after - before
+
+
+def bench_scale(results: Dict[str, dict], *, quick: bool,
+                full: bool) -> Tuple[Dict[str, object], Dict[str, object]]:
+    """Million-principal single-node scale tier.
+
+    Three measurements:
+
+    * ``scale_memory`` comparison — bytes per live credential, identical
+      resident object graph built with the current (slotted / interned /
+      virtual-channel / adaptive-bucket) representation and with the
+      vendored pre-sweep one (``benchmarks/unslotted_baseline.py``), the
+      same way the seed engine is vendored for the FIG1 speedup.
+    * ``scale_bulk_build`` comparison — constructing the same ScaleWorld
+      through the bulk APIs (``issue_rmcs_bulk`` / ``put_many``) vs the
+      per-call ``activate_role`` path.
+    * ``scale_100k_principals`` (always) and ``scale_1m_principals``
+      (``--full`` only) workloads — mixed traffic (60% guarded invokes,
+      30% leaf churn, 10% cross-service root revocation cascades) over a
+      bulk-built world, with the world's tracemalloc bytes per live
+      credential and build time recorded alongside ops/sec and latency.
+    """
+    from unslotted_baseline import (build_current_state,
+                                    build_unslotted_state)
+    from workloads import ScaleWorld
+
+    # -- representation memory comparison --------------------------------
+    count = MEMORY_COMPARISON_OBJECTS
+    build_current_state(2)      # warm imports and intern pools, untraced
+    build_unslotted_state(2)
+    current_bytes = _traced_build_bytes(
+        lambda: build_current_state(count)) / count
+    unslotted_bytes = _traced_build_bytes(
+        lambda: build_unslotted_state(count)) / count
+    improvement_pct = round((1.0 - current_bytes / unslotted_bytes) * 100, 2)
+    memory_cmp: Dict[str, object] = {
+        "workload": "scale_memory_bytes_per_live_credential",
+        "objects": count,
+        "current_bytes_per_credential": round(current_bytes, 1),
+        "unslotted_bytes_per_credential": round(unslotted_bytes, 1),
+        "improvement_pct": improvement_pct,
+        "criterion": (f">= {MEMORY_IMPROVEMENT_CRITERION_PCT}% fewer bytes "
+                      f"per live credential than the pre-sweep "
+                      f"(unslotted) representation"),
+        "criterion_met":
+            improvement_pct >= MEMORY_IMPROVEMENT_CRITERION_PCT,
+    }
+
+    # -- bulk vs per-call world construction -----------------------------
+    build_principals, build_live = (20_000, 2_000)
+    bulk_world = ScaleWorld(build_principals, build_live)
+    start = time.perf_counter()
+    bulk_world.build_bulk()
+    bulk_seconds = time.perf_counter() - start
+    percall_world = ScaleWorld(build_principals, build_live)
+    start = time.perf_counter()
+    percall_world.build_percall()
+    percall_seconds = time.perf_counter() - start
+    build_speedup = (round(percall_seconds / bulk_seconds, 2)
+                     if bulk_seconds else math.inf)
+    del bulk_world, percall_world
+    bulk_cmp: Dict[str, object] = {
+        "workload": "scale_bulk_world_build",
+        "principals": build_principals,
+        "live_sessions": build_live,
+        "bulk_build_seconds": round(bulk_seconds, 3),
+        "percall_build_seconds": round(percall_seconds, 3),
+        "speedup": build_speedup,
+        "criterion": f">= {BULK_BUILD_SPEEDUP_CRITERION}x",
+        "criterion_met": build_speedup >= BULK_BUILD_SPEEDUP_CRITERION,
+    }
+
+    # -- scale workload tiers --------------------------------------------
+    tiers = [("scale_100k_principals", 100_000, 10_000)]
+    if full:
+        tiers.append(("scale_1m_principals", 1_000_000, 100_000))
+    rounds, inner = (3, 100) if quick else (5, 300)
+    for name, principals, live in tiers:
+        # Memory pass: the world is built once under tracemalloc (tracing
+        # slows construction, so build time is taken from a separate
+        # untraced build below).
+        gc.collect()
+        world_bytes = _traced_build_bytes(
+            lambda p=principals, lv=live:
+            _build_scale_world(ScaleWorld, p, lv))
+        world = ScaleWorld(principals, live)
+        start = time.perf_counter()
+        world.build_bulk()
+        build_seconds = time.perf_counter() - start
+        live_credentials = world.live_credential_count()
+        timing = measure(world.mixed_op, rounds=rounds, inner=inner)
+        results[name] = dict(
+            description=(f"{principals:,}-principal world "
+                         f"({live:,} live resource sessions), bulk-built; "
+                         f"mixed traffic: 60% guarded invocations, 30% "
+                         f"leaf churn, 10% root revocation cascades"),
+            principals=principals,
+            live_sessions=live,
+            live_credentials=live_credentials,
+            build_seconds_bulk=round(build_seconds, 3),
+            bytes_per_live_credential=round(
+                world_bytes / live_credentials, 1),
+            **timing)
+        if name == "scale_1m_principals":
+            bulk_cmp["bulk_build_1m_seconds"] = round(build_seconds, 3)
+            bulk_cmp["bulk_build_1m_credentials"] = live_credentials
+        del world
+        gc.collect()
+    return memory_cmp, bulk_cmp
+
+
+def _build_scale_world(cls, principals: int, live: int):
+    world = cls(principals, live)
+    world.build_bulk()
+    return world
+
+
 # -- driver ------------------------------------------------------------------
 
-def run(quick: bool = False) -> Dict[str, object]:
+def run(quick: bool = False, full: bool = False) -> Dict[str, object]:
     scale = dict(rounds=5, inner=20) if quick else dict(rounds=30, inner=50)
     cascade_rounds = 5 if quick else 25
     results: Dict[str, dict] = {}
@@ -621,12 +770,14 @@ def run(quick: bool = False) -> Dict[str, object]:
     cascade_cmp = bench_fig5_cascade(results, rounds=cascade_rounds)
     independence_cmp = bench_fig5_fanout(results, quick=quick)
     obs_cmp = bench_obs_overhead(results, quick=quick)
+    memory_cmp, bulk_cmp = bench_scale(results, quick=quick, full=full)
 
     return {
         "schema": "bench-core/1",
         "generated_by": "benchmarks/harness.py",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "quick": quick,
+        "full": full,
         "python": platform.python_version(),
         "platform": platform.platform(),
         "workloads": results,
@@ -635,6 +786,8 @@ def run(quick: bool = False) -> Dict[str, object]:
             "cascade_fig5_depth16": cascade_cmp,
             "cascade_unrelated_independence": independence_cmp,
             "obs_overhead": obs_cmp,
+            "scale_memory": memory_cmp,
+            "scale_bulk_build": bulk_cmp,
         },
     }
 
@@ -643,11 +796,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="small round counts (CI smoke)")
+    parser.add_argument("--full", action="store_true",
+                        help=("also run the opt-in scale_1m_principals "
+                              "tier (builds a million-principal world)"))
     parser.add_argument("--output", default=DEFAULT_OUTPUT,
                         help=f"output path (default: {DEFAULT_OUTPUT})")
     args = parser.parse_args(argv)
 
-    report = run(quick=args.quick)
+    report = run(quick=args.quick, full=args.full)
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=False)
         handle.write("\n")
@@ -680,6 +836,14 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"{entry['instrumented_min_us']:>9.3f}us  baseline "
               f"{entry['baseline_min_us']:>9.3f}us  "
               f"overhead {entry['overhead_pct']}%")
+    memory = comparisons["scale_memory"]
+    bulk = comparisons["scale_bulk_build"]
+    print(f"  scale memory bytes/credential:    "
+          f"{memory['current_bytes_per_credential']} vs "
+          f"{memory['unslotted_bytes_per_credential']} unslotted "
+          f"(-{memory['improvement_pct']}%) {verdict(memory)}")
+    print(f"  scale bulk world build speedup:   {bulk['speedup']}x "
+          f"{verdict(bulk)}")
     return 0
 
 

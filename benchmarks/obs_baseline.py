@@ -133,9 +133,7 @@ class UninstrumentedService(OasisService):
         self._teardown_watch(ref)
         for subscription in self._dependency_subs.pop(ref, []):
             subscription.cancel()
-        channel = self._channels.get(ref)
-        if channel is not None:
-            channel.notify_revoked(reason, timestamp=self.clock())
+        self.broker.publish(self._revocation_event(ref, reason))
         return True
 
     def _collapse_subtree(self,
@@ -151,12 +149,7 @@ class UninstrumentedService(OasisService):
                         str(ref), reason=reason)
             self._teardown_watch(ref)
             self._unlink_dependencies(record)
-            channel = self._channels.get(ref)
-            if channel is not None:
-                event = channel.revocation_event(reason,
-                                                 timestamp=self.clock())
-                if event is not None:
-                    events.append(event)
+            events.append(self._revocation_event(ref, reason))
             dependents = self._dependents.get(ref.qualified)
             if not dependents:
                 continue

@@ -1,0 +1,203 @@
+"""Vendored pre-sweep (unslotted) core objects — the memory baseline.
+
+The memory-lean sweep put ``__slots__`` on the per-credential hot classes
+and moved :class:`CredentialRef`'s lazily-memoized ``qualified`` string and
+hash out of a per-instance ``__dict__`` into slots.  This module preserves
+the *pre-sweep* representation of exactly the objects a service keeps
+resident per live credential, the same way ``seed_engine.py`` preserves the
+seed rule solver: the harness builds the identical object graph with both
+representations and reports tracemalloc bytes-per-credential for each,
+yielding the ``*_unslotted`` baseline the ≥30% improvement criterion is
+judged against.
+
+The graph per credential mirrors what ``OasisService`` holds after an
+issuance (plus the client's handle): one ref, one signed certificate, one
+credential record with a one-edge dependency tuple, one event channel, and
+the records/channels dict entries plus a reverse-dependency index entry.
+Both builders share a single service-id instance — services were shared
+objects before interning too; interning's benefit (survival of pickling
+and cross-world duplication) is measured by the workload-level figures,
+not here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["build_unslotted_state", "build_current_state"]
+
+_SIGNATURE = b"\x00" * 32  # stand-in MAC, same size in both builders
+
+
+@dataclass(frozen=True, order=True)
+class UnslottedServiceId:
+    """Pre-sweep ServiceId: instance ``__dict__`` caches the hash."""
+
+    domain: str
+    name: str
+
+    def __hash__(self) -> int:
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            value = hash((self.domain, self.name))
+            self.__dict__["_hash"] = value
+            return value
+
+    def __str__(self) -> str:
+        return f"{self.domain}/{self.name}"
+
+
+@dataclass(frozen=True, order=True)
+class UnslottedRoleName:
+    """Pre-sweep RoleName: instance ``__dict__`` caches the hash."""
+
+    service: UnslottedServiceId
+    name: str
+
+    def __hash__(self) -> int:
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            value = hash((self.service, self.name))
+            self.__dict__["_hash"] = value
+            return value
+
+
+@dataclass(frozen=True)
+class UnslottedRole:
+    """Pre-sweep ground Role (no ``__slots__``)."""
+
+    role_name: UnslottedRoleName
+    parameters: Tuple[Any, ...] = ()
+
+
+@dataclass(frozen=True, order=True)
+class UnslottedCredentialRef:
+    """Pre-sweep CredentialRef: lazy ``qualified``/hash in ``__dict__``."""
+
+    service: UnslottedServiceId
+    serial: int
+
+    @cached_property
+    def qualified(self) -> str:
+        return f"{self.service}#{self.serial}"
+
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.service, self.serial))
+            self.__dict__["_hash"] = cached
+        return cached
+
+
+@dataclass(frozen=True)
+class UnslottedRMC:
+    """Pre-sweep RoleMembershipCertificate (no ``__slots__``)."""
+
+    issuer: UnslottedServiceId
+    role: UnslottedRole
+    ref: UnslottedCredentialRef
+    issued_at: float
+    bound_key: Optional[str] = None
+    signature: bytes = field(default=b"", repr=False)
+
+
+@dataclass
+class UnslottedCredentialRecord:
+    """Pre-sweep CredentialRecord (no ``__slots__``)."""
+
+    ref: UnslottedCredentialRef
+    kind: str
+    principal: Optional[str]
+    issued_at: float
+    status: str = "active"
+    revoked_reason: Optional[str] = None
+    revoked_at: Optional[float] = None
+    membership_dependencies: Tuple[UnslottedCredentialRef, ...] = ()
+    session_id: Optional[str] = None
+
+
+class UnslottedChannel:
+    """Pre-sweep CredentialChannel (plain class, instance ``__dict__``)."""
+
+    def __init__(self, broker: Any, credential_ref: str) -> None:
+        self._broker = broker
+        self.credential_ref = credential_ref
+        self._closed = False
+
+
+def build_unslotted_state(count: int) -> Dict[str, Any]:
+    """Resident state for ``count`` credentials, pre-sweep representation.
+
+    The lazy ``qualified``/hash caches are forced (the service touches both
+    on every install), so the measured bytes include the memoization dicts
+    exactly as a live pre-sweep service would hold them.
+    """
+    service = UnslottedServiceId("scale", "svc")
+    role_name = UnslottedRoleName(service, "role")
+    records: Dict[UnslottedCredentialRef, UnslottedCredentialRecord] = {}
+    channels: Dict[UnslottedCredentialRef, UnslottedChannel] = {}
+    dependents: Dict[str, Dict[UnslottedCredentialRef, None]] = {}
+    held: List[UnslottedRMC] = []
+    previous_ref: Optional[UnslottedCredentialRef] = None
+    for serial in range(1, count + 1):
+        ref = UnslottedCredentialRef(service, serial)
+        qualified = ref.qualified
+        hash(ref)
+        rmc = UnslottedRMC(issuer=service,
+                           role=UnslottedRole(role_name, (f"p{serial}",)),
+                           ref=ref, issued_at=0.0, signature=_SIGNATURE)
+        dependencies = (previous_ref,) if previous_ref is not None else ()
+        record = UnslottedCredentialRecord(
+            ref=ref, kind="rmc", principal=f"p{serial}", issued_at=0.0,
+            membership_dependencies=dependencies,
+            session_id=f"s{serial}")
+        records[ref] = record
+        channels[ref] = UnslottedChannel(None, qualified)
+        if previous_ref is not None:
+            dependents.setdefault(previous_ref.qualified, {})[ref] = None
+        held.append(rmc)
+        previous_ref = ref
+    return {"records": records, "channels": channels,
+            "dependents": dependents, "held": held}
+
+
+def build_current_state(count: int) -> Dict[str, Any]:
+    """The identical resident state with the post-sweep representation.
+
+    Two structural deltas on top of the slotted classes, both part of the
+    sweep: event channels are *virtual* (the service builds revocation /
+    heartbeat events from the record on demand — nothing channel-shaped
+    stays resident), and reverse-dependency buckets are lists until they
+    exceed the promotion threshold (here every parent has one dependent,
+    the dominant shape in a large world).
+    """
+    from repro.core.credentials import (CredentialRecord, CredentialRef,
+                                        RoleMembershipCertificate)
+    from repro.core.types import PrincipalId, Role, RoleName, ServiceId
+
+    service = ServiceId("scale", "svc")
+    role_name = RoleName(service, "role")
+    records: Dict[CredentialRef, CredentialRecord] = {}
+    dependents: Dict[str, List[CredentialRef]] = {}
+    held: List[RoleMembershipCertificate] = []
+    previous_ref: Optional[CredentialRef] = None
+    for serial in range(1, count + 1):
+        ref = CredentialRef(service, serial)
+        rmc = RoleMembershipCertificate(
+            issuer=service, role=Role(role_name, (f"p{serial}",)),
+            ref=ref, issued_at=0.0, signature=_SIGNATURE)
+        dependencies = (previous_ref,) if previous_ref is not None else ()
+        record = CredentialRecord(
+            ref=ref, kind="rmc", principal=PrincipalId(f"p{serial}"),
+            issued_at=0.0, membership_dependencies=dependencies,
+            session_id=f"s{serial}")
+        records[ref] = record
+        if previous_ref is not None:
+            dependents.setdefault(previous_ref.qualified, []).append(ref)
+        held.append(rmc)
+        previous_ref = ref
+    return {"records": records, "dependents": dependents, "held": held}

@@ -87,6 +87,7 @@ from .engine import (
     RuleMatch,
 )
 from .service import (
+    ActivationRequest,
     OasisService,
     Presentation,
     ServiceRegistry,
@@ -143,7 +144,8 @@ __all__ = [
     "CredentialIndex", "MatchedCondition", "PresentedCredential",
     "RuleEngine", "RuleMatch",
     # service
-    "OasisService", "Presentation", "ServiceRegistry", "ServiceStats",
+    "ActivationRequest", "OasisService", "Presentation",
+    "ServiceRegistry", "ServiceStats",
     "VALIDATE_ENDPOINT",
     # session
     "Principal", "Session",

@@ -12,8 +12,11 @@ be filtered by principal, kind or time window.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Iterator, List, Optional, Tuple
+from typing import Any, Deque, Dict, Iterator, List, Optional, Tuple
+
+from .terms import DATACLASS_SLOTS
 
 __all__ = ["AccessRecord", "AccessLog"]
 
@@ -34,7 +37,7 @@ class AccessKind:
            APPOINTMENT, APPOINTMENT_DENIED, REVOCATION, VALIDATION_FAILED)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class AccessRecord:
     """One audited access-control decision."""
 
@@ -62,15 +65,23 @@ class AccessRecord:
 class AccessLog:
     """An append-only log of access records with simple querying.
 
-    ``capacity`` bounds memory: the oldest records are discarded once the
-    bound is hit (deployments would spill to stable storage instead).
+    ``capacity`` bounds memory: the log becomes a ring and the oldest
+    records are discarded once the bound is hit (deployments would spill to
+    stable storage instead).  Discards are counted — :meth:`stats` reports
+    them so long-running scale workloads can bound retention without
+    silently losing the fact that they did.  The default stays unbounded.
     """
+
+    __slots__ = ("_capacity", "_records", "recorded", "discarded")
 
     def __init__(self, capacity: Optional[int] = None) -> None:
         if capacity is not None and capacity <= 0:
             raise ValueError("capacity must be positive")
         self._capacity = capacity
-        self._records: List[AccessRecord] = []
+        # A maxlen deque evicts from the head in O(1); the list-based ring
+        # paid an O(n) shift per overflowing append.
+        self._records: Deque[AccessRecord] = deque(maxlen=capacity)
+        self.recorded = 0
         self.discarded = 0
 
     def __len__(self) -> int:
@@ -80,12 +91,20 @@ class AccessLog:
         return iter(self._records)
 
     def append(self, record: AccessRecord) -> None:
-        self._records.append(record)
+        self.recorded += 1
         if self._capacity is not None \
-                and len(self._records) > self._capacity:
-            overflow = len(self._records) - self._capacity
-            del self._records[:overflow]
-            self.discarded += overflow
+                and len(self._records) == self._capacity:
+            self.discarded += 1  # the deque evicts the oldest on append
+        self._records.append(record)
+
+    def stats(self) -> Dict[str, Any]:
+        """Retention counters: ring size/bound and what fell off the end."""
+        return {
+            "size": len(self._records),
+            "capacity": self._capacity,
+            "recorded": self.recorded,
+            "discarded": self.discarded,
+        }
 
     def record(self, timestamp: float, kind: str, principal: str,
                subject: str, detail: Tuple[Any, ...] = (),

@@ -22,12 +22,11 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field, replace
-from functools import cached_property
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..crypto.hmac_sig import FieldValue, ServiceSecret, sign_fields, verify_fields
 from .exceptions import CredentialError, SignatureInvalid
-from .terms import Term, is_ground
+from .terms import DATACLASS_SLOTS, Term, is_ground
 from .types import PrincipalId, Role, RoleName, ServiceId
 
 __all__ = [
@@ -49,32 +48,38 @@ def encode_parameters(parameters: Tuple[Term, ...]) -> Tuple[FieldValue, ...]:
     return tuple(parameters)  # ground terms are valid field values
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, **DATACLASS_SLOTS)
 class CredentialRef:
     """The CRR of Fig. 4: locates the issuing service and the CR.
 
     ``serial`` is unique per issuer; the triple is globally unique without
     any central allocation, in keeping with the paper's decentralisation.
+
+    The string form and the hash are both computed eagerly at construction
+    (rather than lazily into ``__dict__``): refs key event channels, caches
+    and the dependency maps consulted on every activation and revocation,
+    and the slotted layout leaves no instance dict to memoize into.  A
+    scale world holds one ref per credential, so the slot layout — three
+    machine words instead of a dict — is where the memory goes.
     """
 
     service: ServiceId
     serial: int
+    qualified: str = field(default="", init=False, repr=False, compare=False)
+    _hash: int = field(default=0, init=False, repr=False, compare=False)
 
-    @cached_property
-    def qualified(self) -> str:
-        """The ref's string form, cached — it keys event channels, caches
-        and subscriptions on every hot path."""
-        return f"{self.service}#{self.serial}"
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "qualified",
+                           f"{self.service}#{self.serial}")
+        object.__setattr__(self, "_hash", hash((self.service, self.serial)))
 
     def __hash__(self) -> int:
-        # Refs key the credential/validation/dependency maps consulted on
-        # every activation and revocation; caching avoids re-hashing the
-        # nested ServiceId dataclass on each dict operation.
-        cached = self.__dict__.get("_hash")
-        if cached is None:
-            cached = hash((self.service, self.serial))
-            object.__setattr__(self, "_hash", cached)
-        return cached
+        return self._hash
+
+    def __reduce__(self):
+        # Rebuild through the constructor so the derived fields are
+        # recomputed (and the nested ServiceId re-interned) on unpickle.
+        return (CredentialRef, (self.service, self.serial))
 
     def __str__(self) -> str:
         return self.qualified
@@ -83,7 +88,7 @@ class CredentialRef:
         return self.qualified
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class RoleMembershipCertificate:
     """An RMC per Fig. 4.
 
@@ -136,7 +141,7 @@ class RoleMembershipCertificate:
         return self.role.role_name
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class AppointmentCertificate:
     """A long-lived (or transient) appointment certificate.
 
@@ -225,7 +230,7 @@ class CredentialStatus:
     REVOKED = "revoked"
 
 
-@dataclass
+@dataclass(**DATACLASS_SLOTS)
 class CredentialRecord:
     """Issuer-side record of a certificate's current validity (the CR).
 
@@ -262,9 +267,17 @@ class CredentialRecord:
 class CredentialRefAllocator:
     """Allocates per-service unique CRRs."""
 
+    __slots__ = ("_service", "_counter")
+
     def __init__(self, service: ServiceId) -> None:
         self._service = service
         self._counter = itertools.count(1)
 
     def next(self) -> CredentialRef:
         return CredentialRef(self._service, next(self._counter))
+
+    def next_many(self, count: int) -> List[CredentialRef]:
+        """Allocate ``count`` consecutive refs in one call (bulk issuance)."""
+        service = self._service
+        counter = self._counter
+        return [CredentialRef(service, next(counter)) for _ in range(count)]

@@ -36,9 +36,9 @@ from ..obs import runtime as _obs_runtime
 from ..obs.explain import Decision, RuleAttempt
 from ..obs.tracing import Span, SpanContext
 from ..events import (
+    CREDENTIAL_HEARTBEAT,
     CREDENTIAL_REISSUED,
     CREDENTIAL_REVOKED,
-    CredentialChannel,
     Event,
     EventBroker,
     HeartbeatMonitor,
@@ -75,6 +75,7 @@ __all__ = [
     "OasisService",
     "ServiceStats",
     "Presentation",
+    "ActivationRequest",
     "VALIDATE_ENDPOINT",
 ]
 
@@ -82,6 +83,10 @@ Certificate = Union[RoleMembershipCertificate, AppointmentCertificate]
 
 #: Network endpoint suffix under which services expose callback validation.
 VALIDATE_ENDPOINT = "oasis.validate"
+
+#: Reverse-dependency buckets stay plain lists up to this many dependents,
+#: then promote to an ordered dict (O(1) unlink for high-fanout parents).
+_EDGE_LIST_MAX = 8
 
 
 def _endpoint_name(service: ServiceId) -> str:
@@ -145,6 +150,20 @@ class Presentation:
     certificate: Certificate
     holder: Optional[str] = None
     on_behalf_of: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ActivationRequest:
+    """One role activation in an :meth:`OasisService.activate_roles_bulk`
+    batch — the same arguments :meth:`OasisService.activate_role` takes."""
+
+    principal: PrincipalId
+    role_name: str
+    parameters: Optional[Sequence[Term]] = None
+    credentials: Sequence[Presentation] = ()
+    environment: Optional[Dict[str, Any]] = None
+    session_id: Optional[str] = None
+    bound_key: Optional[str] = None
 
 
 @dataclass
@@ -221,7 +240,6 @@ class OasisService:
         self._engine = RuleEngine(self.context)
         self._refs = CredentialRefAllocator(self.id)
         self._records: Dict[CredentialRef, CredentialRecord] = {}
-        self._channels: Dict[CredentialRef, CredentialChannel] = {}
         # Fig. 5 dependency edges, consolidated.  The default (batched)
         # mode keeps a reverse index ``dependency ref string -> ordered set
         # of local dependent refs`` behind ONE service-level subscription;
@@ -231,8 +249,17 @@ class OasisService:
         # per-dependency Subscription objects (``_dependency_subs``) and
         # per-event recursive revocation as a reference path for
         # differential tests and the seed cascade benchmark.
+        #
+        # Bucket representation is adaptive: a plain insertion-ordered list
+        # up to ``_EDGE_LIST_MAX`` dependents (the common case — a
+        # million-credential world is mostly chains and small fans, and a
+        # one-entry dict costs ~3.5x a one-entry list), promoted to an
+        # ordered dict keyed by ref beyond that so high-fanout unlink stays
+        # O(1).  Both shapes iterate in insertion order, so cascade order
+        # is identical either way.
         self._batched_cascades = batched_cascades
-        self._dependents: Dict[str, Dict[CredentialRef, None]] = {}
+        self._dependents: Dict[str, Union[List[CredentialRef],
+                                          Dict[CredentialRef, None]]] = {}
         self._dependency_subs: Dict[CredentialRef, List[Subscription]] = {}
         self._watches: Dict[CredentialRef, _MembershipWatch] = {}
         self._methods: Dict[str, Callable[..., Any]] = {}
@@ -344,6 +371,26 @@ class OasisService:
         yield ("oasis_validation_cache_entries", "gauge",
                "cached foreign-credential validations (ECR-backed)",
                [({"service": service}, self.validation_cache_size)])
+        # Resident-state gauges: what the 1M-principal scale work must keep
+        # small.  Sampled at export only; no hot-path bookkeeping.
+        yield ("oasis_memory_resident_objects", "gauge",
+               "count of per-credential objects held by the service",
+               [({"service": service, "kind": "credential_records"},
+                 len(self._records)),
+                ({"service": service, "kind": "membership_watches"},
+                 len(self._watches)),
+                ({"service": service, "kind": "dependency_edges"},
+                 sum(len(bucket) for bucket in self._dependents.values())),
+                ({"service": service, "kind": "dependency_subscriptions"},
+                 sum(len(subs)
+                     for subs in self._dependency_subs.values())),
+                ({"service": service, "kind": "sig_cache_refs"},
+                 len(self._sig_cache))])
+        yield ("oasis_memory_access_log", "gauge",
+               "access-log retention counters",
+               [({"service": service, "field": name}, value)
+                for name, value in self.access_log.stats().items()
+                if value is not None])
 
     def _record_decision(self, kind: str, outcome: str, principal: str,
                          subject: str,
@@ -533,6 +580,142 @@ class OasisService:
         return rmc
 
     # ------------------------------------------------------------------
+    # Bulk issuance and activation (scale-world construction)
+    # ------------------------------------------------------------------
+    def activate_roles_bulk(self, requests: Sequence["ActivationRequest"],
+                            ) -> List[RoleMembershipCertificate]:
+        """Activate a batch of roles; returns one RMC per request, in order.
+
+        Semantically identical to calling :meth:`activate_role` per request
+        (same rule evaluation, same records, same audit entries, same
+        failure behaviour — the first denial raises and earlier requests
+        stay installed), but the per-call overhead is amortized: the
+        observability branch is taken once for the batch, rule lists are
+        fetched once per distinct role name, and requests without an
+        environment share the service's base evaluation context instead of
+        allocating a copy each.
+        """
+        if self._obs is not None:
+            # Observed path: per-request spans/decisions must be emitted
+            # exactly as the one-at-a-time API would, so just loop it.
+            return [self.activate_role(
+                        request.principal, request.role_name,
+                        request.parameters, request.credentials,
+                        request.environment, request.session_id,
+                        request.bound_key)
+                    for request in requests]
+        rmcs: List[RoleMembershipCertificate] = []
+        rules_for: Dict[str, Any] = {}
+        base_context = self.context
+        for request in requests:
+            presented = self._validate_presentations(request.principal,
+                                                     request.credentials)
+            environment = request.environment
+            context = base_context if not environment \
+                else base_context.with_environment(**environment)
+            index = CredentialIndex(presented)
+            rules = rules_for.get(request.role_name)
+            if rules is None:
+                rules = self.policy.activation_rules_for(request.role_name)
+                rules_for[request.role_name] = rules
+            last_denial: Optional[ActivationDenied] = None
+            matched = False
+            for rule in rules:
+                try:
+                    result = self._engine.match_activation(
+                        rule, request.parameters, presented, context, index)
+                except ActivationDenied as denial:
+                    last_denial = denial
+                    continue
+                if result is None:
+                    continue
+                match, role = result
+                rmcs.append(self._issue_rmc(
+                    request.principal, role, match, environment or {},
+                    request.session_id, request.bound_key))
+                matched = True
+                break
+            if not matched:
+                self.stats.activations_denied += 1
+                denial = last_denial or ActivationDenied(
+                    f"{request.principal} cannot activate "
+                    f"{self.id}:{request.role_name} with the presented "
+                    f"credentials")
+                self._audit(AccessKind.ACTIVATION_DENIED,
+                            request.principal.value, request.role_name,
+                            reason=str(denial))
+                raise denial
+        return rmcs
+
+    def issue_rmcs_bulk(self, entries: Sequence[Tuple[PrincipalId, Role,
+                                                      Sequence[CredentialRef],
+                                                      Optional[str]]],
+                        ) -> List[RoleMembershipCertificate]:
+        """Mint a batch of RMCs directly, bypassing rule evaluation.
+
+        Each entry is ``(principal, role, membership_dependencies,
+        session_id)``.  This is a *trusted* issuance path for world
+        construction and administrative re-seeding: the caller asserts the
+        activation conditions held and supplies the membership dependency
+        edges that rule matching would have produced.  Everything
+        downstream is identical to the rule-driven path — signed
+        certificate, credential record, event channel, reverse-index (or
+        per-edge subscription) wiring, audit entry, ``rmcs_issued`` counter
+        — so revocation cascades and callback validation behave exactly as
+        if each RMC had come from :meth:`activate_role`.  Membership
+        *constraint* watches are not installed (there is no rule match to
+        take constraints from); use the rule-driven APIs for roles whose
+        activation rules carry membership-flagged constraints.
+        """
+        count = len(entries)
+        if not count:
+            return []
+        refs = self._refs.next_many(count)
+        now = self.clock()
+        secret = self.secret
+        service_id = self.id
+        records = self._records
+        broker = self.broker
+        batched = self._batched_cascades
+        link = self._link_dependent
+        rmcs: List[RoleMembershipCertificate] = []
+        subscribe_entries: List[Tuple[Any, Dict[str, Any]]] = []
+        subscribe_owners: List[Tuple[CredentialRef, int]] = []
+        for ref, (principal, role, dependencies, session_id) \
+                in zip(refs, entries):
+            rmc = RoleMembershipCertificate.issue(
+                secret, service_id, role, ref, principal, now)
+            record = CredentialRecord(
+                ref=ref, kind="rmc", principal=principal, issued_at=now,
+                membership_dependencies=tuple(dependencies),
+                session_id=session_id)
+            records[ref] = record
+            if batched:
+                for dependency in record.membership_dependencies:
+                    link(dependency.qualified, ref)
+            elif record.membership_dependencies:
+                first = len(subscribe_entries)
+                for dependency in record.membership_dependencies:
+                    subscribe_entries.append((
+                        lambda event, dep=ref: self._on_dependency_revoked(
+                            dep, event),
+                        {"credential_ref": dependency.qualified}))
+                subscribe_owners.append(
+                    (ref, len(subscribe_entries) - first))
+            self._audit(AccessKind.ACTIVATION, principal.value,
+                        str(role.role_name), detail=role.parameters)
+            rmcs.append(rmc)
+        if subscribe_entries:
+            subs = broker.subscribe_many(CREDENTIAL_REVOKED,
+                                         subscribe_entries)
+            cursor = 0
+            for ref, width in subscribe_owners:
+                self._dependency_subs[ref] = subs[cursor:cursor + width]
+                cursor += width
+        self.stats.rmcs_issued += count
+        return rmcs
+
+    # ------------------------------------------------------------------
     # Service invocation (Fig. 2 paths 3-4)
     # ------------------------------------------------------------------
     def register_method(self, name: str, handler: Callable[..., Any]) -> None:
@@ -693,7 +876,6 @@ class OasisService:
                 principal=PrincipalId(holder) if holder else None,
                 issued_at=now)
             self._records[ref] = record
-            self._channels[ref] = CredentialChannel(self.broker, str(ref))
             self.stats.appointments_issued += 1
             self._audit(AccessKind.APPOINTMENT, appointer.value, name,
                         detail=tuple(ground),
@@ -765,9 +947,7 @@ class OasisService:
         self._teardown_watch(ref)
         for subscription in self._dependency_subs.pop(ref, []):
             subscription.cancel()
-        channel = self._channels.get(ref)
-        if channel is not None:
-            channel.notify_revoked(reason, timestamp=self.clock())
+        self.broker.publish(self._revocation_event(ref, reason))
         return True
 
     def _revoke_observed(self, record: CredentialRecord, ref: CredentialRef,
@@ -799,9 +979,7 @@ class OasisService:
             self._teardown_watch(ref)
             for subscription in self._dependency_subs.pop(ref, []):
                 subscription.cancel()
-            channel = self._channels.get(ref)
-            if channel is not None:
-                channel.notify_revoked(reason, timestamp=self.clock())
+            self.broker.publish(self._revocation_event(ref, reason))
             return True
         finally:
             span.finish(self.clock())
@@ -834,12 +1012,7 @@ class OasisService:
                         str(ref), reason=reason)
             self._teardown_watch(ref)
             self._unlink_dependencies(record)
-            channel = self._channels.get(ref)
-            if channel is not None:
-                event = channel.revocation_event(reason,
-                                                 timestamp=self.clock())
-                if event is not None:
-                    events.append(event)
+            events.append(self._revocation_event(ref, reason))
             dependents = self._dependents.get(ref.qualified)
             if not dependents:
                 continue
@@ -891,17 +1064,11 @@ class OasisService:
                         str(ref), reason=reason, trace_id=span.trace_id)
             self._teardown_watch(ref)
             self._unlink_dependencies(record)
-            channel = self._channels.get(ref)
-            if channel is not None:
-                event = channel.revocation_event(reason,
-                                                 timestamp=self.clock())
-                if event is not None:
-                    # Span context rides on the event so a service that
-                    # picks it up later (batched delivery) can parent its
-                    # own cascade spans under this one.
-                    event = event.with_attributes(
-                        trace_id=span.trace_id, span_id=span.span_id)
-                    events.append(event)
+            # Span context rides on the event so a service that picks it
+            # up later (batched delivery) can parent its own cascade spans
+            # under this one.
+            events.append(self._revocation_event(ref, reason).with_attributes(
+                trace_id=span.trace_id, span_id=span.span_id))
             self._record_decision(
                 "revocation", "revoked",
                 record.principal.value if record.principal else "-",
@@ -928,16 +1095,56 @@ class OasisService:
             self._obs_cascade_depth.observe(max_depth)
         return events
 
+    def _link_dependent(self, key: str, ref: CredentialRef) -> None:
+        """Add a reverse-index edge ``dependency key -> dependent ref``.
+
+        Buckets are adaptive (see ``__init__``): list while small, ordered
+        dict once fanout exceeds ``_EDGE_LIST_MAX``.
+        """
+        bucket = self._dependents.get(key)
+        if bucket is None:
+            self._dependents[key] = [ref]
+        elif type(bucket) is list:
+            if len(bucket) < _EDGE_LIST_MAX:
+                bucket.append(ref)
+            else:
+                promoted = dict.fromkeys(bucket)
+                promoted[ref] = None
+                self._dependents[key] = promoted
+        else:
+            bucket[ref] = None
+
     def _unlink_dependencies(self, record: CredentialRecord) -> None:
         """Remove ``record`` from the reverse index buckets of all its
         membership dependencies (teardown is O(dependencies))."""
+        ref = record.ref
         for dependency in record.membership_dependencies:
             key = dependency.qualified
             bucket = self._dependents.get(key)
-            if bucket is not None:
-                bucket.pop(record.ref, None)
-                if not bucket:
-                    del self._dependents[key]
+            if bucket is None:
+                continue
+            if type(bucket) is list:
+                try:
+                    bucket.remove(ref)
+                except ValueError:
+                    pass
+            else:
+                bucket.pop(ref, None)
+            if not bucket:
+                del self._dependents[key]
+
+    def _revocation_event(self, ref: CredentialRef, reason: str) -> Event:
+        """The CREDENTIAL_REVOKED event for ``ref``'s Fig. 5 channel.
+
+        Channels are *virtual* on the issuer side: the channel identity is
+        the CRR string carried on every event, so nothing per-credential
+        needs to stay resident between publishes.  Exactly-once closing is
+        guaranteed by the ``CredentialRecord.revoke`` state transition that
+        gates every call site, which is what the former per-credential
+        ``CredentialChannel`` object's ``closed`` flag duplicated.
+        """
+        return Event.make(CREDENTIAL_REVOKED, timestamp=self.clock(),
+                          credential_ref=ref.qualified, reason=reason)
 
     def deactivate_role(self, rmc: RoleMembershipCertificate,
                         reason: str = "deactivated by principal") -> bool:
@@ -1008,15 +1215,13 @@ class OasisService:
                         environment: Dict[str, Any]) -> None:
         ref = record.ref
         self._records[ref] = record
-        self._channels[ref] = CredentialChannel(self.broker, str(ref))
         # Register every membership dependency: the edge along which the
         # Fig. 5 cascade travels.  Batched mode records the edges in the
-        # service-level reverse index (O(dependencies) dict inserts, no
+        # service-level reverse index (O(dependencies) bucket inserts, no
         # broker churn); the reference path subscribes per dependency.
         if self._batched_cascades:
             for dependency in record.membership_dependencies:
-                self._dependents.setdefault(
-                    dependency.qualified, {})[ref] = None
+                self._link_dependent(dependency.qualified, ref)
         else:
             subs = []
             for dependency in record.membership_dependencies:
@@ -1177,17 +1382,20 @@ class OasisService:
         """Issuer side of Fig. 5: periodically heartbeat every live CR.
 
         Returns a cancel function.  Revoked credentials stop beating
-        because their channels are closed.
+        because only active records beat (channel closure and record
+        revocation are the same state transition).
         """
 
         def beat() -> None:
             now = self.clock()
-            for ref, record in self._records.items():
+            publish = self.broker.publish
+            sent = 0
+            for record in self._records.values():
                 if record.active:
-                    channel = self._channels.get(ref)
-                    if channel is not None and not channel.closed:
-                        channel.heartbeat(timestamp=now)
-                        self.stats.heartbeats_sent += 1
+                    publish(Event.make(CREDENTIAL_HEARTBEAT, timestamp=now,
+                                       credential_ref=record.ref.qualified))
+                    sent += 1
+            self.stats.heartbeats_sent += sent
 
         return scheduler.schedule_periodic(interval, beat)
 

@@ -44,8 +44,11 @@ class Principal:
 
     The wallet holds long-lived appointment certificates ("academic and
     professional qualification or membership of an organisation"); these
-    survive across sessions, unlike RMCs.
+    survive across sessions, unlike RMCs.  Slotted: a scale world holds one
+    of these per principal — a million-strong population.
     """
+
+    __slots__ = ("id", "keypair", "_wallet")
 
     def __init__(self, principal_id: str,
                  keypair: Optional[KeyPair] = None) -> None:
@@ -103,7 +106,13 @@ class Session:
     its issuing service, and the distributed cascade collapses the rest —
     :meth:`active_roles` checks back with issuers, so it reflects the
     post-cascade state immediately.
+
+    Slotted: scale workloads keep ~100k sessions live at once.
     """
+
+    __slots__ = ("principal", "session_id", "_rmcs", "_history", "_issuers",
+                 "_root_ref", "_terminated", "_deactivation_handlers",
+                 "_watch_subs", "_obs")
 
     def __init__(self, principal: Principal) -> None:
         self.principal = principal

@@ -23,7 +23,9 @@ so application code can write ``Role("doctor", ("d42",))`` and policy code
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple, Union
+import sys
+from typing import (Any, Callable, Dict, Hashable, Iterable, Iterator,
+                    Mapping, Optional, Tuple, Union)
 
 __all__ = [
     "Var",
@@ -35,7 +37,123 @@ __all__ = [
     "is_ground",
     "variables_in",
     "fresh_var",
+    "InternPool",
+    "intern_pool",
+    "pool_stats",
+    "intern_atom",
+    "DATACLASS_SLOTS",
 ]
+
+#: Keyword arguments that make a ``@dataclass`` slotted where the runtime
+#: supports it (``slots=True`` needs 3.10).  On older interpreters the
+#: classes fall back to ``__dict__`` storage with identical semantics —
+#: the memory optimization degrades gracefully instead of breaking 3.9.
+DATACLASS_SLOTS: Dict[str, bool] = (
+    {"slots": True} if sys.version_info >= (3, 10) else {})
+
+
+class InternPool:
+    """A canonicalizing pool for immutable value objects.
+
+    At a million principals the resident cost of the core object graph is
+    dominated by *duplicated* small objects: every certificate carries a
+    :class:`~repro.core.types.ServiceId`, every role a
+    :class:`~repro.core.types.RoleName`, and naive construction allocates a
+    fresh instance each time.  The pool maps a hashable key to the one
+    canonical instance, so a world with S services holds S ``ServiceId``
+    objects no matter how many credentials reference them.
+
+    The design is deliberately *invalidation-free*: only immutable value
+    objects whose identity is fully determined by the key may be pooled, so
+    an entry can never go stale and nothing ever needs to be evicted or
+    re-validated.  Population is bounded by the number of distinct
+    *values* (services, role names), not by traffic, which is why entries
+    are held strongly.  Per-principal objects (refs, certificates) are NOT
+    pooled — their population is unbounded.
+
+    ``hits``/``misses`` feed the ``oasis_memory_intern_pool`` gauges so
+    scale runs can confirm the pool is actually being shared.
+    """
+
+    __slots__ = ("name", "hits", "misses", "_pool")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.hits = 0
+        self.misses = 0
+        self._pool: Dict[Hashable, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self._pool)
+
+    def intern(self, key: Hashable, factory: Callable[[], Any]) -> Any:
+        """Return the canonical instance for ``key``, creating via
+        ``factory`` on first sight."""
+        instance = self._pool.get(key)
+        if instance is not None:
+            self.hits += 1
+            return instance
+        self.misses += 1
+        instance = factory()
+        self._pool[key] = instance
+        return instance
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The pooled instance for ``key``, or None (counts as hit/miss)."""
+        instance = self._pool.get(key)
+        if instance is not None:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return instance
+
+    def put(self, key: Hashable, instance: Any) -> Any:
+        """Install ``instance`` as canonical for ``key`` unless one exists;
+        returns the canonical instance either way."""
+        existing = self._pool.get(key)
+        if existing is not None:
+            return existing
+        self._pool[key] = instance
+        return instance
+
+    def stats(self) -> Dict[str, int]:
+        return {"entries": len(self._pool), "hits": self.hits,
+                "misses": self.misses}
+
+
+#: Registry of named pools, for observability export (`pool_stats`).
+_POOLS: Dict[str, InternPool] = {}
+
+
+def intern_pool(name: str) -> InternPool:
+    """Get-or-create the named pool (process-wide, like the classes that
+    use it — canonical instances must be canonical everywhere)."""
+    pool = _POOLS.get(name)
+    if pool is None:
+        pool = _POOLS[name] = InternPool(name)
+    return pool
+
+
+def pool_stats() -> Dict[str, Dict[str, int]]:
+    """Per-pool entry/hit/miss counts, consumed by the
+    ``oasis_memory_intern_pool`` observability collector."""
+    return {name: pool.stats() for name, pool in sorted(_POOLS.items())}
+
+
+def intern_atom(value: Term) -> Term:
+    """Canonicalize an atomic term: strings via :func:`sys.intern`, tuples
+    element-wise; other atoms pass through.
+
+    Meant for *small, recurring* atoms — role names, service names, status
+    strings — where wire decoding or policy loading would otherwise
+    allocate a fresh copy per certificate.  Do not feed it unbounded
+    populations (principal ids): interned strings live for the process.
+    """
+    if type(value) is str:
+        return sys.intern(value)
+    if type(value) is tuple:
+        return tuple(intern_atom(item) for item in value)
+    return value
 
 
 class Var:

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Tuple
 
-from .terms import Term, Var, is_ground
+from .terms import DATACLASS_SLOTS, Term, Var, intern_pool, is_ground
 
 __all__ = [
     "PrincipalId",
@@ -30,9 +30,14 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, **DATACLASS_SLOTS)
 class PrincipalId:
-    """Opaque identifier of a principal (a user or computational entity)."""
+    """Opaque identifier of a principal (a user or computational entity).
+
+    Slotted but *not* interned: the principal population is unbounded (a
+    million-principal world holds a million of these), so a canonicalizing
+    pool would pin them all for the life of the process.
+    """
 
     value: str
 
@@ -44,61 +49,109 @@ class PrincipalId:
         return self.value
 
 
-@dataclass(frozen=True, order=True)
+#: Canonicalizing pools for the two bounded-population identity types.
+#: See :class:`repro.core.terms.InternPool` for why these never invalidate.
+_SERVICE_POOL = intern_pool("service_id")
+_ROLE_NAME_POOL = intern_pool("role_name")
+
+
+@dataclass(frozen=True, order=True, **DATACLASS_SLOTS)
 class ServiceId:
-    """Identifier of a service, qualified by its administrative domain."""
+    """Identifier of a service, qualified by its administrative domain.
+
+    Instances are *interned*: ``ServiceId(d, n)`` returns the one canonical
+    instance for ``(d, n)``, so the million certificates of a scale world
+    share S service-id objects rather than each carrying its own.  Pickling
+    and deep-copying route through :meth:`__reduce__` and therefore re-enter
+    the pool — a round-tripped id is identical (``is``) to the canonical
+    one, which the multiprocessing sharding work depends on.
+    """
 
     domain: str
     name: str
+    _hash: int = field(default=0, init=False, repr=False, compare=False)
+
+    def __new__(cls, domain: str = "", name: str = "") -> "ServiceId":
+        if cls is not ServiceId:  # subclasses manage their own identity
+            return object.__new__(cls)
+        if not domain or not name:
+            raise ValueError("service id needs both domain and name")
+        pool = _SERVICE_POOL
+        cached = pool._pool.get((domain, name))
+        if cached is not None:
+            pool.hits += 1
+            return cached
+        pool.misses += 1
+        instance = object.__new__(cls)
+        pool._pool[(domain, name)] = instance
+        return instance
 
     def __post_init__(self) -> None:
         if not self.domain or not self.name:
             raise ValueError("service id needs both domain and name")
-
-    def __hash__(self) -> int:
         # Cached: service ids key credential-index buckets, registries and
         # caches on every request, and the fields are immutable.
-        try:
-            return self._hash
-        except AttributeError:
-            value = hash((self.domain, self.name))
-            self.__dict__["_hash"] = value
-            return value
+        object.__setattr__(self, "_hash", hash((self.domain, self.name)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        # Rebuild through the constructor (not raw state) so unpickled /
+        # deep-copied ids intern back to the canonical instance.
+        return (ServiceId, (self.domain, self.name))
 
     def __str__(self) -> str:
         return f"{self.domain}/{self.name}"
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, **DATACLASS_SLOTS)
 class RoleName:
     """A role name as defined by one specific service.
 
     Role names are only meaningful relative to the defining service: the pair
-    ``(service, name)`` is the identity.
+    ``(service, name)`` is the identity.  Interned like :class:`ServiceId`
+    (role-name population is bounded by policy size, not by principals).
     """
 
     service: ServiceId
     name: str
+    _hash: int = field(default=0, init=False, repr=False, compare=False)
+
+    def __new__(cls, service: ServiceId = None,  # type: ignore[assignment]
+                name: str = "") -> "RoleName":
+        if cls is not RoleName:
+            return object.__new__(cls)
+        if not name:
+            raise ValueError("role name must be non-empty")
+        pool = _ROLE_NAME_POOL
+        cached = pool._pool.get((service, name))
+        if cached is not None:
+            pool.hits += 1
+            return cached
+        pool.misses += 1
+        instance = object.__new__(cls)
+        pool._pool[(service, name)] = instance
+        return instance
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("role name must be non-empty")
-
-    def __hash__(self) -> int:
         # Cached for the same reason as ServiceId (nested dataclass hashing
         # is otherwise recomputed on every index lookup).
-        try:
-            return self._hash
-        except AttributeError:
-            value = hash((self.service, self.name))
-            self.__dict__["_hash"] = value
-            return value
+        object.__setattr__(self, "_hash", hash((self.service, self.name)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (RoleName, (self.service, self.name))
 
     def __str__(self) -> str:
         return f"{self.service}:{self.name}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class RoleTemplate:
     """A parametrised role as written in policy: name + formal parameters.
 
@@ -130,12 +183,15 @@ class RoleTemplate:
         return f"{self.role_name}({params})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class Role:
     """A ground (fully instantiated) role held by some principal.
 
     Instances are immutable and hashable so they can key credential records
-    and appear in session dependency trees.
+    and appear in session dependency trees.  One instance is resident per
+    live membership certificate, so the class is slotted — unlike service
+    and role-name identifiers it is *not* interned (its parameters embed
+    per-principal values, an unbounded population).
     """
 
     role_name: RoleName
@@ -168,7 +224,7 @@ class Role:
         return f"{self.role_name}({params})"
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, **DATACLASS_SLOTS)
 class Privilege:
     """A named privilege — the right to invoke a method at a service.
 

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import (Any, Callable, Deque, Dict, Iterable, List, Mapping,
                     Optional, Tuple)
 
+from ..core.terms import DATACLASS_SLOTS
 from ..obs import runtime as _obs_runtime
 from .messages import Event
 
@@ -52,9 +53,13 @@ DEFAULT_INDEX_KEY = "credential_ref"
 _MISSING = object()
 
 
-@dataclass
+@dataclass(**DATACLASS_SLOTS)
 class Subscription:
-    """A live subscription; call :meth:`cancel` to stop receiving events."""
+    """A live subscription; call :meth:`cancel` to stop receiving events.
+
+    Slotted: the Fig. 5 architecture takes one subscription per dependency
+    edge, so a scale world carries hundreds of thousands of these.
+    """
 
     topic: str
     handler: Handler
@@ -188,6 +193,54 @@ class EventBroker:
             else:
                 self._wildcards.setdefault(topic, {})[sub.seq] = sub
         return sub
+
+    def subscribe_many(self, topic: str,
+                       entries: Iterable[Tuple[Handler, Mapping[str, Any]]],
+                       ) -> List[Subscription]:
+        """Register a batch of subscriptions on one topic in one pass.
+
+        Equivalent to calling :meth:`subscribe` per entry (same registration
+        order, same delivery semantics) but the per-call overhead — topic
+        registry lookup, index-key classification, residual-filter
+        construction — is paid once per *shape* instead of once per
+        subscription.  The dominant caller is bulk credential issuance,
+        where every entry filters on exactly the index key
+        (``credential_ref=...``): that shape short-circuits to an empty
+        residual without rebuilding filter tuples.
+        """
+        if not topic:
+            raise ValueError("topic must be non-empty")
+        batch = [(handler, dict(filter_attrs))
+                 for handler, filter_attrs in entries]
+        if not batch:
+            return []
+        registry = self._subs.setdefault(topic, {})
+        indexed = self._indexed
+        index_key = self._index_key
+        seq_counter = self._seq
+        buckets = self._buckets
+        wildcards: Optional[Dict[int, Subscription]] = None
+        subs: List[Subscription] = []
+        for handler, attrs in batch:
+            sub = Subscription(topic=topic, handler=handler,
+                               filter_attrs=attrs, _broker=self,
+                               seq=next(seq_counter))
+            if indexed and index_key in attrs:
+                if len(attrs) == 1:
+                    sub.residual = ()
+                else:
+                    sub.residual = tuple(
+                        (k, v) for k, v in attrs.items() if k != index_key)
+                buckets.setdefault((topic, attrs[index_key]), {})[sub.seq] = sub
+            else:
+                sub.residual = tuple(attrs.items())
+                if indexed:
+                    if wildcards is None:
+                        wildcards = self._wildcards.setdefault(topic, {})
+                    wildcards[sub.seq] = sub
+            registry[sub.seq] = sub
+            subs.append(sub)
+        return subs
 
     def subscriber_count(self, topic: Optional[str] = None) -> int:
         if topic is None:

@@ -27,7 +27,10 @@ class CredentialChannel:
 
     ``credential_ref`` is the credential record reference (CRR) string; all
     events published on the channel carry it so subscribers can filter.
+    Slotted: one channel exists per live credential record.
     """
+
+    __slots__ = ("_broker", "credential_ref", "_closed")
 
     def __init__(self, broker: EventBroker, credential_ref: str) -> None:
         if not credential_ref:
@@ -91,6 +94,8 @@ class HeartbeatMonitor:
     whose last heartbeat is older than the timeout — the fail-safe signal
     that the issuer, or the channel, is gone.
     """
+
+    __slots__ = ("_broker", "_timeout", "_clock", "_last_seen", "_subs")
 
     def __init__(self, broker: EventBroker, timeout: float,
                  clock: Callable[[], float]) -> None:

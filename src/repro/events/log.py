@@ -10,7 +10,8 @@ sourcing pattern.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional
 
 from .broker import EventBroker
 from .messages import Event
@@ -19,25 +20,43 @@ __all__ = ["EventLog"]
 
 
 class EventLog:
-    """Records every event delivered by a broker, in order."""
+    """Records every event delivered by a broker, in order.
+
+    With a ``capacity`` the log is a ring: the oldest events are evicted in
+    O(1) once the bound is hit, and :meth:`stats` reports how many fell off
+    so bounded retention never silently loses that it dropped history.  The
+    default stays unbounded.
+    """
+
+    __slots__ = ("_capacity", "_events", "recorded", "discarded",
+                 "_untap", "_closed")
 
     def __init__(self, broker: EventBroker,
                  capacity: Optional[int] = None) -> None:
         if capacity is not None and capacity <= 0:
             raise ValueError("capacity must be positive")
         self._capacity = capacity
-        self._events: List[Event] = []
+        self._events: Deque[Event] = deque(maxlen=capacity)
+        self.recorded = 0
         self.discarded = 0
         self._untap = broker.add_tap(self._record)
         self._closed = False
 
     def _record(self, event: Event) -> None:
-        self._events.append(event)
+        self.recorded += 1
         if self._capacity is not None \
-                and len(self._events) > self._capacity:
-            overflow = len(self._events) - self._capacity
-            del self._events[:overflow]
-            self.discarded += overflow
+                and len(self._events) == self._capacity:
+            self.discarded += 1  # the deque evicts the oldest on append
+        self._events.append(event)
+
+    def stats(self) -> Dict[str, Any]:
+        """Retention counters: ring size/bound and what fell off the end."""
+        return {
+            "size": len(self._events),
+            "capacity": self._capacity,
+            "recorded": self.recorded,
+            "discarded": self.discarded,
+        }
 
     def close(self) -> None:
         """Stop recording (the log remains queryable)."""

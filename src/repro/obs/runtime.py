@@ -30,6 +30,36 @@ from .tracing import Tracer
 __all__ = ["Observability", "pipeline", "enable", "disable", "observed"]
 
 
+def _collect_intern_pools():
+    """Export-time gauges over the canonicalizing intern pools.
+
+    Imported lazily: :mod:`repro.obs` must stay importable before (and
+    without) the core package, and collectors only run at export time.
+    The pools are process-wide, so every pipeline reports the same
+    figures — they describe shared resident state, not per-pipeline
+    activity.
+    """
+    from ..core.terms import pool_stats
+
+    samples_entries = []
+    samples_hits = []
+    samples_misses = []
+    for name, stats in pool_stats().items():
+        samples_entries.append(({"pool": name}, stats["entries"]))
+        samples_hits.append(({"pool": name, "kind": "hits"},
+                             stats["hits"]))
+        samples_misses.append(({"pool": name, "kind": "misses"},
+                               stats["misses"]))
+    if not samples_entries:
+        return
+    yield ("oasis_memory_intern_pool_entries", "gauge",
+           "canonical instances resident per intern pool",
+           samples_entries)
+    yield ("oasis_memory_intern_pool_requests", "counter",
+           "intern pool requests, by hit/miss",
+           samples_hits + samples_misses)
+
+
 class Observability:
     """One tracer + one metrics registry + one decision log.
 
@@ -43,11 +73,14 @@ class Observability:
         self.tracer = Tracer(capacity=span_capacity)
         self.metrics = MetricsRegistry()
         self.decisions = DecisionLog(capacity=decision_capacity)
+        self.metrics.register_collector(_collect_intern_pools)
 
     def reset(self) -> None:
         self.tracer.reset()
         self.metrics.reset()
         self.decisions.reset()
+        # metrics.reset() drops collectors; restore the process-wide one.
+        self.metrics.register_collector(_collect_intern_pools)
 
 
 _pipeline: Optional[Observability] = None

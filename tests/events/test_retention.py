@@ -1,0 +1,102 @@
+"""Bounded-retention rings for EventLog and AccessLog.
+
+A million-principal world churns sessions continuously; an unbounded
+audit trail is the slow memory leak that kills a long-running node.  With
+``capacity`` both logs become rings — oldest entries evicted, eviction
+counted — while the default stays unbounded, so nothing changes for the
+differential suites that replay full histories.
+"""
+
+import pytest
+
+from repro.core.access_log import AccessKind, AccessLog
+from repro.events import Event, EventBroker, EventLog
+
+TOPIC = "credential.revoked"
+
+
+def publish(broker, count, start=0):
+    for index in range(start, start + count):
+        broker.publish(Event.make(TOPIC, credential_ref=f"svc#{index}"))
+
+
+class TestEventLogRetention:
+    def test_unbounded_by_default(self):
+        broker = EventBroker()
+        log = EventLog(broker)
+        publish(broker, 50)
+        assert len(log) == 50
+        assert log.stats() == {"size": 50, "capacity": None,
+                               "recorded": 50, "discarded": 0}
+
+    def test_ring_evicts_oldest(self):
+        broker = EventBroker()
+        log = EventLog(broker, capacity=10)
+        publish(broker, 25)
+        assert len(log) == 10
+        refs = [event.get("credential_ref") for event in log.events()]
+        assert refs == [f"svc#{index}" for index in range(15, 25)]
+
+    def test_counters_track_evictions(self):
+        broker = EventBroker()
+        log = EventLog(broker, capacity=10)
+        publish(broker, 8)
+        assert (log.recorded, log.discarded) == (8, 0)
+        publish(broker, 7, start=8)
+        assert log.stats() == {"size": 10, "capacity": 10,
+                               "recorded": 15, "discarded": 5}
+
+    def test_invalid_capacity_raises(self):
+        broker = EventBroker()
+        for capacity in (0, -1):
+            with pytest.raises(ValueError):
+                EventLog(broker, capacity=capacity)
+
+    def test_replay_sees_only_retained(self):
+        broker = EventBroker()
+        log = EventLog(broker, capacity=3)
+        publish(broker, 5)
+        replayed = []
+        log.replay(lambda event: replayed.append(
+            event.get("credential_ref")))
+        assert replayed == ["svc#2", "svc#3", "svc#4"]
+
+
+class TestAccessLogRetention:
+    @staticmethod
+    def fill(log, count, start=0):
+        for index in range(start, start + count):
+            log.record(float(index), AccessKind.INVOCATION,
+                       f"p{index}", "records/read")
+
+    def test_unbounded_by_default(self):
+        log = AccessLog()
+        self.fill(log, 50)
+        assert len(log) == 50
+        assert log.stats() == {"size": 50, "capacity": None,
+                               "recorded": 50, "discarded": 0}
+
+    def test_ring_evicts_oldest(self):
+        log = AccessLog(capacity=10)
+        self.fill(log, 25)
+        assert len(log) == 10
+        assert [record.principal for record in log] == \
+            [f"p{index}" for index in range(15, 25)]
+
+    def test_counters_track_evictions(self):
+        log = AccessLog(capacity=10)
+        self.fill(log, 15)
+        assert log.stats() == {"size": 10, "capacity": 10,
+                               "recorded": 15, "discarded": 5}
+
+    def test_invalid_capacity_raises(self):
+        for capacity in (0, -1):
+            with pytest.raises(ValueError):
+                AccessLog(capacity=capacity)
+
+    def test_query_sees_only_retained_window(self):
+        log = AccessLog(capacity=5)
+        self.fill(log, 12)
+        # Records 0-6 were evicted; time-window queries reflect that.
+        assert log.query(since=0.0, until=7.0) == []
+        assert len(log.query(since=7.0)) == 5
