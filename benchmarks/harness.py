@@ -756,6 +756,75 @@ def _build_scale_world(cls, principals: int, live: int):
     return world
 
 
+def bench_verify_universe(results: Dict[str, dict], *, quick: bool) -> None:
+    """Whole-universe symbolic verification over the largest scenario set.
+
+    One deployment carrying every Sect. 5 world at once — hospital +
+    national EHR, the visiting-doctor SLA pair, the Tate galleries, the
+    genetic clinic — verified with the default property battery
+    (no-escalation + revocation-sound).  Each op is the full pipeline:
+    rule-graph compilation plus every fixpoint run the battery needs.
+    """
+    from repro.core import (
+        ActivationRule, AppointmentCondition, AppointmentRule,
+        AuthorizationRule, PrerequisiteRole, RoleTemplate, ServicePolicy,
+        Var)
+    from repro.domains import Deployment, ServiceLevelAgreement, SlaTerm
+    from repro.lang.analysis import PolicyUniverse
+    from repro.lang.passes import LintContext
+    from repro.lang.verify import verify_universe
+    from repro.scenarios.healthcare import (build_hospital,
+                                            build_national_ehr)
+    from repro.scenarios.membership import build_clinic, build_galleries
+
+    deployment = Deployment()
+    hospital = build_hospital(deployment)
+    build_national_ehr(deployment, [hospital])
+    build_galleries(deployment)
+    build_clinic(deployment)
+
+    institute = deployment.create_domain("institute")
+    hr_policy = ServicePolicy(deployment.domain("hospital")
+                              .service_id("hr"))
+    officer = hr_policy.define_role("hr_officer", 0)
+    hr_policy.add_activation_rule(ActivationRule(RoleTemplate(officer)))
+    hr_policy.add_appointment_rule(AppointmentRule(
+        "employed_as_doctor", (Var("d"), Var("h")),
+        (PrerequisiteRole(RoleTemplate(officer)),)))
+    hr = deployment.domain("hospital").add_service(hr_policy)
+    lab_policy = ServicePolicy(institute.service_id("lab"))
+    lab_policy.add_activation_rule(
+        ActivationRule(RoleTemplate(lab_policy.define_role("director", 0))))
+    lab_policy.add_authorization_rule(AuthorizationRule(
+        "run_experiment", (),
+        (PrerequisiteRole(RoleTemplate(
+            lab_policy.define_role("visiting_doctor", 1), (Var("d"),))),)))
+    lab = institute.add_service(lab_policy)
+    ServiceLevelAgreement(
+        lab.id, hr.id,
+        [SlaTerm("visiting_doctor", (Var("d"),),
+                 AppointmentCondition(hr.id, "employed_as_doctor",
+                                      (Var("d"), Var("h")),
+                                      membership=True))]).install(lab)
+
+    context = LintContext(universe=PolicyUniverse(
+        service.policy for service in deployment.registry.all_services()))
+    report = verify_universe(context)  # warm + capture counters
+    rounds, inner = (3, 5) if quick else (5, 20)
+    results["verify_universe"] = dict(
+        description=("whole-universe verification (graph compilation + "
+                     "default no-escalation/revocation-sound battery) "
+                     "over the combined Sect. 5 scenario deployment"),
+        services=len(context.universe.services),
+        atoms=len(report.graph.atoms),
+        rule_edges=len(report.graph.edges),
+        fixpoint_iterations=report.iterations,
+        fixpoint_runs=report.fixpoint_runs,
+        findings=len(report.diagnostics),
+        **measure(lambda: verify_universe(context),
+                  rounds=rounds, inner=inner))
+
+
 # -- driver ------------------------------------------------------------------
 
 def run(quick: bool = False, full: bool = False) -> Dict[str, object]:
@@ -771,6 +840,7 @@ def run(quick: bool = False, full: bool = False) -> Dict[str, object]:
     independence_cmp = bench_fig5_fanout(results, quick=quick)
     obs_cmp = bench_obs_overhead(results, quick=quick)
     memory_cmp, bulk_cmp = bench_scale(results, quick=quick, full=full)
+    bench_verify_universe(results, quick=quick)
 
     return {
         "schema": "bench-core/1",

@@ -8,6 +8,16 @@ Commands:
   text (caret excerpts), JSON, or SARIF 2.1.0 output; ``--select`` /
   ``--ignore`` filter by code; ``--strict`` makes warnings fail the
   build.  Exit status 1 on any error (or warning with ``--strict``).
+* ``verify <paths...>`` — whole-universe symbolic verification
+  (:mod:`repro.lang.verify`): compile every policy into one
+  cross-service rule graph and check privilege-flow properties
+  (``--property``, repeatable; defaults to ``no-escalation`` and
+  ``revocation-sound``).  ``--assume-revoked REF`` re-checks the
+  post-revocation universe; refuted properties are reported as OAS1xx
+  diagnostics with witness derivation trees.
+
+Exit status convention (lint/verify): 0 clean, 1 findings, 2 usage or
+internal error.
 * ``check <paths...>`` — parse, compile and validate every policy file,
   then lint.  Exit status 1 when any error-severity finding (or a parse
   failure) occurs; ``--strict`` extends that to warnings.
@@ -104,13 +114,24 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return status
 
 
-def _cmd_lint(args: argparse.Namespace) -> int:
+class _UsageError(Exception):
+    """A CLI usage problem already reported to stderr (exit status 2)."""
+
+
+def _load_lint_units(paths: List[str]):
+    """Discover, parse and deduplicate policy files for lint/verify.
+
+    Returns ``(files, units, diagnostics)`` where ``diagnostics`` holds
+    the OAS000 findings for unparsable or duplicated files.  Raises
+    :class:`_UsageError` (after printing) for empty path sets and I/O
+    failures.
+    """
     files: List[str] = []
-    for path in args.paths:
+    for path in paths:
         files.extend(discover_policy_files(path))
     if not files:
         print("error: no .oasis policy files found", file=sys.stderr)
-        return 2
+        raise _UsageError
 
     units = []
     diagnostics: List[Diagnostic] = []
@@ -123,7 +144,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             continue
         except OSError as error:
             print(f"error: {error}", file=sys.stderr)
-            return 2
+            raise _UsageError from error
         if unit.service in seen_services:
             diagnostics.append(Diagnostic(
                 "OAS000",
@@ -133,9 +154,13 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             continue
         seen_services[unit.service] = path
         units.append(unit)
+    return files, units, diagnostics
 
-    context = LintContext.from_units(units)
-    diagnostics.extend(run_passes(context))
+
+def _report(diagnostics: List[Diagnostic], context: LintContext,
+            args: argparse.Namespace, clean_message: str,
+            tool_name: str) -> int:
+    """Filter, render and turn diagnostics into an exit status."""
     try:
         diagnostics = filter_diagnostics(diagnostics, context.sources,
                                          select=args.select,
@@ -147,14 +172,13 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.format == "json":
         print(render_json(diagnostics))
     elif args.format == "sarif":
-        print(render_sarif(diagnostics))
+        print(render_sarif(diagnostics, tool_name=tool_name))
     else:
         report = render_text(diagnostics, context.sources)
         if report:
             print(report)
         else:
-            print(f"lint: clean ({len(files)} file(s), "
-                  f"{len(context.files)} service(s))")
+            print(clean_message)
 
     worst = {d.severity for d in diagnostics}
     if "error" in worst:
@@ -162,6 +186,47 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if "warning" in worst and args.strict:
         return 1
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    try:
+        files, units, diagnostics = _load_lint_units(args.paths)
+    except _UsageError:
+        return 2
+    context = LintContext.from_units(units)
+    diagnostics.extend(run_passes(context))
+    return _report(diagnostics, context, args,
+                   f"lint: clean ({len(files)} file(s), "
+                   f"{len(context.files)} service(s))",
+                   tool_name="oasis-policy-lint")
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .verify import PropertyError, verify_universe
+
+    try:
+        files, units, diagnostics = _load_lint_units(args.paths)
+    except _UsageError:
+        return 2
+    context = LintContext.from_units(units)
+    try:
+        report = verify_universe(
+            context, args.property or (),
+            assume_revoked=args.assume_revoked or (),
+            max_delegation_depth=args.max_delegation_depth)
+    except PropertyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    diagnostics.extend(report.diagnostics)
+    clean = (f"verify: ok ({len(files)} file(s), "
+             f"{len(report.graph.services)} service(s), "
+             f"{len(report.properties)} propert"
+             f"{'y' if len(report.properties) == 1 else 'ies'}, "
+             f"{len(report.graph.atoms)} atoms, "
+             f"{len(report.graph.edges)} rules, "
+             f"{report.iterations} fixpoint iterations)")
+    return _report(diagnostics, context, args, clean,
+                   tool_name="oasis-policy-verify")
 
 
 def _parse_diagnostic(path: str, error: Exception) -> Diagnostic:
@@ -243,6 +308,32 @@ def main(argv: Optional[List[str]] = None) -> int:
                       help="drop these codes; repeatable")
     lint.set_defaults(func=_cmd_lint)
 
+    verify = sub.add_parser(
+        "verify", help="whole-universe symbolic verification (OAS1xx)")
+    verify.add_argument("paths", nargs="+")
+    verify.add_argument("--property", action="append", metavar="PROP",
+                        help="property to check: can-reach(CLASS, REF), "
+                             "cannot-reach(CLASS, REF), no-escalation, "
+                             "revocation-sound, delegation-depth<=K; "
+                             "repeatable (default: no-escalation and "
+                             "revocation-sound)")
+    verify.add_argument("--assume-revoked", action="append", metavar="REF",
+                        help="re-check reachability assuming this "
+                             "credential (role/appointment reference) is "
+                             "revoked; repeatable")
+    verify.add_argument("--max-delegation-depth", type=int, metavar="K",
+                        help="bound on appointment (delegation) steps to "
+                             "any privilege")
+    verify.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text", help="report format")
+    verify.add_argument("--strict", action="store_true",
+                        help="warnings also fail the build")
+    verify.add_argument("--select", action="append", metavar="CODES",
+                        help="only report these codes; repeatable")
+    verify.add_argument("--ignore", action="append", metavar="CODES",
+                        help="drop these codes; repeatable")
+    verify.set_defaults(func=_cmd_verify)
+
     check = sub.add_parser("check", help="validate and lint policy files")
     check.add_argument("paths", nargs="+")
     check.add_argument("--strict", action="store_true",
@@ -284,7 +375,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     metrics.set_defaults(func=_cmd_metrics)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except Exception as error:  # tool bug, not a finding: exit 2, not 1
+        print(f"internal error: {type(error).__name__}: {error}",
+              file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

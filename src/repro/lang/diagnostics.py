@@ -31,8 +31,10 @@ __all__ = [
     "CODES",
     "CODES_BY_NAME",
     "Diagnostic",
+    "RelatedLocation",
     "SEVERITY_ORDER",
     "collect_suppressions",
+    "diagnostic_payload",
     "filter_diagnostics",
     "is_suppressed",
     "render_excerpt",
@@ -89,11 +91,39 @@ _CODE_TABLE: Tuple[CodeInfo, ...] = (
              "constant types across rules"),
     CodeInfo("OAS012", "privilege-less-role", "info",
              "the role gates no method, appointment or other role"),
+    # OAS1xx: whole-universe verification (repro.lang.verify) — properties
+    # of the cross-service privilege-flow fixpoint, not of single rules.
+    CodeInfo("OAS100", "property-refuted", "error",
+             "a verification property stated over the policy universe "
+             "does not hold"),
+    CodeInfo("OAS101", "privilege-escalation", "error",
+             "a principal class reaches a privilege no direct rule grants "
+             "it, via an appointment chain crossing services"),
+    CodeInfo("OAS102", "revocation-unsound", "warning",
+             "a credential edge on a derivation path to a privilege is "
+             "not covered by a membership condition, so revocation does "
+             "not provably collapse the path"),
+    CodeInfo("OAS103", "delegation-depth", "warning",
+             "a privilege requires more delegation (appointment) steps "
+             "than the stated bound allows"),
+    CodeInfo("OAS104", "revocation-survivor", "info",
+             "a privilege remains reachable after the assumed revocation, "
+             "through passive conditions on the revoked credential"),
 )
 
 CODES: Dict[str, CodeInfo] = {info.code: info for info in _CODE_TABLE}
 CODES_BY_NAME: Dict[str, CodeInfo] = {info.name: info
                                       for info in _CODE_TABLE}
+
+
+@dataclass(frozen=True)
+class RelatedLocation:
+    """A secondary source location attached to a finding — e.g. one rule
+    edge of a witness derivation tree."""
+
+    message: str
+    file: Optional[str] = None
+    span: Optional[SourceSpan] = None
 
 
 @dataclass(frozen=True)
@@ -106,6 +136,8 @@ class Diagnostic:
     severity: str = ""                      # defaults to the code's severity
     file: Optional[str] = None
     span: Optional[SourceSpan] = None
+    notes: str = ""                         # multi-line detail (witness tree)
+    related: Tuple[RelatedLocation, ...] = ()
 
     def __post_init__(self) -> None:
         if self.code not in CODES:
@@ -262,28 +294,43 @@ def render_text(diagnostics: Iterable[Diagnostic],
                                      span.end_line, span.end_column)
             if excerpt:
                 block += "\n" + excerpt
+        if diagnostic.notes:
+            block += "\n" + "\n".join(
+                f"    | {line}" for line in diagnostic.notes.splitlines())
         blocks.append(block)
     return "\n".join(blocks)
 
 
+def diagnostic_payload(diagnostic: Diagnostic) -> Dict[str, object]:
+    """The JSON-reporter entry for one diagnostic."""
+    entry: Dict[str, object] = {
+        "code": diagnostic.code,
+        "name": diagnostic.name,
+        "severity": diagnostic.severity,
+        "subject": diagnostic.subject,
+        "message": diagnostic.message,
+        "file": diagnostic.file,
+    }
+    if diagnostic.span is not None:
+        entry["line"] = diagnostic.span.line
+        entry["column"] = diagnostic.span.column
+        entry["end_line"] = diagnostic.span.end_line
+        entry["end_column"] = diagnostic.span.end_column
+    if diagnostic.notes:
+        entry["notes"] = diagnostic.notes
+    if diagnostic.related:
+        entry["related"] = [{
+            "message": rel.message,
+            "file": rel.file,
+            "line": rel.span.line if rel.span else None,
+            "column": rel.span.column if rel.span else None,
+        } for rel in diagnostic.related]
+    return entry
+
+
 def render_json(diagnostics: Iterable[Diagnostic]) -> str:
     """Machine-readable JSON: ``{"version": 1, "diagnostics": [...]}``."""
-    entries = []
-    for diagnostic in diagnostics:
-        entry = {
-            "code": diagnostic.code,
-            "name": diagnostic.name,
-            "severity": diagnostic.severity,
-            "subject": diagnostic.subject,
-            "message": diagnostic.message,
-            "file": diagnostic.file,
-        }
-        if diagnostic.span is not None:
-            entry["line"] = diagnostic.span.line
-            entry["column"] = diagnostic.span.column
-            entry["end_line"] = diagnostic.span.end_line
-            entry["end_column"] = diagnostic.span.end_column
-        entries.append(entry)
+    entries = [diagnostic_payload(d) for d in diagnostics]
     return json.dumps({"version": 1, "diagnostics": entries}, indent=2)
 
 
@@ -292,8 +339,31 @@ _SARIF_SCHEMA_URI = ("https://raw.githubusercontent.com/oasis-tcs/"
 _SARIF_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
 
 
+def _sarif_region(span: SourceSpan) -> Dict[str, int]:
+    # SARIF 2.1.0 requires line/column properties >= 1; parse errors can
+    # carry column 0 ("unknown"), which must be clamped, not emitted.
+    start_line = max(1, span.line)
+    start_column = max(1, span.column)
+    return {
+        "startLine": start_line,
+        "startColumn": start_column,
+        "endLine": max(start_line, span.end_line),
+        "endColumn": max(1, span.end_column),
+    }
+
+
+def _sarif_location(file: Optional[str], span: Optional[SourceSpan]
+                    ) -> Dict[str, object]:
+    location: Dict[str, object] = {
+        "artifactLocation": {"uri": file or "<policy>"}}
+    if span is not None:
+        location["region"] = _sarif_region(span)
+    return location
+
+
 def render_sarif(diagnostics: Iterable[Diagnostic],
-                 tool_version: str = "1.0.0") -> str:
+                 tool_version: str = "1.0.0",
+                 tool_name: str = "oasis-policy-lint") -> str:
     """A SARIF 2.1.0 log, suitable for GitHub code-scanning upload."""
     rule_order = [info.code for info in _CODE_TABLE]
     rules = [{
@@ -304,32 +374,32 @@ def render_sarif(diagnostics: Iterable[Diagnostic],
     } for info in _CODE_TABLE]
     results = []
     for diagnostic in diagnostics:
-        result = {
+        text = (f"{diagnostic.subject}: " if diagnostic.subject
+                else "") + diagnostic.message
+        if diagnostic.notes:
+            text += "\n" + diagnostic.notes
+        result: Dict[str, object] = {
             "ruleId": diagnostic.code,
             "ruleIndex": rule_order.index(diagnostic.code),
             "level": _SARIF_LEVELS[diagnostic.severity],
-            "message": {"text": (f"{diagnostic.subject}: "
-                                 if diagnostic.subject else "")
-                        + diagnostic.message},
+            "message": {"text": text},
         }
         if diagnostic.file is not None:
-            location: Dict[str, object] = {
-                "artifactLocation": {"uri": diagnostic.file}}
-            if diagnostic.span is not None:
-                location["region"] = {
-                    "startLine": diagnostic.span.line,
-                    "startColumn": diagnostic.span.column,
-                    "endLine": diagnostic.span.end_line,
-                    "endColumn": diagnostic.span.end_column,
-                }
-            result["locations"] = [{"physicalLocation": location}]
+            result["locations"] = [{
+                "physicalLocation": _sarif_location(diagnostic.file,
+                                                    diagnostic.span)}]
+        if diagnostic.related:
+            result["relatedLocations"] = [{
+                "physicalLocation": _sarif_location(rel.file, rel.span),
+                "message": {"text": rel.message},
+            } for rel in diagnostic.related]
         results.append(result)
     log = {
         "$schema": _SARIF_SCHEMA_URI,
         "version": "2.1.0",
         "runs": [{
             "tool": {"driver": {
-                "name": "oasis-policy-lint",
+                "name": tool_name,
                 "version": tool_version,
                 "informationUri":
                     "https://example.org/oasis-repro/policy-analysis",

@@ -1,0 +1,141 @@
+"""Replay a witness derivation tree against the live runtime engine.
+
+The differential soundness tests (and anyone auditing a verifier
+verdict) need to turn a *static* witness back into *dynamic* behaviour:
+a single probe principal walks the derivation tree bottom-up, starting a
+session at the leaf initial role, activating every role on the tree,
+issuing every appointment certificate to itself, and finally invoking
+the guarded method.  If the verifier is sound, a fully concrete witness
+(no external/assumed leaves) must replay without a denial.
+
+The replay inherits the verifier's single-class abstraction: every
+unpinned rule variable is bound to the probe's principal id, so the
+whole tree talks about one principal.  Where a parameter must be
+something else (an expiry timestamp checked by an environmental
+constraint, a patient id looked up in a database), the caller seeds it
+per atom via ``seeds``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ...core.service import OasisService
+from ...core.session import Principal, Session
+from ...core.terms import Term, Var
+from ...core.types import ServiceId
+from .fixpoint import RULE
+from .graph import APPOINTMENT, PRIVILEGE, ROLE, Atom
+from .witness import Witness
+
+__all__ = ["ReplayError", "replay_witness"]
+
+
+class ReplayError(RuntimeError):
+    """The witness cannot be realized against the given services."""
+
+
+class _Replayer:
+    def __init__(self, services: Mapping[ServiceId, OasisService],
+                 seeds: Mapping[Atom, Sequence[Term]],
+                 environment: Optional[Dict[str, Any]],
+                 principal_id: str) -> None:
+        self.services = services
+        self.seeds = seeds
+        self.environment = environment
+        self.principal = Principal(principal_id)
+        self.session: Optional[Session] = None
+        self.certificates: List[Any] = []
+        self.memo: Dict[Atom, Any] = {}
+
+    def service(self, atom: Atom) -> OasisService:
+        try:
+            return self.services[atom.service]
+        except KeyError:
+            raise ReplayError(
+                f"no live service for {atom.service} (needed to realize "
+                f"{atom})") from None
+
+    def parameters(self, witness: Witness) -> Tuple[Term, ...]:
+        seeded = self.seeds.get(witness.atom)
+        if seeded is not None:
+            return tuple(seeded)
+        head: Sequence[Term]
+        edge = witness.edge
+        if edge is not None and edge.kind == "activation":
+            head = edge.rule.target.parameters  # type: ignore[attr-defined]
+        elif edge is not None:
+            head = edge.rule.parameters  # type: ignore[attr-defined]
+        else:
+            head = (Var("_"),) * witness.atom.arity
+        return tuple(self.principal.id.value if isinstance(term, Var)
+                     else term for term in head)
+
+    def realize(self, witness: Witness) -> Any:
+        atom = witness.atom
+        if atom in self.memo:
+            return self.memo[atom]
+        if witness.mode != RULE:
+            raise ReplayError(
+                f"witness leaf {atom} is {witness.mode!r}: the derivation "
+                "is not concrete within the live universe")
+        for child in witness.children:
+            self.realize(child)
+        result = self._apply(witness)
+        self.memo[atom] = result
+        return result
+
+    def _apply(self, witness: Witness) -> Any:
+        atom = witness.atom
+        service = self.service(atom)
+        parameters = self.parameters(witness)
+        if atom.kind == ROLE:
+            if self.session is None:
+                self.session = self.principal.start_session(
+                    service, atom.name, parameters,
+                    use_appointments=tuple(self.certificates),
+                    environment=self.environment)
+                return self.session.root_rmc
+            return self.session.activate(
+                service, atom.name, parameters,
+                use_appointments=tuple(self.certificates),
+                environment=self.environment)
+        if self.session is None:
+            raise ReplayError(
+                f"cannot realize {atom} before any role is active: the "
+                "witness has no initial role to bootstrap a session")
+        if atom.kind == APPOINTMENT:
+            certificate = self.session.issue_appointment(
+                service, atom.name, parameters,
+                holder=self.principal.id.value,
+                environment=self.environment)
+            self.principal.store_appointment(certificate)
+            self.certificates.append(certificate)
+            return certificate
+        assert atom.kind == PRIVILEGE
+        return self.session.invoke(
+            service, atom.name, parameters,
+            use_appointments=tuple(self.certificates),
+            environment=self.environment)
+
+
+def replay_witness(
+    witness: Witness,
+    services: Mapping[ServiceId, OasisService],
+    *,
+    seeds: Optional[Mapping[Atom, Sequence[Term]]] = None,
+    environment: Optional[Dict[str, Any]] = None,
+    principal_id: str = "probe",
+) -> Any:
+    """Realize ``witness`` bottom-up with one probe principal.
+
+    Returns the realization of the root: the RMC for a role witness,
+    the certificate for an appointment witness, or the method's return
+    value for a privilege witness.  Raises :class:`ReplayError` when the
+    witness is not concrete (external/assumed leaves) and propagates the
+    runtime's denial exceptions untouched — a denial of a concrete
+    witness is exactly the soundness violation the differential tests
+    look for.
+    """
+    replayer = _Replayer(services, seeds or {}, environment, principal_id)
+    return replayer.realize(witness)

@@ -1,0 +1,177 @@
+"""Minimal counterexample witnesses: concrete derivation trees.
+
+Every refuted property is accompanied by the *smallest* derivation that
+realizes the offending flow — the static analogue of handing the auditor
+the exact chain of certificates a principal would present.  The tree is
+reconstructed from the fixpoint's min-cost provenance: each derivable
+atom remembers the cheapest rule edge that produced it, and because a
+child's derivation cost is strictly below its parent's, the recursion is
+well founded.
+
+``find_path_through`` additionally lets a property *pin* a specific edge
+(e.g. "the derivation must pass through this unguarded credential") and
+returns pins forcing that edge into the tree; ``witness_for`` honours
+them with a path-set guard so a pinned cycle cannot recurse forever.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .fixpoint import ASSUMED, EXTERNAL, PASSIVE, RULE, FlowResult
+from .graph import Atom, RuleEdge
+
+__all__ = ["Witness", "witness_for", "find_path_through", "render",
+           "to_dict"]
+
+
+@dataclass
+class Witness:
+    """One node of a derivation tree."""
+
+    atom: Atom
+    mode: str                      # "rule" | "assumed" | "external" | "passive"
+    edge: Optional[RuleEdge] = None
+    children: Tuple["Witness", ...] = ()
+    membership: Tuple[bool, ...] = field(default=())
+
+    def size(self) -> int:
+        return 1 + sum(child.size() for child in self.children)
+
+
+def witness_for(result: FlowResult, atom: Atom,
+                pins: Optional[Dict[Atom, RuleEdge]] = None) -> Witness:
+    """Reconstruct the minimal derivation of ``atom`` from ``result``.
+
+    ``pins`` maps atoms to the edge their derivation must use; atoms on
+    the current path fall back to their min-cost edge instead, so a pin
+    that would close a cycle degrades gracefully rather than looping.
+    """
+    if not result.derivable(atom) and not (
+            atom in result.revoked and atom in result.survivors):
+        raise ValueError(f"{atom} is not derivable in this closure")
+    return _build(result, atom, pins or {}, frozenset())
+
+
+def _build(result: FlowResult, atom: Atom, pins: Dict[Atom, RuleEdge],
+           path: frozenset) -> Witness:
+    if atom in result.revoked:
+        # Only reachable for passive conditions on pre-revocation holdings.
+        return Witness(atom, PASSIVE)
+    reason = result.reason[atom]
+    if reason != RULE:
+        return Witness(atom, ASSUMED if reason == ASSUMED else EXTERNAL)
+    edge = pins.get(atom)
+    if edge is None or atom in path or not result.edge_viable(edge):
+        edge = result.best[atom]
+    child_path = path | {atom}
+    children = tuple(
+        _build(result, condition.atom, pins, child_path)
+        for condition in edge.conditions)
+    return Witness(atom, RULE, edge, children,
+                   tuple(c.membership for c in edge.conditions))
+
+
+def find_path_through(result: FlowResult, root: Atom,
+                      edge: RuleEdge) -> Optional[Dict[Atom, RuleEdge]]:
+    """Pins forcing the derivation of ``root`` to pass through ``edge``.
+
+    Breadth-first search from ``root`` over viable edges until one is
+    found whose target chain reaches ``edge.target`` and can use
+    ``edge``; returns ``None`` when no derivation of ``root`` needs it.
+    """
+    if not result.edge_viable(edge):
+        return None
+    if root == edge.target:
+        return {root: edge}
+    seen: Set[Atom] = {root}
+    queue: deque = deque()
+    queue.append((root, {}))
+    while queue:
+        atom, pins = queue.popleft()
+        for candidate in result.graph.edges_by_target.get(atom, ()):
+            if not result.edge_viable(candidate):
+                continue
+            for condition in candidate.conditions:
+                child = condition.atom
+                if not result.condition_holds(child, condition.membership):
+                    continue
+                next_pins = dict(pins)
+                next_pins[atom] = candidate
+                if child == edge.target:
+                    next_pins[child] = edge
+                    return next_pins
+                if child not in seen:
+                    seen.add(child)
+                    queue.append((child, next_pins))
+    return None
+
+
+def services_of(witness: Witness) -> Set:
+    services = {witness.atom.service}
+    for child in witness.children:
+        services |= services_of(child)
+    return services
+
+
+def uses_appointment_edge(witness: Witness) -> bool:
+    if witness.edge is not None and witness.edge.kind == "appointment":
+        return True
+    return any(uses_appointment_edge(c) for c in witness.children)
+
+
+def chain_depth(witness: Witness) -> int:
+    """Number of appointment (delegation) edges on the deepest path."""
+    own = 1 if (witness.edge is not None
+                and witness.edge.kind == "appointment") else 0
+    return own + max((chain_depth(c) for c in witness.children), default=0)
+
+
+_MODE_NOTES = {
+    ASSUMED: "assumed credential of the queried principal class",
+    EXTERNAL: "issued outside the analysed universe (assumed obtainable)",
+    PASSIVE: "revoked, but held before revocation (passive condition)",
+}
+
+
+def render(witness: Witness) -> str:
+    """Human-readable derivation tree with SourceSpan provenance."""
+    lines: List[str] = []
+    _render(witness, lines, indent=0)
+    return "\n".join(lines)
+
+
+def _render(witness: Witness, lines: List[str], indent: int) -> None:
+    pad = "  " * indent
+    if witness.mode == RULE:
+        edge = witness.edge
+        assert edge is not None
+        lines.append(f"{pad}{witness.atom}")
+        note = (f" (+{edge.constraint_count} environmental constraint"
+                f"{'s' if edge.constraint_count != 1 else ''} assumed"
+                " satisfiable)" if edge.constraint_count else "")
+        lines.append(f"{pad}  via {edge.kind} rule"
+                     f" [{edge.location()}] {edge.rule_text}{note}")
+        for child in witness.children:
+            _render(child, lines, indent + 1)
+    else:
+        lines.append(f"{pad}{witness.atom} — {_MODE_NOTES[witness.mode]}")
+
+
+def to_dict(witness: Witness) -> Dict:
+    entry: Dict = {"atom": str(witness.atom), "mode": witness.mode}
+    if witness.edge is not None:
+        edge = witness.edge
+        entry["rule"] = {
+            "kind": edge.kind,
+            "service": str(edge.service),
+            "text": edge.rule_text,
+            "file": edge.file,
+            "line": edge.origin.line if edge.origin else None,
+            "column": edge.origin.column if edge.origin else None,
+        }
+    if witness.children:
+        entry["children"] = [to_dict(c) for c in witness.children]
+    return entry

@@ -1,0 +1,202 @@
+"""SARIF 2.1.0 conformance for the lint/verify reporters.
+
+The upstream SARIF schema is ~8k lines and not vendorable here, so this
+test pins a *strict* subset covering everything our reporter emits:
+required properties, the ``level`` enumeration, and — the part that
+actually caught a bug — the spec's ``minimum: 1`` on every region
+line/column property (§3.30: "a 1-based integer").  Parse errors with an
+unknown column used to leak ``startColumn: 0`` into the log, which GitHub
+code-scanning rejects; ``render_sarif`` now clamps regions.
+
+``additionalProperties`` is left open (SARIF allows vendor extensions);
+the constraints below are exactly the ones the spec makes mandatory for
+the objects we produce.
+"""
+
+import json
+
+import pytest
+
+from repro.core.rules import SourceSpan
+from repro.lang.diagnostics import Diagnostic, RelatedLocation, render_sarif
+
+jsonschema = pytest.importorskip("jsonschema")
+
+_REGION = {
+    "type": "object",
+    "properties": {
+        "startLine": {"type": "integer", "minimum": 1},
+        "startColumn": {"type": "integer", "minimum": 1},
+        "endLine": {"type": "integer", "minimum": 1},
+        "endColumn": {"type": "integer", "minimum": 1},
+    },
+}
+
+_PHYSICAL_LOCATION = {
+    "type": "object",
+    "required": ["artifactLocation"],
+    "properties": {
+        "artifactLocation": {
+            "type": "object",
+            "required": ["uri"],
+            "properties": {"uri": {"type": "string", "minLength": 1}},
+        },
+        "region": _REGION,
+    },
+}
+
+_LOCATION = {
+    "type": "object",
+    "properties": {
+        "physicalLocation": _PHYSICAL_LOCATION,
+        "message": {
+            "type": "object",
+            "required": ["text"],
+            "properties": {"text": {"type": "string"}},
+        },
+    },
+}
+
+_RULE = {
+    "type": "object",
+    "required": ["id"],
+    "properties": {
+        "id": {"type": "string", "pattern": "^OAS[0-9]{3}$"},
+        "name": {"type": "string", "pattern": "^[A-Za-z]+$"},
+        "shortDescription": {
+            "type": "object",
+            "required": ["text"],
+            "properties": {"text": {"type": "string", "minLength": 1}},
+        },
+        "defaultConfiguration": {
+            "type": "object",
+            "properties": {
+                "level": {"enum": ["none", "note", "warning", "error"]},
+            },
+        },
+    },
+}
+
+_RESULT = {
+    "type": "object",
+    "required": ["message"],
+    "properties": {
+        "ruleId": {"type": "string"},
+        "ruleIndex": {"type": "integer", "minimum": 0},
+        "level": {"enum": ["none", "note", "warning", "error"]},
+        "message": {
+            "type": "object",
+            "required": ["text"],
+            "properties": {"text": {"type": "string"}},
+        },
+        "locations": {"type": "array", "items": _LOCATION},
+        "relatedLocations": {"type": "array", "items": _LOCATION},
+    },
+}
+
+SARIF_21_STRICT_SUBSET = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "$schema": {"type": "string", "format": "uri"},
+        "version": {"const": "2.1.0"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string",
+                                             "minLength": 1},
+                                    "version": {"type": "string"},
+                                    "rules": {"type": "array",
+                                              "items": _RULE},
+                                },
+                            },
+                        },
+                    },
+                    "results": {"type": "array", "items": _RESULT},
+                },
+            },
+        },
+    },
+}
+
+
+def _validate(log: dict) -> None:
+    jsonschema.validate(log, SARIF_21_STRICT_SUBSET)
+
+
+class TestSarifConformance:
+    def test_ordinary_finding(self):
+        log = json.loads(render_sarif([Diagnostic(
+            "OAS006", "m", subject="s", file="p.oasis",
+            span=SourceSpan(2, 5, 2, 9))]))
+        _validate(log)
+
+    def test_every_registered_rule_is_conformant(self):
+        log = json.loads(render_sarif([]))
+        _validate(log)
+        rules = log["runs"][0]["tool"]["driver"]["rules"]
+        assert len(rules) == 18  # OAS000-012 + OAS100-104
+
+    def test_zero_column_parse_error_is_clamped(self):
+        # ParseError without a column produces SourceSpan(line, 0, ...);
+        # SARIF requires startColumn >= 1, so the reporter must clamp.
+        log = json.loads(render_sarif([Diagnostic(
+            "OAS000", "unexpected end of input", file="p.oasis",
+            span=SourceSpan(3, 0, 3, 1))]))
+        _validate(log)
+        region = (log["runs"][0]["results"][0]["locations"][0]
+                  ["physicalLocation"]["region"])
+        assert region["startColumn"] == 1
+        assert region["endColumn"] >= 1
+
+    def test_zero_line_span_is_clamped(self):
+        log = json.loads(render_sarif([Diagnostic(
+            "OAS000", "m", file="p.oasis", span=SourceSpan(0, 0, 0, 0))]))
+        _validate(log)
+
+    def test_related_locations_and_notes(self):
+        diagnostic = Diagnostic(
+            "OAS101", "escalation", subject="privilege x/y.z",
+            file="a.oasis", span=SourceSpan(4, 1, 4, 9),
+            notes="privilege x/y.z\n  via rule ...",
+            related=(
+                RelatedLocation("activation rule: a <- b", "a.oasis",
+                                SourceSpan(2, 1, 2, 9)),
+                RelatedLocation("appointment rule: c", "b.oasis", None),
+            ))
+        log = json.loads(render_sarif([diagnostic],
+                                      tool_name="oasis-policy-verify"))
+        _validate(log)
+        assert log["runs"][0]["tool"]["driver"]["name"] == \
+            "oasis-policy-verify"
+        (result,) = log["runs"][0]["results"]
+        assert "via rule" in result["message"]["text"]
+        related = result["relatedLocations"]
+        assert len(related) == 2
+        assert related[0]["message"]["text"].startswith("activation rule")
+
+    def test_verify_cli_sarif_end_to_end(self, capsys, tmp_path):
+        from repro.lang.cli import main
+
+        good = tmp_path / "solo.oasis"
+        good.write_text("service hospital/solo\n"
+                        "role user(u)\n"
+                        "activate user(u)\n"
+                        "authorize ping() <- user(u)*\n")
+        assert main(["verify", str(good), "--format", "sarif"]) == 0
+        log = json.loads(capsys.readouterr().out)
+        _validate(log)
+        assert log["runs"][0]["tool"]["driver"]["name"] == \
+            "oasis-policy-verify"
