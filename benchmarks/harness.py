@@ -86,6 +86,14 @@ MEMORY_COMPARISON_OBJECTS = 50_000
 #: Bulk world construction (issue_rmcs_bulk / put_many) vs the per-call
 #: activate_role path, same resulting world.
 BULK_BUILD_SPEEDUP_CRITERION = 2.0
+#: Persistence: activations over the SQLite write-behind backend may cost
+#: at most this many times the storeless in-memory path (write-behind
+#: buffering is what keeps the disk off the hot path).
+PERSIST_ACTIVATION_OVERHEAD_CRITERION = 1.25
+#: The explicit in-memory mirror backend must keep the hot path free:
+#: at most this much slower than storeless on activation and on the
+#: depth-16 cascade.
+MEMORY_BACKEND_OVERHEAD_CRITERION = 1.05
 
 
 def _percentile(sorted_values: List[float], q: float) -> float:
@@ -756,6 +764,312 @@ def _build_scale_world(cls, principals: int, live: int):
     return world
 
 
+def bench_persistence(results: Dict[str, dict], *, quick: bool
+                      ) -> Tuple[Dict[str, object], Dict[str, object]]:
+    """Record-store backends: write-behind SQLite, memory mirror, restart.
+
+    Three workload families:
+
+    * ``persist_activate_1k`` — single-role activations (distinct
+      principal per op) over a SQLite-file write-behind store, alongside
+      identically-measured memory-mirror and storeless variants.  The
+      persisted-vs-storeless cost ratio is the persistence overhead
+      comparison (criterion: <= 1.25x).
+    * ``persist_cascade_depth16`` — the FIG5 depth-16 revocation cascade
+      with every service in the chain running over its own SQLite store:
+      each cascade durably journals its events before publishing and
+      marks them done after.  Memory-mirror and storeless variants are
+      measured alongside, informationally.
+    * ``restart_resume_100k`` — bulk-build 100k credential records into a
+      SQLite file, flush, close; measure ``OasisService.resume`` cold:
+      state load, allocator watermark replay, secret restore.
+
+    Plus the in-memory backend criterion: the default configuration (no
+    store attached — the live dicts ARE the in-memory backend) against
+    the vendored pre-refactor hot-path bodies
+    (``benchmarks/prestore_baseline.py``), interleaved min-latency pairs
+    on the existing activation and cascade workloads, <= 1.05x.
+    """
+    import tempfile
+
+    from repro.core import (ActivationRule, OasisService, RoleTemplate,
+                            ServicePolicy, ServiceRegistry, Var)
+    from repro.core.state import ServiceStateCodec
+    from repro.db import MemoryRecordStore, SqliteRecordStore
+    from repro.events import EventBroker
+
+    def login_policy() -> "ServicePolicy":
+        policy = ServicePolicy(ServiceId("persist", "login"))
+        root = policy.define_role("root", 1)
+        policy.add_activation_rule(
+            ActivationRule(RoleTemplate(root, (Var("u"),))))
+        return policy
+
+    backends = ("storeless", "memory", "sqlite")
+    activation_ops: Dict[str, float] = {}
+    cascade_ops: Dict[str, float] = {}
+
+    with tempfile.TemporaryDirectory(prefix="bench-persist-") as tmp:
+        serial = [0]
+
+        def make_store(backend: str):
+            if backend == "storeless":
+                return None
+            if backend == "memory":
+                return MemoryRecordStore(codec=ServiceStateCodec())
+            serial[0] += 1
+            return SqliteRecordStore(
+                os.path.join(tmp, f"svc-{serial[0]}.db"),
+                codec=ServiceStateCodec())
+
+        def summarize(samples: List[float], inner: int) -> Dict[str, float]:
+            """measure()-shaped summary over interleaved round samples,
+            plus the best observed per-op cost for overhead ratios."""
+            latencies = sorted(samples)
+            total_time = sum(latencies) * inner
+            total_ops = len(latencies) * inner
+            return {
+                "ops_per_sec": (round(total_ops / total_time, 2)
+                                if total_time else 0.0),
+                "p50_us": round(_percentile(latencies, 0.50) * 1e6, 3),
+                "p99_us": round(_percentile(latencies, 0.99) * 1e6, 3),
+                "min_us": round(latencies[0] * 1e6, 3),
+                "rounds": len(latencies),
+                "ops_per_round": inner,
+            }
+
+        perf_counter = time.perf_counter
+
+        # -- activation over each backend (interleaved rounds) -----------
+        rounds, inner = (4, 50) if quick else (12, 100)
+        services = {backend: OasisService(login_policy(), EventBroker(),
+                                          ServiceRegistry(),
+                                          store=make_store(backend))
+                    for backend in backends}
+        activation_samples: Dict[str, List[float]] = \
+            {backend: [] for backend in backends}
+        counter = [0]
+        for _ in range(rounds + 1):  # first interleaved pass is warmup
+            for backend in backends:
+                service = services[backend]
+                users = []
+                for _ in range(inner):
+                    counter[0] += 1
+                    users.append(f"user-{counter[0]}")
+                start = perf_counter()
+                for user in users:
+                    service.activate_role(PrincipalId(user), "root",
+                                          [user], [])
+                activation_samples[backend].append(
+                    (perf_counter() - start) / inner)
+        names = {"sqlite": "persist_activate_1k",
+                 "memory": "persist_activate_1k_memory",
+                 "storeless": "persist_activate_1k_storeless"}
+        descriptions = {
+            "sqlite": ("single-role activations, distinct principal per "
+                       "op, over a SQLite-file write-behind store "
+                       "(records buffered, flushed every 1024); rounds "
+                       "interleaved with the other backends"),
+            "memory": ("same activations mirrored into the in-memory "
+                       "record store"),
+            "storeless": ("same activations with no record store attached "
+                          "— the live-dict baseline"),
+        }
+        for backend in backends:
+            results[names[backend]] = dict(
+                description=descriptions[backend],
+                backend=backend,
+                **summarize(activation_samples[backend][1:], inner))
+            activation_ops[backend] = results[names[backend]]["min_us"]
+            if services[backend].store is not None:
+                services[backend].store.close()
+
+        # -- depth-16 cascade over each backend (interleaved rounds) -----
+        cascade_rounds = 6 if quick else 20
+        worlds = {backend: ChainWorld(CHAIN_DEPTH,
+                                      store_factory=lambda b=backend:
+                                      make_store(b))
+                  for backend in backends}
+        cascade_samples: Dict[str, List[float]] = \
+            {backend: [] for backend in backends}
+        for _ in range(cascade_rounds + 1):
+            for backend in backends:
+                world = worlds[backend]
+                counter[0] += 1
+                session, _ = world.build_session(
+                    user=f"user-{counter[0]}")
+                root = session.root_rmc
+                start = perf_counter()
+                world.services[0].revoke(root.ref, "logout")
+                cascade_samples[backend].append(perf_counter() - start)
+        names = {"sqlite": "persist_cascade_depth16",
+                 "memory": "persist_cascade_depth16_memory",
+                 "storeless": "persist_cascade_depth16_storeless"}
+        for backend in backends:
+            results[names[backend]] = dict(
+                description=(f"depth-{CHAIN_DEPTH} revocation cascade with "
+                             f"every chain service on the {backend} "
+                             f"backend; SQLite journals each cascade "
+                             f"durably before publishing"
+                             if backend == "sqlite" else
+                             f"depth-{CHAIN_DEPTH} revocation cascade, "
+                             f"{backend} backend variant of the "
+                             f"persistence comparison"),
+                backend=backend,
+                **summarize(cascade_samples[backend][1:], 1))
+            cascade_ops[backend] = results[names[backend]]["min_us"]
+            for service in worlds[backend].services:
+                if service.store is not None:
+                    service.store.close()
+
+        # -- cold restart: rebuild a 100k-record world from the file -----
+        records = 5_000 if quick else 100_000
+        resume_path = os.path.join(tmp, "resume.db")
+        root_name = RoleName(ServiceId("persist", "login"), "root")
+        service = OasisService(login_policy(), EventBroker(),
+                               ServiceRegistry(),
+                               store=SqliteRecordStore(
+                                   resume_path, codec=ServiceStateCodec()))
+        service.issue_rmcs_bulk(
+            [(PrincipalId(f"p{index}"), Role(root_name, (f"p{index}",)),
+              (), f"s{index % 1000}")
+             for index in range(records)])
+        service.checkpoint()
+        service.store.close()
+
+        def resume_once() -> None:
+            store = SqliteRecordStore(resume_path,
+                                      codec=ServiceStateCodec())
+            OasisService.resume(store, login_policy(), EventBroker(),
+                                ServiceRegistry())
+            store.close(flush=False)
+
+        # One untimed pass to verify the rebuild and capture its size.
+        probe_store = SqliteRecordStore(resume_path,
+                                        codec=ServiceStateCodec())
+        probe = OasisService.resume(probe_store, login_policy(),
+                                    EventBroker(), ServiceRegistry())
+        resumed = len(probe._records)
+        probe_store.close(flush=False)
+        assert resumed == records, (resumed, records)
+
+        resume_rounds = 2 if quick else 5
+        results["restart_resume_100k"] = dict(
+            description=("cold OasisService.resume from a SQLite file "
+                         "holding the full credential set: state load, "
+                         "serial-watermark replay, secret restore"),
+            records=records,
+            **measure(resume_once, rounds=resume_rounds, inner=1))
+
+    # Ratios compare best observed per-op cost (interleaved rounds, min)
+    # — the same noise-rejection the obs-overhead comparison uses.
+    activation_ratio = round(
+        activation_ops["sqlite"] / activation_ops["storeless"], 3)
+    persist_cmp: Dict[str, object] = {
+        "workload": "persist_activate_1k",
+        "sqlite_min_us": activation_ops["sqlite"],
+        "storeless_min_us": activation_ops["storeless"],
+        "cost_ratio": activation_ratio,
+        "criterion": (f"<= {PERSIST_ACTIVATION_OVERHEAD_CRITERION}x "
+                      f"activation cost vs the storeless path"),
+        "criterion_met":
+            activation_ratio <= PERSIST_ACTIVATION_OVERHEAD_CRITERION,
+    }
+
+    # -- in-memory backend (the storeless default) vs pre-refactor -------
+    # The refactor's zero-hot-path-regression bar, measured the robust
+    # way: interleaved pairs against the vendored pre-refactor bodies,
+    # alternating construction order, combining the median per-pair ratio
+    # with the pooled-min ratio (the obs-overhead dual statistic).
+    from prestore_baseline import PreStoreService
+
+    def _paired_ratio(build_side, *, pairs, rounds, inner):
+        pair_results: List[Tuple[float, float, float]] = []
+        for pair_index in range(pairs):
+            if pair_index % 2:
+                base_fn, base_setup = build_side(PreStoreService)
+                cur_fn, cur_setup = build_side(OasisService)
+            else:
+                cur_fn, cur_setup = build_side(OasisService)
+                base_fn, base_setup = build_side(PreStoreService)
+            cur, base = _interleaved_min(
+                cur_fn, base_fn, rounds=rounds, inner=inner,
+                setup_a=cur_setup, setup_b=base_setup)
+            pair_results.append((cur / base, cur, base))
+        pooled_cur = min(cur for _r, cur, _b in pair_results)
+        pooled_base = min(base for _r, _c, base in pair_results)
+        pair_results.sort()
+        half = len(pair_results) // 2
+        if len(pair_results) % 2:
+            median = pair_results[half][0]
+        else:
+            median = (pair_results[half - 1][0]
+                      + pair_results[half][0]) / 2
+        return {
+            "ratio": round(min(median, pooled_cur / pooled_base), 3),
+            "current_min_us": round(pooled_cur * 1e6, 3),
+            "prerefactor_min_us": round(pooled_base * 1e6, 3),
+            "pair_ratios": [round(r, 3) for r, _c, _b in pair_results],
+        }
+
+    def build_activation_side(cls):
+        world = ChainWorld(CHAIN_DEPTH, service_cls=cls,
+                           store_factory=(lambda: None)
+                           if cls is OasisService else None)
+        session, rmcs = world.build_session()
+        credentials = [Presentation(rmc) for rmc in rmcs]
+        deepest = world.services[-1]
+        pid = session.principal.id
+        return (lambda: deepest.activate_role(pid, "role", None,
+                                              credentials), None)
+
+    def build_cascade_side(cls):
+        world = ChainWorld(CHAIN_DEPTH, service_cls=cls,
+                           store_factory=(lambda: None)
+                           if cls is OasisService else None)
+        tick = [0]
+
+        def setup():
+            tick[0] += 1
+            session, _ = world.build_session(user=f"ab-{tick[0]}")
+            return session.root_rmc
+
+        def revoke(root):
+            world.services[0].revoke(root.ref, "logout")
+
+        return revoke, setup
+
+    act_pairs, act_rounds, act_inner = (3, 3, 100) if quick else (5, 5, 300)
+    cas_pairs, cas_rounds = (3, 8) if quick else (5, 12)
+    ab_activation = _paired_ratio(build_activation_side, pairs=act_pairs,
+                                  rounds=act_rounds, inner=act_inner)
+    ab_cascade = _paired_ratio(build_cascade_side, pairs=cas_pairs,
+                               rounds=cas_rounds, inner=1)
+
+    worst = max(ab_activation["ratio"], ab_cascade["ratio"])
+    membackend_cmp: Dict[str, object] = {
+        "workload": ("activation_service_fig1_depth16 / "
+                     "cascade_fig5_revoke_depth16"),
+        "baseline": "benchmarks/prestore_baseline.py (vendored "
+                    "pre-refactor hot-path bodies)",
+        "activation": ab_activation,
+        "cascade": ab_cascade,
+        "worst_cost_ratio": worst,
+        # Informational: the explicit memory-mirror store is NOT the
+        # in-memory backend; it pays real per-mutation mirroring.
+        "mirror_activation_cost_ratio": round(
+            activation_ops["memory"] / activation_ops["storeless"], 3),
+        "mirror_cascade_cost_ratio": round(
+            cascade_ops["memory"] / cascade_ops["storeless"], 3),
+        "criterion": (f"<= {MEMORY_BACKEND_OVERHEAD_CRITERION}x vs the "
+                      f"pre-refactor hot paths on activation and "
+                      f"depth-16 cascade (in-memory backend = storeless "
+                      f"default)"),
+        "criterion_met": worst <= MEMORY_BACKEND_OVERHEAD_CRITERION,
+    }
+    return persist_cmp, membackend_cmp
+
+
 def bench_verify_universe(results: Dict[str, dict], *, quick: bool) -> None:
     """Whole-universe symbolic verification over the largest scenario set.
 
@@ -840,6 +1154,7 @@ def run(quick: bool = False, full: bool = False) -> Dict[str, object]:
     independence_cmp = bench_fig5_fanout(results, quick=quick)
     obs_cmp = bench_obs_overhead(results, quick=quick)
     memory_cmp, bulk_cmp = bench_scale(results, quick=quick, full=full)
+    persist_cmp, membackend_cmp = bench_persistence(results, quick=quick)
     bench_verify_universe(results, quick=quick)
 
     return {
@@ -858,6 +1173,8 @@ def run(quick: bool = False, full: bool = False) -> Dict[str, object]:
             "obs_overhead": obs_cmp,
             "scale_memory": memory_cmp,
             "scale_bulk_build": bulk_cmp,
+            "persistence_activation_overhead": persist_cmp,
+            "memory_backend_overhead": membackend_cmp,
         },
     }
 
@@ -914,6 +1231,12 @@ def main(argv: Optional[List[str]] = None) -> int:
           f"(-{memory['improvement_pct']}%) {verdict(memory)}")
     print(f"  scale bulk world build speedup:   {bulk['speedup']}x "
           f"{verdict(bulk)}")
+    persist = comparisons["persistence_activation_overhead"]
+    membackend = comparisons["memory_backend_overhead"]
+    print(f"  sqlite activation cost ratio:     "
+          f"{persist['cost_ratio']}x {verdict(persist)}")
+    print(f"  memory backend worst cost ratio:  "
+          f"{membackend['worst_cost_ratio']}x {verdict(membackend)}")
     return 0
 
 

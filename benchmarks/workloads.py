@@ -12,7 +12,7 @@ index.  Experiments report two kinds of numbers:
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core import (
     ActivationRule,
@@ -132,11 +132,19 @@ class ChainWorld:
                  cache_validations: bool = True,
                  indexed_broker: bool = True,
                  batched_cascades: bool = True,
-                 service_cls: type = OasisService) -> None:
+                 service_cls: type = OasisService,
+                 store_factory: Optional[Callable[[], object]] = None
+                 ) -> None:
         self.clock = SimClock()
         self.broker = EventBroker(indexed=indexed_broker)
         self.registry = ServiceRegistry()
         self.depth = depth
+        # ``store_factory`` hands each service its own record store (the
+        # persistence benchmarks compare backends); ``None`` keeps the
+        # default behaviour (OASIS_STORE_BACKEND / storeless).
+        extra: Dict[str, object] = {}
+        if store_factory is not None:
+            extra = {"store": store_factory()}
 
         login_policy = ServicePolicy(ServiceId("dom", "svc-0"))
         root = login_policy.define_role("role", 1)
@@ -145,9 +153,11 @@ class ChainWorld:
         self.services: List[OasisService] = [
             service_cls(login_policy, self.broker, self.registry,
                         self.clock, cache_validations=cache_validations,
-                        batched_cascades=batched_cascades)]
+                        batched_cascades=batched_cascades, **extra)]
         previous = RoleTemplate(root, (Var("u"),))
         for level in range(1, depth + 1):
+            if store_factory is not None:
+                extra = {"store": store_factory()}
             policy = ServicePolicy(ServiceId("dom", f"svc-{level}"))
             role = policy.define_role("role", 1)
             policy.add_activation_rule(ActivationRule(
@@ -156,7 +166,7 @@ class ChainWorld:
             self.services.append(
                 service_cls(policy, self.broker, self.registry, self.clock,
                             cache_validations=cache_validations,
-                            batched_cascades=batched_cascades))
+                            batched_cascades=batched_cascades, **extra))
             previous = RoleTemplate(role, (Var("u"),))
 
     def build_session(self, user: str = "user"):

@@ -94,6 +94,11 @@ from .service import (
     ServiceStats,
     VALIDATE_ENDPOINT,
 )
+from .state import (
+    RecoveredState,
+    ServiceState,
+    ServiceStateCodec,
+)
 from .session import Principal, Session
 from .access_log import AccessLog, AccessRecord
 from .access_log import AccessKind
@@ -147,6 +152,8 @@ __all__ = [
     "ActivationRequest", "OasisService", "Presentation",
     "ServiceRegistry", "ServiceStats",
     "VALIDATE_ENDPOINT",
+    # state core
+    "RecoveredState", "ServiceState", "ServiceStateCodec",
     # session
     "Principal", "Session",
     # access log

@@ -267,17 +267,40 @@ class CredentialRecord:
 class CredentialRefAllocator:
     """Allocates per-service unique CRRs."""
 
-    __slots__ = ("_service", "_counter")
+    __slots__ = ("_service", "_counter", "_next_serial")
 
     def __init__(self, service: ServiceId) -> None:
         self._service = service
+        self._next_serial = 1
         self._counter = itertools.count(1)
 
     def next(self) -> CredentialRef:
-        return CredentialRef(self._service, next(self._counter))
+        serial = next(self._counter)
+        self._next_serial = serial + 1
+        return CredentialRef(self._service, serial)
+
+    @property
+    def next_serial(self) -> int:
+        """The serial the next allocation will use (resume bookkeeping)."""
+        return self._next_serial
+
+    def advance_past(self, serial: int) -> None:
+        """Ensure future allocations start strictly after ``serial``.
+
+        A resumed service advances past both the highest serial found in
+        its record store and the durably-reserved watermark, so CRRs never
+        collide with certificates issued before the restart — including
+        ones whose (write-behind) records were lost with the process.
+        """
+        if serial + 1 > self._next_serial:
+            self._next_serial = serial + 1
+            self._counter = itertools.count(self._next_serial)
 
     def next_many(self, count: int) -> List[CredentialRef]:
         """Allocate ``count`` consecutive refs in one call (bulk issuance)."""
         service = self._service
         counter = self._counter
-        return [CredentialRef(service, next(counter)) for _ in range(count)]
+        refs = [CredentialRef(service, next(counter)) for _ in range(count)]
+        if refs:
+            self._next_serial = refs[-1].serial + 1
+        return refs

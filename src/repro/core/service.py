@@ -31,7 +31,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
-from ..db import Database
+from ..db import Database, RecordStore, default_store
+from ..net.adapter import VALIDATE_ENDPOINT, ValidationTransport
 from ..obs import runtime as _obs_runtime
 from ..obs.explain import Decision, RuleAttempt
 from ..obs.tracing import Span, SpanContext
@@ -66,8 +67,14 @@ from .exceptions import (
     UnknownMethod,
 )
 from .policy import ServicePolicy
-from .rules import ConstraintCondition
-from .terms import Substitution, Term
+from .state import (
+    RECORDS,
+    SERIAL_RESERVE,
+    ServiceState,
+    ServiceStateCodec,
+    _MembershipWatch,
+)
+from .terms import Term
 from .types import PrincipalId, Role, ServiceId
 
 __all__ = [
@@ -81,16 +88,8 @@ __all__ = [
 
 Certificate = Union[RoleMembershipCertificate, AppointmentCertificate]
 
-#: Network endpoint suffix under which services expose callback validation.
-VALIDATE_ENDPOINT = "oasis.validate"
-
-#: Reverse-dependency buckets stay plain lists up to this many dependents,
-#: then promote to an ordered dict (O(1) unlink for high-fanout parents).
-_EDGE_LIST_MAX = 8
-
-
-def _endpoint_name(service: ServiceId) -> str:
-    return f"{VALIDATE_ENDPOINT}/{service.name}"
+#: Sentinel: "no store argument given — consult OASIS_STORE_BACKEND".
+_STORE_UNSET: Any = object()
 
 
 @dataclass
@@ -166,17 +165,6 @@ class ActivationRequest:
     bound_key: Optional[str] = None
 
 
-@dataclass
-class _MembershipWatch:
-    """Per-credential record of membership constraints to re-check."""
-
-    ref: CredentialRef
-    constraints: Tuple[ConstraintCondition, ...]
-    substitution: Substitution
-    environment: Dict[str, Any]
-    watched_tables: Set[Tuple[str, str]] = field(default_factory=set)
-
-
 class ServiceRegistry:
     """Maps service ids to live services for direct (in-process) callback.
 
@@ -220,7 +208,8 @@ class OasisService:
                  secret: Optional[ServiceSecret] = None,
                  heartbeat_timeout: Optional[float] = None,
                  access_log: Optional[AccessLog] = None,
-                 batched_cascades: bool = True) -> None:
+                 batched_cascades: bool = True,
+                 store: Optional[RecordStore] = _STORE_UNSET) -> None:
         self.policy = policy
         self.id: ServiceId = policy.service
         self.broker = broker
@@ -239,7 +228,31 @@ class OasisService:
                                          databases=dict(databases or {}))
         self._engine = RuleEngine(self.context)
         self._refs = CredentialRefAllocator(self.id)
-        self._records: Dict[CredentialRef, CredentialRecord] = {}
+        # The state core (see repro.core.state): every dict of issuer-side
+        # security state lives there and mutates through it, mirrored to
+        # the keyed-record store when one is attached.  Passing no
+        # ``store`` argument consults the OASIS_STORE_BACKEND environment
+        # variable; the default ("memory") attaches nothing — the live
+        # dicts ARE the in-memory backend, and every mirror call below is
+        # short-circuited by a single ``is None`` test.
+        if store is _STORE_UNSET:
+            store = default_store(ServiceStateCodec())
+        self._state = ServiceState(self.id, store)
+        self._persist = store
+        self._serials_reserved = 0
+        self._pending_replay: List[Tuple[int, List[Event]]] = []
+        if store is not None:
+            stored_secret = self._state.load_secret()
+            if secret is None and stored_secret is not None:
+                # Resuming against an existing store: certificates signed
+                # before the restart must keep verifying.
+                self.secret = stored_secret
+            else:
+                self._state.save_secret(self.secret)
+        # Hot-path aliases: reads (and the engine-facing fast paths) touch
+        # the very same dict objects the state core owns, so the storeless
+        # configuration is bit-identical to the pre-refactor layout.
+        self._records = self._state.records
         # Fig. 5 dependency edges, consolidated.  The default (batched)
         # mode keeps a reverse index ``dependency ref string -> ordered set
         # of local dependent refs`` behind ONE service-level subscription;
@@ -258,18 +271,18 @@ class OasisService:
         # O(1).  Both shapes iterate in insertion order, so cascade order
         # is identical either way.
         self._batched_cascades = batched_cascades
-        self._dependents: Dict[str, Union[List[CredentialRef],
-                                          Dict[CredentialRef, None]]] = {}
+        self._dependents = self._state.dependents
+        self._link_dependent = self._state.link_dependent
+        self._unlink_dependencies = self._state.unlink_dependencies
         self._dependency_subs: Dict[CredentialRef, List[Subscription]] = {}
-        self._watches: Dict[CredentialRef, _MembershipWatch] = {}
+        self._watches = self._state.watches
         self._methods: Dict[str, Callable[..., Any]] = {}
         # validation cache, two-level: ref -> {(requester, holder-claim)};
         # presence = valid.  Keying the outer level by ref makes the ECR
         # drop on revocation O(entries for that ref) instead of a scan of
         # the whole cache — revocation cost must not grow with the number
         # of unrelated cached validations.
-        self._validation_cache: Dict[
-            CredentialRef, Dict[Tuple[str, Optional[str]], bool]] = {}
+        self._validation_cache = self._state.validation_cache
         self._ecr_subs: Dict[CredentialRef, List[Subscription]] = {}
         # Signature-verification cache: str(ref) -> set of certificate
         # fingerprints whose MAC already verified.  A fingerprint covers the
@@ -279,7 +292,7 @@ class OasisService:
         # the ECR cache: any CREDENTIAL_REVOKED / CREDENTIAL_REISSUED event
         # for the ref drops its entry (local revocations publish on the
         # credential's channel and so flow through here too).
-        self._sig_cache: Dict[str, Set[Tuple]] = {}
+        self._sig_cache = self._state.sig_cache
         # One service-level (wildcard) subscription covers every
         # CREDENTIAL_REVOKED consumer in this service — the signature-cache
         # drop and, in batched mode, the cascade probe over the reverse
@@ -305,9 +318,13 @@ class OasisService:
             self._init_obs()
 
         registry.register(self)
-        if network is not None:
-            network.register(self.id.domain, _endpoint_name(self.id),
-                             self._serve_validation)
+        # Transport is one adapter over the now-agnostic core: the service
+        # owns the validation *protocol*, the adapter owns endpoint naming
+        # and the wire (ROADMAP item 1's seam).
+        self._transport = (ValidationTransport(network)
+                           if network is not None else None)
+        if self._transport is not None:
+            self._transport.bind(self.id, self._serve_validation)
         for database in self.context.databases.values():
             database.add_listener(self._on_database_change)
 
@@ -391,6 +408,40 @@ class OasisService:
                [({"service": service, "field": name}, value)
                 for name, value in self.access_log.stats().items()
                 if value is not None])
+        # Storage-layer lookup costs: the Table/Database counters, one
+        # family per counter, labelled by database and table.  A family
+        # must be yielded exactly once, so samples are gathered across all
+        # attached databases first.  Database.stats() hands back a
+        # defensive copy — sampling never perturbs the live counters.
+        store_samples: Dict[str, List[Tuple[Dict[str, Any], Any]]] = {
+            "rows_scanned": [], "index_probes": [], "indexes_built": []}
+        for db_name, database in self.context.databases.items():
+            for table_name, table_stats in database.stats()["tables"].items():
+                for counter, samples in store_samples.items():
+                    samples.append((
+                        {"service": service, "database": db_name,
+                         "table": table_name}, table_stats[counter]))
+        for counter, samples in store_samples.items():
+            if samples:
+                yield (f"oasis_store_{counter}", "counter",
+                       f"table lookup cost: {counter.replace('_', ' ')}",
+                       samples)
+        if self._persist is not None:
+            persist_stats = self._persist.stats()
+            backend = persist_stats["backend"]
+            yield ("oasis_record_store_ops", "counter",
+                   "keyed-record store operation counts, by op",
+                   [({"service": service, "backend": backend, "op": name},
+                     value)
+                    for name, value in persist_stats["ops"].items()])
+            yield ("oasis_record_store_pending_writes", "gauge",
+                   "write-behind buffer entries awaiting flush",
+                   [({"service": service, "backend": backend},
+                     persist_stats["pending_writes"])])
+            yield ("oasis_record_store_log_entries", "gauge",
+                   "append-log entries not yet pruned",
+                   [({"service": service, "backend": backend},
+                     persist_stats["log_entries"])])
 
     def _record_decision(self, kind: str, outcome: str, principal: str,
                          subject: str,
@@ -562,10 +613,25 @@ class OasisService:
             self._obs_activation_latency.observe(
                 time.perf_counter() - wall_start)
 
+    def _reserve_serials(self, top_serial: int) -> None:
+        """Durably reserve a block of CRR serials ahead of use.
+
+        Credential-record writes are write-behind, so a crash can lose
+        recent installs; the watermark guarantees the resumed allocator
+        starts past every serial that may have escaped inside a signed
+        certificate.  One durable append covers ``SERIAL_RESERVE``
+        allocations.
+        """
+        if top_serial > self._serials_reserved:
+            self._serials_reserved = top_serial + SERIAL_RESERVE
+            self._state.reserve_serials(self._serials_reserved)
+
     def _issue_rmc(self, principal: PrincipalId, role: Role, match: RuleMatch,
                    environment: Dict[str, Any], session_id: Optional[str],
                    bound_key: Optional[str]) -> RoleMembershipCertificate:
         ref = self._refs.next()
+        if self._persist is not None:
+            self._reserve_serials(ref.serial)
         now = self.clock()
         rmc = RoleMembershipCertificate.issue(
             self.secret, self.id, role, ref, principal, now, bound_key)
@@ -671,6 +737,8 @@ class OasisService:
         if not count:
             return []
         refs = self._refs.next_many(count)
+        if self._persist is not None:
+            self._reserve_serials(refs[-1].serial)
         now = self.clock()
         secret = self.secret
         service_id = self.id
@@ -712,6 +780,11 @@ class OasisService:
             for ref, width in subscribe_owners:
                 self._dependency_subs[ref] = subs[cursor:cursor + width]
                 cursor += width
+        if self._persist is not None:
+            # One store round trip for the whole batch (write-behind on
+            # serialising backends, dict.update on the memory backend).
+            self._persist.put_many(
+                RECORDS, [(ref.qualified, records[ref]) for ref in refs])
         self.stats.rmcs_issued += count
         return rmcs
 
@@ -867,6 +940,8 @@ class OasisService:
                 continue
             ground = match.substitution.apply(tuple(parameters))
             ref = self._refs.next()
+            if self._persist is not None:
+                self._reserve_serials(ref.serial)
             now = self.clock()
             certificate = AppointmentCertificate.issue(
                 self.secret, self.id, name, ground, ref, now,
@@ -875,7 +950,7 @@ class OasisService:
                 ref=ref, kind="appointment",
                 principal=PrincipalId(holder) if holder else None,
                 issued_at=now)
-            self._records[ref] = record
+            self._state.install(record)
             self.stats.appointments_issued += 1
             self._audit(AccessKind.APPOINTMENT, appointer.value, name,
                         detail=tuple(ground),
@@ -897,6 +972,8 @@ class OasisService:
         credential *records* stay valid, so no dependency cascade fires.)
         """
         self.secret = self.secret.rotated()
+        if self._persist is not None:
+            self._state.save_secret(self.secret)
         self._sig_cache.clear()
         self.broker.publish_batch(
             Event.make(CREDENTIAL_REISSUED, timestamp=self.clock(),
@@ -938,17 +1015,46 @@ class OasisService:
         self.stats.revocations += 1
         if self._batched_cascades:
             events = self._collapse_subtree([(record, reason)])
-            if events:
-                self.broker.publish_batch(events)
+            self._publish_cascade(events)
             return True
         self._audit(AccessKind.REVOCATION,
                     record.principal.value if record.principal else "-",
                     str(ref), reason=reason)
+        self._state.mark_revoked(record)
         self._teardown_watch(ref)
         for subscription in self._dependency_subs.pop(ref, []):
             subscription.cancel()
-        self.broker.publish(self._revocation_event(ref, reason))
+        self._publish_cascade([self._revocation_event(ref, reason)],
+                              single=True)
         return True
+
+    def _publish_cascade(self, events: List[Event],
+                         single: bool = False) -> None:
+        """Publish a cascade's revocation events, crash-consistently.
+
+        With a store attached the events are journalled with ONE durable
+        append *before* anything reaches the broker — the commit point at
+        which the revocation survives a crash — and a ``cascade-done``
+        marker lands after the batch drains.  A crash between the two
+        leaves the journal tail that :meth:`resume` replays and
+        :meth:`replay_pending` re-emits.  Storeless, this is exactly the
+        pre-refactor publish.
+        """
+        if not events:
+            return
+        persist = self._persist
+        if persist is None:
+            if single:
+                self.broker.publish(events[0])
+            else:
+                self.broker.publish_batch(events)
+            return
+        seq = self._state.log_cascade(events)
+        if single:
+            self.broker.publish(events[0])
+        else:
+            self.broker.publish_batch(events)
+        self._state.log_cascade_done(seq)
 
     def _revoke_observed(self, record: CredentialRecord, ref: CredentialRef,
                          reason: str) -> bool:
@@ -966,8 +1072,7 @@ class OasisService:
             self.stats.revocations += 1
             if self._batched_cascades:
                 events = self._collapse_subtree([(record, reason)])
-                if events:
-                    self.broker.publish_batch(events)
+                self._publish_cascade(events)
                 return True
             self._audit(AccessKind.REVOCATION,
                         record.principal.value if record.principal else "-",
@@ -976,10 +1081,12 @@ class OasisService:
                 "revocation", "revoked",
                 record.principal.value if record.principal else "-",
                 str(ref), reason=reason, span=span)
+            self._state.mark_revoked(record)
             self._teardown_watch(ref)
             for subscription in self._dependency_subs.pop(ref, []):
                 subscription.cancel()
-            self.broker.publish(self._revocation_event(ref, reason))
+            self._publish_cascade([self._revocation_event(ref, reason)],
+                                  single=True)
             return True
         finally:
             span.finish(self.clock())
@@ -1003,6 +1110,7 @@ class OasisService:
         if self._obs is not None:
             return self._collapse_subtree_observed(revoked, parent_ctx)
         events: List[Event] = []
+        persist = self._persist
         queue = deque(revoked)
         while queue:
             record, reason = queue.popleft()
@@ -1012,6 +1120,10 @@ class OasisService:
                         str(ref), reason=reason)
             self._teardown_watch(ref)
             self._unlink_dependencies(record)
+            if persist is not None:
+                # Every record reached by the traversal was just flipped;
+                # mirror its terminal state (write-behind on SQLite).
+                persist.put(RECORDS, ref.qualified, record)
             events.append(self._revocation_event(ref, reason))
             dependents = self._dependents.get(ref.qualified)
             if not dependents:
@@ -1045,6 +1157,7 @@ class OasisService:
             # active (the ``revoke`` root span, or a caller's span).
             parent_ctx = tracer.current_context()
         events: List[Event] = []
+        persist = self._persist
         width = 0
         max_depth = 1
         queue: deque = deque((record, reason, parent_ctx, 1)
@@ -1052,6 +1165,8 @@ class OasisService:
         while queue:
             record, reason, ctx, depth = queue.popleft()
             ref = record.ref
+            if persist is not None:
+                persist.put(RECORDS, ref.qualified, record)
             span = tracer.start_span(
                 "cascade.revoke", timestamp=self.clock(), parent=ctx,
                 activate=False, service=str(self.id),
@@ -1094,44 +1209,6 @@ class OasisService:
             self._obs_cascade_width.observe(width)
             self._obs_cascade_depth.observe(max_depth)
         return events
-
-    def _link_dependent(self, key: str, ref: CredentialRef) -> None:
-        """Add a reverse-index edge ``dependency key -> dependent ref``.
-
-        Buckets are adaptive (see ``__init__``): list while small, ordered
-        dict once fanout exceeds ``_EDGE_LIST_MAX``.
-        """
-        bucket = self._dependents.get(key)
-        if bucket is None:
-            self._dependents[key] = [ref]
-        elif type(bucket) is list:
-            if len(bucket) < _EDGE_LIST_MAX:
-                bucket.append(ref)
-            else:
-                promoted = dict.fromkeys(bucket)
-                promoted[ref] = None
-                self._dependents[key] = promoted
-        else:
-            bucket[ref] = None
-
-    def _unlink_dependencies(self, record: CredentialRecord) -> None:
-        """Remove ``record`` from the reverse index buckets of all its
-        membership dependencies (teardown is O(dependencies))."""
-        ref = record.ref
-        for dependency in record.membership_dependencies:
-            key = dependency.qualified
-            bucket = self._dependents.get(key)
-            if bucket is None:
-                continue
-            if type(bucket) is list:
-                try:
-                    bucket.remove(ref)
-                except ValueError:
-                    pass
-            else:
-                bucket.pop(ref, None)
-            if not bucket:
-                del self._dependents[key]
 
     def _revocation_event(self, ref: CredentialRef, reason: str) -> Event:
         """The CREDENTIAL_REVOKED event for ``ref``'s Fig. 5 channel.
@@ -1194,8 +1271,7 @@ class OasisService:
                     # context on the event; our local subtree hangs off it.
                     parent_ctx = SpanContext(trace_id, span_id)
             events = self._collapse_subtree(seeds, parent_ctx)
-            if events:
-                self.broker.publish_batch(events)
+            self._publish_cascade(events)
 
     def _on_dependency_revoked(self, dependent: CredentialRef,
                                event: Event) -> None:
@@ -1214,15 +1290,13 @@ class OasisService:
     def _install_record(self, record: CredentialRecord, match: RuleMatch,
                         environment: Dict[str, Any]) -> None:
         ref = record.ref
-        self._records[ref] = record
-        # Register every membership dependency: the edge along which the
-        # Fig. 5 cascade travels.  Batched mode records the edges in the
-        # service-level reverse index (O(dependencies) bucket inserts, no
-        # broker churn); the reference path subscribes per dependency.
-        if self._batched_cascades:
-            for dependency in record.membership_dependencies:
-                self._link_dependent(dependency.qualified, ref)
-        else:
+        # The state core installs the record (mirroring it to the store)
+        # and, in batched mode, registers every membership dependency: the
+        # edge along which the Fig. 5 cascade travels (O(dependencies)
+        # bucket inserts, no broker churn).  The reference path subscribes
+        # per dependency instead.
+        self._state.install(record, link=self._batched_cascades)
+        if not self._batched_cascades:
             subs = []
             for dependency in record.membership_dependencies:
                 subs.append(self.broker.subscribe(
@@ -1338,25 +1412,29 @@ class OasisService:
         self._callback_validate(certificate, requester,
                                 presentation.holder)
         if self.cache_validations:
-            self._validation_cache.setdefault(ref, {})[cache_key] = True
+            self._state.cache_validation(ref, cache_key)
             if self._heartbeats is not None:
                 # A successful callback is fresh evidence of issuer
                 # liveness: re-arm the heartbeat window.
                 self._heartbeats.unwatch(str(ref))
                 self._heartbeats.watch(str(ref))
-            if ref not in self._ecr_subs:
-                # The ECR proxy of Fig. 5: invalidate the cache on
-                # revocation (terminal) or re-issue (cache-only drop).
-                self._ecr_subs[ref] = [
-                    self.broker.subscribe(
-                        CREDENTIAL_REVOKED,
-                        lambda event, r=ref: self._drop_ecr(r, final=True),
-                        credential_ref=str(ref)),
-                    self.broker.subscribe(
-                        CREDENTIAL_REISSUED,
-                        lambda event, r=ref: self._drop_ecr(r, final=False),
-                        credential_ref=str(ref)),
-                ]
+            self._subscribe_ecr(ref)
+
+    def _subscribe_ecr(self, ref: CredentialRef) -> None:
+        """The ECR proxy of Fig. 5: invalidate the cached validation on
+        revocation (terminal) or re-issue (cache-only drop)."""
+        if ref in self._ecr_subs:
+            return
+        self._ecr_subs[ref] = [
+            self.broker.subscribe(
+                CREDENTIAL_REVOKED,
+                lambda event, r=ref: self._drop_ecr(r, final=True),
+                credential_ref=str(ref)),
+            self.broker.subscribe(
+                CREDENTIAL_REISSUED,
+                lambda event, r=ref: self._drop_ecr(r, final=False),
+                credential_ref=str(ref)),
+        ]
 
     def _heartbeat_silent(self, ref: CredentialRef) -> bool:
         if self._heartbeats is None:
@@ -1400,7 +1478,7 @@ class OasisService:
         return scheduler.schedule_periodic(interval, beat)
 
     def _drop_ecr(self, ref: CredentialRef, final: bool) -> None:
-        stale = self._validation_cache.pop(ref, None)
+        stale = self._state.drop_validation(ref)
         if stale:
             self.stats.cache_invalidations += len(stale)
         if final:
@@ -1414,14 +1492,12 @@ class OasisService:
         presented as an argument via callback to the issuer')."""
         self.stats.callbacks_made += 1
         issuer = certificate.issuer
-        if self.network is not None and self.network.has_endpoint(
-                issuer.domain, _endpoint_name(issuer)):
+        if self._transport is not None and self._transport.reaches(issuer):
             from ..net import NetworkError
 
             try:
-                self.network.call(self.id.domain, issuer.domain,
-                                  _endpoint_name(issuer),
-                                  certificate, principal_value, holder)
+                self._transport.validate(self.id, issuer, certificate,
+                                         principal_value, holder)
             except NetworkError as failure:
                 # Fail closed: a credential that cannot be validated is
                 # treated as invalid for this request (it may be retried
@@ -1506,6 +1582,96 @@ class OasisService:
             self.stats.sig_cache_invalidations += 1
 
     # ------------------------------------------------------------------
+    # Persistence and crash recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def resume(cls, store: RecordStore, policy: ServicePolicy,
+               broker: EventBroker, registry: ServiceRegistry,
+               clock: Callable[[], float] = lambda: 0.0,
+               databases: Optional[Dict[str, Database]] = None,
+               network: Optional[Any] = None,
+               cache_validations: bool = True,
+               heartbeat_timeout: Optional[float] = None,
+               access_log: Optional[AccessLog] = None,
+               batched_cascades: bool = True) -> "OasisService":
+        """Rebuild a service from its record store after a restart.
+
+        Loads the stored secret (certificates signed before the crash keep
+        verifying), reconstructs credential records — revoked ones
+        included, so dead credentials still answer callbacks with their
+        revocation reason — relinks the Fig. 5 dependency edges, restores
+        the validation cache with fresh ECR subscriptions, replays the
+        append log's tail, and advances the CRR allocator past every
+        serial that may have escaped in a certificate.
+
+        Cascades journalled but never marked done are re-audited here and
+        queued; call :meth:`replay_pending` once every participating
+        service is resumed to re-emit their ``CREDENTIAL_REVOKED`` events
+        so the cross-service cascade cut by the crash completes.
+        """
+        service = cls(policy, broker, registry, clock=clock,
+                      databases=databases, network=network,
+                      cache_validations=cache_validations, secret=None,
+                      heartbeat_timeout=heartbeat_timeout,
+                      access_log=access_log,
+                      batched_cascades=batched_cascades, store=store)
+        service._recover()
+        return service
+
+    def _recover(self) -> None:
+        recovered = self._state.load(self.clock())
+        # Never re-issue a CRR: past both the highest stored serial and
+        # the durable reservation watermark (which covers write-behind
+        # installs lost with the process).
+        self._refs.advance_past(recovered.max_serial)
+        self._serials_reserved = recovered.max_serial
+        # The interrupted cascades' audit entries died with the process
+        # (the access log is in-memory); re-record them in log order so
+        # the post-recovery REVOCATION sequence matches an uninterrupted
+        # run's.
+        for record, event in recovered.interrupted_revocations:
+            principal = "-"
+            if record is not None and record.principal is not None:
+                principal = record.principal.value
+            self._audit(AccessKind.REVOCATION, principal,
+                        event.get("credential_ref") or "-",
+                        reason=event.get("reason"))
+            self.stats.revocations += 1
+        if self.cache_validations:
+            for ref in recovered.validation_refs:
+                self._subscribe_ecr(ref)
+        self._pending_replay = recovered.pending_cascades
+
+    def replay_pending(self) -> int:
+        """Re-emit journalled cascades whose publish was cut mid-flight.
+
+        Returns the number of events re-published.  Re-delivery is
+        idempotent: ``CredentialRecord.revoke`` refuses an already-revoked
+        record, so services that saw (part of) the original batch simply
+        no-op.  Each cascade gets its ``cascade-done`` marker once the
+        batch drains, after which the journal entries are prunable.
+        """
+        pending, self._pending_replay = self._pending_replay, []
+        count = 0
+        for seq, events in pending:
+            self.broker.publish_batch(events)
+            self._state.log_cascade_done(seq)
+            count += len(events)
+        if pending and self._persist is not None:
+            self._persist.flush()
+        return count
+
+    def checkpoint(self) -> None:
+        """Flush write-behind state to the store (durability point)."""
+        if self._persist is not None:
+            self._persist.flush()
+
+    @property
+    def store(self) -> Optional[RecordStore]:
+        """The attached record store, or None (pure in-memory service)."""
+        return self._persist
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def credential_record(self, ref: CredentialRef) -> Optional[CredentialRecord]:
@@ -1526,3 +1692,12 @@ class OasisService:
     def dependent_count(self, ref: CredentialRef) -> int:
         """Live local credentials directly dependent on ``ref``."""
         return len(self._dependents.get(ref.qualified, ()))
+
+    def live_sessions(self) -> Set[str]:
+        """Session ids with at least one active credential (derived from
+        the records, so it survives a resume for free)."""
+        return self._state.live_sessions()
+
+    def session_credentials(self, session_id: str) -> List[CredentialRecord]:
+        """Active credential records issued within ``session_id``."""
+        return self._state.session_credentials(session_id)

@@ -1,0 +1,442 @@
+"""The service state core: issuer-side security state over a record store.
+
+This module is the seam the multi-layer refactor carved out of
+``OasisService``: every piece of state a service must not lose — the
+credential records of Fig. 4, the reverse-dependency index the Fig. 5
+cascade traverses, the validation-cache keys backing ECR proxies, and the
+session liveness derivable from records — lives in a
+:class:`ServiceState` and mutates through it, as operations against the
+keyed-record storage interface of :mod:`repro.db.kv`.
+
+Three buckets hold everything:
+
+* ``records`` — ``CRR qualified string -> CredentialRecord`` (encoded via
+  :class:`ServiceStateCodec` on serialising backends).  Revoked records
+  are *kept*, so a restarted issuer answers callback validation for a dead
+  credential with ``CredentialRevoked`` (reason preserved) rather than a
+  generic "unknown credential".
+* ``validation`` — one entry per cached foreign credential: the
+  ``(requester, holder)`` pairs whose callback validation succeeded, so a
+  restart can rebuild the cache *and* its ECR subscriptions.
+* ``meta`` — the service secret (certificates must keep verifying across a
+  restart) and small recovery bookkeeping.
+
+The transient caches (signature-verification cache, membership-constraint
+watches) are deliberately **not** persisted: both are pure re-computation
+(a MAC check; a rule-match re-evaluation at next activation) and holding
+them durable would buy nothing but serialisation cost.
+
+Crash-consistency protocol (see docs/persistence.md): a revocation
+cascade's events are journalled to the store's append log with one durable
+``{"op": "cascade", "events": [...]}`` entry *before* the broker publishes
+anything, and a ``{"op": "cascade-done"}`` marker after the batch drains.
+:meth:`ServiceState.load` replays the log tail — applying every journalled
+revocation to the rebuilt records — and surfaces cascades that never
+reached their done marker so the service can re-emit them
+(``OasisService.replay_pending``).  Credential-record writes themselves
+are write-behind: an activation that never reached a flush is lost on a
+crash, which is safe because certificate checking fails closed (no record
+=> invalid), and serial watermark reservation (``serial-reserve`` log
+entries) guarantees the resumed allocator never re-issues a lost CRR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from ..crypto.hmac_sig import ServiceSecret
+from ..db.kv import RecordStore, StoreCodec
+from ..events import Event
+from .credentials import CredentialRecord, CredentialRef, CredentialStatus
+from .rules import ConstraintCondition
+from .terms import Substitution
+from .types import PrincipalId, ServiceId
+
+__all__ = [
+    "RECORDS",
+    "VALIDATION",
+    "META",
+    "ServiceStateCodec",
+    "ServiceState",
+    "RecoveredState",
+    "ref_payload",
+    "ref_from_payload",
+]
+
+#: Bucket names of the keyed-record store.
+RECORDS = "records"
+VALIDATION = "validation"
+META = "meta"
+
+#: Reverse-dependency buckets stay plain lists up to this many dependents,
+#: then promote to an ordered dict (O(1) unlink for high-fanout parents).
+EDGE_LIST_MAX = 8
+
+#: CRR serials are reserved from the durable log in blocks of this size;
+#: one durable append buys this many memory-speed allocations.
+SERIAL_RESERVE = 1024
+
+
+def ref_payload(ref: CredentialRef) -> Dict[str, Any]:
+    """A JSON-able encoding of a CRR (no string parsing on decode)."""
+    return {"domain": ref.service.domain, "service": ref.service.name,
+            "serial": ref.serial}
+
+
+def ref_from_payload(payload: Dict[str, Any]) -> CredentialRef:
+    return CredentialRef(
+        ServiceId(payload["domain"], payload["service"]), payload["serial"])
+
+
+class ServiceStateCodec(StoreCodec):
+    """Encodes service-state bucket values for serialising backends.
+
+    Only the ``records`` bucket holds rich objects; ``validation`` and
+    ``meta`` values are already JSON-able dicts and pass through.
+    """
+
+    def encode(self, bucket: str, value: Any) -> Any:
+        if bucket != RECORDS:
+            return value
+        record: CredentialRecord = value
+        return {
+            "ref": ref_payload(record.ref),
+            "kind": record.kind,
+            "principal": (record.principal.value
+                          if record.principal is not None else None),
+            "issued_at": record.issued_at,
+            "status": record.status,
+            "revoked_reason": record.revoked_reason,
+            "revoked_at": record.revoked_at,
+            "dependencies": [ref_payload(dep)
+                             for dep in record.membership_dependencies],
+            "session_id": record.session_id,
+        }
+
+    def decode(self, bucket: str, payload: Any) -> Any:
+        if bucket != RECORDS:
+            return payload
+        principal = payload.get("principal")
+        return CredentialRecord(
+            ref=ref_from_payload(payload["ref"]),
+            kind=payload["kind"],
+            principal=PrincipalId(principal) if principal else None,
+            issued_at=payload["issued_at"],
+            status=payload.get("status", CredentialStatus.ACTIVE),
+            revoked_reason=payload.get("revoked_reason"),
+            revoked_at=payload.get("revoked_at"),
+            membership_dependencies=tuple(
+                ref_from_payload(dep)
+                for dep in payload.get("dependencies", ())),
+            session_id=payload.get("session_id"))
+
+
+@dataclass
+class _MembershipWatch:
+    """Per-credential record of membership constraints to re-check."""
+
+    ref: CredentialRef
+    constraints: Tuple[ConstraintCondition, ...]
+    substitution: Substitution
+    environment: Dict[str, Any]
+    watched_tables: Set[Tuple[str, str]] = field(default_factory=set)
+
+
+@dataclass
+class RecoveredState:
+    """What :meth:`ServiceState.load` rebuilt and found in the log tail."""
+
+    #: Highest CRR serial that must never be re-allocated.
+    max_serial: int
+    #: Foreign refs whose validation-cache entries were restored (the
+    #: service re-creates one ECR subscription pair per ref).
+    validation_refs: List[CredentialRef]
+    #: Journalled revocations applied during replay, in log order — each
+    #: is ``(record-or-None, event)`` for exactly the events of cascades
+    #: that never reached their done marker (their in-memory audit entries
+    #: died with the process; the service re-audits them).
+    interrupted_revocations: List[Tuple[Optional[CredentialRecord], Event]]
+    #: Cascades awaiting re-emission: ``(log seq, [Event, ...])``.
+    pending_cascades: List[Tuple[int, List[Event]]]
+
+
+class ServiceState:
+    """Mutable security state of one service, mirrored to a record store.
+
+    The dicts here are the service's *live* working set — the hot paths
+    read them directly (the service aliases them at construction, so a
+    storeless service is bit-identical to the pre-refactor layout).  Every
+    *mutation* flows through a method below, which keeps the attached
+    store in sync: reference-cheap ``put``s for the in-memory backend,
+    write-behind buffering for SQLite.  ``store=None`` (the default
+    backend) short-circuits every mirror behind one ``is None`` test.
+    """
+
+    __slots__ = ("records", "dependents", "validation_cache", "sig_cache",
+                 "watches", "store", "service_name")
+
+    def __init__(self, service: ServiceId,
+                 store: Optional[RecordStore] = None) -> None:
+        self.service_name = str(service)
+        self.store = store
+        self.records: Dict[CredentialRef, CredentialRecord] = {}
+        self.dependents: Dict[str, Union[List[CredentialRef],
+                                         Dict[CredentialRef, None]]] = {}
+        self.validation_cache: Dict[
+            CredentialRef, Dict[Tuple[str, Optional[str]], bool]] = {}
+        self.sig_cache: Dict[str, Set[Tuple]] = {}
+        self.watches: Dict[CredentialRef, _MembershipWatch] = {}
+
+    # ------------------------------------------------------------------
+    # Credential records
+    # ------------------------------------------------------------------
+    def install(self, record: CredentialRecord, link: bool = True) -> None:
+        """Install a freshly-issued credential record.
+
+        ``link`` registers the Fig. 5 reverse-dependency edges (the
+        unbatched reference cascade path manages broker subscriptions
+        instead and passes ``link=False``).
+        """
+        ref = record.ref
+        self.records[ref] = record
+        if link:
+            for dependency in record.membership_dependencies:
+                self.link_dependent(dependency.qualified, ref)
+        store = self.store
+        if store is not None:
+            store.put(RECORDS, ref.qualified, record)
+
+    def install_many(self, records: Sequence[CredentialRecord]) -> None:
+        """Mirror a bulk-installed batch in one store round trip.
+
+        The caller's bulk loop has already placed the records in
+        :attr:`records` and linked their edges (hot loop, hoisted locals);
+        this only owes the store its batch put.
+        """
+        store = self.store
+        if store is not None:
+            store.put_many(RECORDS, [(record.ref.qualified, record)
+                                     for record in records])
+
+    def mark_revoked(self, record: CredentialRecord) -> None:
+        """Mirror an already-flipped record's terminal state."""
+        store = self.store
+        if store is not None:
+            store.put(RECORDS, record.ref.qualified, record)
+
+    # ------------------------------------------------------------------
+    # Reverse-dependency index (Fig. 5 edges)
+    # ------------------------------------------------------------------
+    def link_dependent(self, key: str, ref: CredentialRef) -> None:
+        """Add a reverse-index edge ``dependency key -> dependent ref``.
+
+        Buckets are adaptive: a plain insertion-ordered list up to
+        ``EDGE_LIST_MAX`` dependents, promoted to an ordered dict beyond
+        that so high-fanout unlink stays O(1).  Both shapes iterate in
+        insertion order, so cascade order is identical either way.
+        """
+        bucket = self.dependents.get(key)
+        if bucket is None:
+            self.dependents[key] = [ref]
+        elif type(bucket) is list:
+            if len(bucket) < EDGE_LIST_MAX:
+                bucket.append(ref)
+            else:
+                promoted = dict.fromkeys(bucket)
+                promoted[ref] = None
+                self.dependents[key] = promoted
+        else:
+            bucket[ref] = None
+
+    def unlink_dependencies(self, record: CredentialRecord) -> None:
+        """Remove ``record`` from the reverse-index buckets of all its
+        membership dependencies (teardown is O(dependencies))."""
+        ref = record.ref
+        for dependency in record.membership_dependencies:
+            key = dependency.qualified
+            bucket = self.dependents.get(key)
+            if bucket is None:
+                continue
+            if type(bucket) is list:
+                try:
+                    bucket.remove(ref)
+                except ValueError:
+                    pass
+            else:
+                bucket.pop(ref, None)
+            if not bucket:
+                del self.dependents[key]
+
+    # ------------------------------------------------------------------
+    # Validation cache (ECR-backed)
+    # ------------------------------------------------------------------
+    def cache_validation(self, ref: CredentialRef,
+                         cache_key: Tuple[str, Optional[str]]) -> None:
+        entries = self.validation_cache.setdefault(ref, {})
+        entries[cache_key] = True
+        store = self.store
+        if store is not None:
+            store.put(VALIDATION, ref.qualified, {
+                "ref": ref_payload(ref),
+                "entries": [[requester, holder]
+                            for requester, holder in entries]})
+
+    def drop_validation(self, ref: CredentialRef
+                        ) -> Optional[Dict[Tuple[str, Optional[str]], bool]]:
+        stale = self.validation_cache.pop(ref, None)
+        store = self.store
+        if store is not None and stale is not None:
+            store.delete(VALIDATION, ref.qualified)
+        return stale
+
+    # ------------------------------------------------------------------
+    # Session liveness (derived from records — storage-backed for free)
+    # ------------------------------------------------------------------
+    def live_sessions(self) -> Set[str]:
+        """Session ids with at least one active credential."""
+        return {record.session_id for record in self.records.values()
+                if record.session_id is not None and record.active}
+
+    def session_credentials(self, session_id: str) -> List[CredentialRecord]:
+        """Active credential records issued within ``session_id``."""
+        return [record for record in self.records.values()
+                if record.session_id == session_id and record.active]
+
+    # ------------------------------------------------------------------
+    # Crash-consistent cascade journal
+    # ------------------------------------------------------------------
+    def log_cascade(self, events: Sequence[Event]) -> Optional[int]:
+        """Durably journal a cascade's events; returns the log seq.
+
+        MUST be called before the events are published: the commit is the
+        point at which the revocation is guaranteed to survive a crash.
+        """
+        store = self.store
+        if store is None:
+            return None
+        return store.log_append(
+            {"op": "cascade", "service": self.service_name,
+             "events": [event.to_payload() for event in events]},
+            durable=True)
+
+    def log_cascade_done(self, seq: Optional[int]) -> None:
+        """Mark a journalled cascade fully published (prunable)."""
+        store = self.store
+        if store is not None and seq is not None:
+            store.log_append({"op": "cascade-done", "cascade_seq": seq},
+                             durable=True)
+
+    def reserve_serials(self, upto: int) -> None:
+        """Durably reserve CRR serials up to ``upto`` (inclusive)."""
+        store = self.store
+        if store is not None:
+            store.log_append({"op": "serial-reserve", "value": upto},
+                             durable=True)
+
+    # ------------------------------------------------------------------
+    # Secret persistence
+    # ------------------------------------------------------------------
+    def save_secret(self, secret: ServiceSecret) -> None:
+        store = self.store
+        if store is not None:
+            store.put(META, "secret", {"key_hex": secret.key.hex(),
+                                       "generation": secret.generation})
+            # The secret is foundational — without it no certificate
+            # verifies after a restart — so it skips the write-behind
+            # window and lands durably right away.
+            store.flush()
+
+    def load_secret(self) -> Optional[ServiceSecret]:
+        store = self.store
+        if store is None:
+            return None
+        payload = store.get(META, "secret")
+        if payload is None:
+            return None
+        return ServiceSecret(key=bytes.fromhex(payload["key_hex"]),
+                             generation=payload["generation"])
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def load(self, clock_now: float) -> RecoveredState:
+        """Rebuild live state from the store and replay the log tail.
+
+        Called on an *empty* state by ``OasisService.resume``.  After it
+        returns: records (revoked ones included) and the reverse index are
+        rebuilt, every journalled revocation has been applied, and the
+        returned :class:`RecoveredState` lists what the service layer owes
+        — audit entries for interrupted cascades, ECR re-subscription, and
+        re-emission of unpublished events.
+        """
+        store = self.store
+        if store is None:
+            raise ValueError("cannot resume without a record store")
+        records = self.records
+        by_qualified: Dict[str, CredentialRecord] = {}
+        max_serial = 0
+        for key, record in store.scan(RECORDS):
+            records[record.ref] = record
+            by_qualified[record.ref.qualified] = record
+            if record.ref.serial > max_serial:
+                max_serial = record.ref.serial
+        # Edges exist only for live credentials (revocation unlinks).
+        for record in records.values():
+            if record.active:
+                for dependency in record.membership_dependencies:
+                    self.link_dependent(dependency.qualified, record.ref)
+        validation_refs: List[CredentialRef] = []
+        for key, payload in store.scan(VALIDATION):
+            ref = ref_from_payload(payload["ref"])
+            self.validation_cache[ref] = {
+                (requester, holder): True
+                for requester, holder in payload.get("entries", ())}
+            validation_refs.append(ref)
+        # Log-tail replay, in append order.  Cascades with a done marker
+        # were fully published before the crash: repair record state
+        # silently.  Cascades without one are the interrupted tail: apply
+        # AND surface for re-audit + re-emission.
+        entries = store.log_entries()
+        done: Set[int] = set()
+        for seq, entry in entries:
+            if entry.get("op") == "cascade-done":
+                done.add(entry["cascade_seq"])
+        interrupted: List[Tuple[Optional[CredentialRecord], Event]] = []
+        pending: List[Tuple[int, List[Event]]] = []
+        for seq, entry in entries:
+            op = entry.get("op")
+            if op == "serial-reserve":
+                if entry["value"] > max_serial:
+                    max_serial = entry["value"]
+                continue
+            if op != "cascade":
+                continue
+            events = [Event.from_payload(payload)
+                      for payload in entry.get("events", ())]
+            is_pending = seq not in done
+            for event in events:
+                qualified = event.get("credential_ref")
+                record = by_qualified.get(qualified)
+                if record is not None and record.revoke(
+                        event.get("reason", "revoked (replayed)"),
+                        event.timestamp or clock_now):
+                    self.unlink_dependencies(record)
+                    self.mark_revoked(record)
+                if is_pending:
+                    interrupted.append((record, event))
+            if is_pending:
+                pending.append((seq, events))
+        return RecoveredState(max_serial=max_serial,
+                              validation_refs=validation_refs,
+                              interrupted_revocations=interrupted,
+                              pending_cascades=pending)

@@ -1,5 +1,78 @@
-"""In-memory relational store backing database-lookup constraints (Sect. 2)."""
+"""Storage layer: relational constraint store + keyed-record state store.
 
+Two stores live here with deliberately different jobs:
+
+* :class:`Database`/:class:`Table` — the in-memory *relational* store that
+  environmental constraints query ("ascertained by database lookup at some
+  service", Sect. 2).
+* :class:`RecordStore` and its backends — the *keyed-record* store holding
+  issuer-side security state (credential records, validation-cache keys,
+  recovery metadata) behind one ``(bucket, key) -> record`` interface with
+  an append log for crash-consistent revocation.  See
+  :mod:`repro.db.kv` and docs/persistence.md.
+
+Backend selection for services that are not handed an explicit store goes
+through :func:`default_store`, driven by the ``OASIS_STORE_BACKEND``
+environment variable:
+
+* unset or ``memory`` — no store object is attached: the service's live
+  dicts *are* the in-memory backend (zero hot-path cost; the
+  :class:`MemoryRecordStore` object exists for explicit mirroring in
+  tests, benchmarks and in-process resume);
+* ``sqlite`` — a private ``:memory:`` SQLite store per service, so the
+  whole test suite exercises the durable write paths;
+* ``none`` — explicitly storeless (same as ``memory``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from .kv import MemoryRecordStore, RecordStore, StoreCodec, completed_log_seqs
+from .sqlite_store import SqliteRecordStore
 from .store import Database, Table
 
-__all__ = ["Database", "Table"]
+__all__ = [
+    "Database",
+    "Table",
+    "RecordStore",
+    "MemoryRecordStore",
+    "SqliteRecordStore",
+    "StoreCodec",
+    "completed_log_seqs",
+    "configured_backend",
+    "make_store",
+    "default_store",
+]
+
+#: Environment variable selecting the default service state backend.
+BACKEND_ENV = "OASIS_STORE_BACKEND"
+
+
+def configured_backend() -> str:
+    """The backend name selected by ``OASIS_STORE_BACKEND`` (normalised)."""
+    return os.environ.get(BACKEND_ENV, "memory").strip().lower() or "memory"
+
+
+def make_store(backend: str, codec: Optional[StoreCodec] = None,
+               path: str = ":memory:") -> Optional[RecordStore]:
+    """Construct a record store by backend name.
+
+    ``memory``/``none`` return ``None`` — the caller's live structures are
+    the store.  Use :class:`MemoryRecordStore` directly when an explicit
+    mirrored in-memory store is wanted.
+    """
+    if backend in ("memory", "none", ""):
+        return None
+    if backend == "memory-mirror":
+        return MemoryRecordStore(codec)
+    if backend == "sqlite":
+        return SqliteRecordStore(path, codec)
+    raise ValueError(f"unknown record-store backend {backend!r} "
+                     f"(expected memory, memory-mirror or sqlite)")
+
+
+def default_store(codec: Optional[StoreCodec] = None) -> Optional[RecordStore]:
+    """The store a service gets when none is passed explicitly."""
+    return make_store(configured_backend(), codec)

@@ -1,0 +1,216 @@
+"""SQLite backend for the keyed-record store (durable credential state).
+
+The design target is the asymmetry the paper's workloads impose: role
+activation and method invocation happen constantly and must stay
+memory-speed, while revocation is rare but must *never* be lost — "the
+ability to revoke ... is the essence of active security".  So:
+
+* **records are write-behind**: ``put``/``delete`` land in an in-process
+  buffer of live object references and are serialised (via the attached
+  :class:`~repro.db.kv.StoreCodec`) only at :meth:`flush` — an activation
+  costs one dict assignment, exactly like the memory backend.  Reads
+  merge the buffer over the table, so the store is always read-your-writes
+  consistent within the process.
+* **the append log is write-through on demand**: ``log_append(durable=True)``
+  commits synchronously, which is how a revocation cascade gets its
+  journal entry onto disk *before* any event reaches the broker.  A crash
+  after the commit but before (or during) publish leaves a ``cascade``
+  entry with no ``cascade-done`` marker — the recovery tail
+  ``OasisService.resume`` replays and re-emits.
+
+Buffering deliberately holds *references*, not copies: a credential record
+that is installed and later revoked before the next flush serialises once,
+in its final state.  Conversely, buffered installs that never reach a
+flush are lost on a crash — which is safe, because certificate checking
+fails closed: a certificate without a credential record is invalid
+(Sect. 4's callback finds nothing to validate against).
+
+Uses only the stdlib ``sqlite3`` module; a ``path`` of ``":memory:"``
+gives a private, process-lifetime database (the CI test matrix runs the
+whole suite over it), a filesystem path gives real durability and
+re-open-ability for the kill-and-resume tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .kv import DELETED, RecordStore, StoreCodec, completed_log_seqs
+
+__all__ = ["SqliteRecordStore"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS records (
+    bucket  TEXT NOT NULL,
+    key     TEXT NOT NULL,
+    payload TEXT NOT NULL,
+    PRIMARY KEY (bucket, key)
+);
+CREATE TABLE IF NOT EXISTS log (
+    seq     INTEGER PRIMARY KEY AUTOINCREMENT,
+    payload TEXT NOT NULL
+);
+"""
+
+
+class SqliteRecordStore(RecordStore):
+    """Durable record store over a single SQLite database."""
+
+    backend = "sqlite"
+
+    def __init__(self, path: str = ":memory:",
+                 codec: Optional[StoreCodec] = None,
+                 flush_every: int = 1024) -> None:
+        super().__init__(codec)
+        if flush_every < 1:
+            raise ValueError("flush_every must be >= 1")
+        self.path = path
+        self.flush_every = flush_every
+        self._conn = sqlite3.connect(path)
+        self._conn.executescript(_SCHEMA)
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.commit()
+        # Write-behind buffer: (bucket, key) -> live value | DELETED.
+        self._pending: Dict[Tuple[str, str], Any] = {}
+        self._closed = False
+
+    # -- records --------------------------------------------------------
+    def get(self, bucket: str, key: str, default: Any = None) -> Any:
+        self.gets += 1
+        buffered = self._pending.get((bucket, key), DELETED)
+        if buffered is not DELETED:
+            return buffered
+        if (bucket, key) in self._pending:  # buffered delete
+            return default
+        row = self._conn.execute(
+            "SELECT payload FROM records WHERE bucket=? AND key=?",
+            (bucket, key)).fetchone()
+        if row is None:
+            return default
+        return self.codec.decode(bucket, json.loads(row[0]))
+
+    def put(self, bucket: str, key: str, value: Any) -> None:
+        self.puts += 1
+        self._pending[(bucket, key)] = value
+        if len(self._pending) >= self.flush_every:
+            self.flush()
+
+    def put_many(self, bucket: str, items: Iterable[Tuple[str, Any]]) -> int:
+        pending = self._pending
+        written = 0
+        for key, value in items:
+            pending[(bucket, key)] = value
+            written += 1
+        self.puts += written
+        if len(pending) >= self.flush_every:
+            self.flush()
+        return written
+
+    def delete(self, bucket: str, key: str) -> bool:
+        self.deletes += 1
+        existed = self._pending.pop((bucket, key), DELETED) is not DELETED
+        on_disk = self._conn.execute(
+            "SELECT 1 FROM records WHERE bucket=? AND key=?",
+            (bucket, key)).fetchone() is not None
+        if on_disk:
+            self._pending[(bucket, key)] = DELETED
+        return existed or on_disk
+
+    def scan(self, bucket: str) -> Iterator[Tuple[str, Any]]:
+        self.scans += 1
+        decode = self.codec.decode
+        merged: Dict[str, Any] = {
+            key: decode(bucket, json.loads(payload))
+            for key, payload in self._conn.execute(
+                "SELECT key, payload FROM records WHERE bucket=?",
+                (bucket,))}
+        for (pending_bucket, key), value in self._pending.items():
+            if pending_bucket != bucket:
+                continue
+            if value is DELETED:
+                merged.pop(key, None)
+            else:
+                merged[key] = value
+        return iter(merged.items())
+
+    def count(self, bucket: str) -> int:
+        keys = {key for (key,) in self._conn.execute(
+            "SELECT key FROM records WHERE bucket=?", (bucket,))}
+        for (pending_bucket, key), value in self._pending.items():
+            if pending_bucket != bucket:
+                continue
+            if value is DELETED:
+                keys.discard(key)
+            else:
+                keys.add(key)
+        return len(keys)
+
+    # -- append log -----------------------------------------------------
+    def log_append(self, entry: Dict[str, Any], durable: bool = False) -> int:
+        self.log_appends += 1
+        cursor = self._conn.execute(
+            "INSERT INTO log (payload) VALUES (?)",
+            (json.dumps(entry, default=str),))
+        if durable:
+            self._conn.commit()
+            self.durable_commits += 1
+        return int(cursor.lastrowid)
+
+    def log_entries(self) -> List[Tuple[int, Dict[str, Any]]]:
+        return [(int(seq), json.loads(payload))
+                for seq, payload in self._conn.execute(
+                    "SELECT seq, payload FROM log ORDER BY seq")]
+
+    # -- lifecycle ------------------------------------------------------
+    def flush(self) -> None:
+        """Serialise the write-behind buffer, prune the log, commit."""
+        self.flushes += 1
+        conn = self._conn
+        if self._pending:
+            encode = self.codec.encode
+            upserts = []
+            removals = []
+            for (bucket, key), value in self._pending.items():
+                if value is DELETED:
+                    removals.append((bucket, key))
+                else:
+                    upserts.append((bucket, key,
+                                    json.dumps(encode(bucket, value),
+                                               default=str)))
+            if upserts:
+                conn.executemany(
+                    "INSERT OR REPLACE INTO records (bucket, key, payload) "
+                    "VALUES (?, ?, ?)", upserts)
+            if removals:
+                conn.executemany(
+                    "DELETE FROM records WHERE bucket=? AND key=?", removals)
+            self._pending.clear()
+        victims = completed_log_seqs(self.log_entries())
+        if victims:
+            conn.executemany("DELETE FROM log WHERE seq=?",
+                             [(seq,) for seq in victims])
+        conn.commit()
+
+    def close(self, flush: bool = True) -> None:
+        if self._closed:
+            return
+        if flush:
+            self.flush()
+        else:
+            # Crash semantics: abandon the buffer and roll back anything
+            # not yet durably committed.
+            self._pending.clear()
+            self._conn.rollback()
+        self._conn.close()
+        self._closed = True
+
+    # -- observability --------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "backend": self.backend,
+            "ops": self._op_counts(),
+            "pending_writes": len(self._pending),
+            "log_entries": len(self.log_entries()),
+        }

@@ -206,6 +206,12 @@ class Table:
             "indexes_built": self.indexes_built,
         }
 
+    def reset_stats(self) -> None:
+        """Zero the lookup-cost counters (indexes stay built)."""
+        self.rows_scanned = 0
+        self.index_probes = 0
+        self.indexes_built = 0
+
 
 class Database:
     """A named collection of tables with change notification.
@@ -292,3 +298,24 @@ class Database:
 
     def exists(self, table_name: str, **criteria: Any) -> bool:
         return self.table(table_name).exists(**criteria)
+
+    def stats(self) -> Dict[str, Any]:
+        """Per-table lookup-cost counters plus database-wide totals.
+
+        Returns a defensive copy (nested dicts are fresh per call), so a
+        benchmark may freely diff two snapshots; the live counters are
+        unaffected.
+        """
+        tables = {name: table.stats()
+                  for name, table in sorted(self._tables.items())}
+        totals = {
+            counter: sum(entry[counter] for entry in tables.values())
+            for counter in ("rows_scanned", "index_probes", "indexes_built")}
+        totals["rows"] = sum(entry["rows"] for entry in tables.values())
+        return {"name": self.name, "tables": tables, "totals": totals}
+
+    def reset_stats(self) -> None:
+        """Zero every table's lookup-cost counters, so a benchmark run can
+        isolate the storage work of one workload."""
+        for table in self._tables.values():
+            table.reset_stats()

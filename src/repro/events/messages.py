@@ -73,6 +73,28 @@ class Event:
                 return value
         return default
 
+    def to_payload(self) -> Mapping[str, Any]:
+        """A JSON-able dict round-trippable via :meth:`from_payload`.
+
+        Used by the crash-consistent revocation path: a cascade's events
+        are journalled to the record store's append log *before* they are
+        published, and a resumed service re-emits them byte-identically
+        (topic, attributes and timestamp all survive the round trip).
+        """
+        return {
+            "topic": self.topic,
+            "timestamp": self.timestamp,
+            "attributes": [[name, value] for name, value in self.attributes],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "Event":
+        """Rebuild an event journalled with :meth:`to_payload`."""
+        return cls(topic=payload["topic"],
+                   attributes=tuple((name, value) for name, value
+                                    in payload.get("attributes", ())),
+                   timestamp=payload.get("timestamp", 0.0))
+
     def with_attributes(self, **extra: Any) -> "Event":
         """A copy carrying additional attributes (same-named ones replaced).
 

@@ -7,6 +7,7 @@ reproducible simulated time and message counts.  See DESIGN.md Sect. 3 for
 the substitution rationale.
 """
 
+from .adapter import VALIDATE_ENDPOINT, ValidationTransport, endpoint_name
 from .sim import (
     LatencyModel,
     NetworkError,
@@ -25,4 +26,7 @@ __all__ = [
     "Scheduler",
     "SimClock",
     "SimNetwork",
+    "VALIDATE_ENDPOINT",
+    "ValidationTransport",
+    "endpoint_name",
 ]

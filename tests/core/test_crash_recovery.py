@@ -1,0 +1,290 @@
+"""Kill-and-resume: crash-consistent revocation over the SQLite backend.
+
+The protocol under test (docs/persistence.md): a cascade's events are
+durably journalled *before* anything reaches the broker, and marked done
+only after the batch drains.  Killing the process anywhere in between and
+resuming from the store must converge to exactly the final credential
+and audit state of an uninterrupted run — revocation is "the essence of
+active security" and must never be lost, while in-flight activations may
+die (certificate checking fails closed).
+"""
+
+import pytest
+
+from repro.core import (
+    ActivationRule,
+    AuthorizationRule,
+    OasisService,
+    PrerequisiteRole,
+    Presentation,
+    PrincipalId,
+    RoleName,
+    RoleTemplate,
+    ServiceId,
+    ServicePolicy,
+    ServiceRegistry,
+    Var,
+)
+from repro.core.access_log import AccessKind
+from repro.core.exceptions import CredentialInvalid, CredentialRevoked
+from repro.core.state import ServiceStateCodec
+from repro.crypto import ServiceSecret
+from repro.db import SqliteRecordStore
+from repro.events import EventBroker
+
+N_PRINCIPALS = 4
+
+
+class SimulatedCrash(Exception):
+    """Stands in for the process dying mid-publish."""
+
+
+def login_policy():
+    policy = ServicePolicy(ServiceId("crash", "login"))
+    root = policy.define_role("root", 1)
+    policy.add_activation_rule(
+        ActivationRule(RoleTemplate(root, (Var("u"),))))
+    return policy
+
+
+def resource_policy():
+    policy = ServicePolicy(ServiceId("crash", "resource"))
+    root_template = RoleTemplate(
+        RoleName(ServiceId("crash", "login"), "root"), (Var("u"),))
+    mid = policy.define_role("mid", 1)
+    mid_template = RoleTemplate(mid, (Var("u"),))
+    policy.add_activation_rule(ActivationRule(
+        mid_template, (PrerequisiteRole(root_template, membership=True),)))
+    leaf = policy.define_role("leaf", 1)
+    leaf_template = RoleTemplate(leaf, (Var("u"),))
+    policy.add_activation_rule(ActivationRule(
+        leaf_template, (PrerequisiteRole(mid_template, membership=True),)))
+    policy.add_authorization_rule(AuthorizationRule(
+        "use", (Var("u"),), (PrerequisiteRole(leaf_template),)))
+    return policy
+
+
+class World:
+    """login (root) -> resource (mid -> leaf), both SQLite-file backed."""
+
+    def __init__(self, tmp_path, tag, login_secret, resource_secret):
+        self.paths = {"login": str(tmp_path / f"{tag}-login.db"),
+                      "resource": str(tmp_path / f"{tag}-resource.db")}
+        self.broker = EventBroker()
+        self.registry = ServiceRegistry()
+        self.login = OasisService(
+            login_policy(), self.broker, self.registry,
+            secret=login_secret,
+            store=SqliteRecordStore(self.paths["login"],
+                                    codec=ServiceStateCodec()))
+        self.resource = OasisService(
+            resource_policy(), self.broker, self.registry,
+            secret=resource_secret,
+            store=SqliteRecordStore(self.paths["resource"],
+                                    codec=ServiceStateCodec()))
+        self.resource.register_method("use", lambda user: f"ok[{user}]")
+        self.roots, self.mids, self.leaves = [], [], []
+        for index in range(N_PRINCIPALS):
+            pid = PrincipalId(f"p{index}")
+            root = self.login.activate_role(pid, "root", [pid.value], [],
+                                            session_id=f"s{index}")
+            mid = self.resource.activate_role(
+                pid, "mid", None, [Presentation(root)],
+                session_id=f"s{index}")
+            leaf = self.resource.activate_role(
+                pid, "leaf", None, [Presentation(mid)],
+                session_id=f"s{index}")
+            self.roots.append(root)
+            self.mids.append(mid)
+            self.leaves.append(leaf)
+
+    def checkpoint(self):
+        """Periodic durability point: records issued so far reach disk.
+        The crash window in the tests below is the *revocation* — its
+        record flips stay write-behind (lost), only the journal commits."""
+        self.login.checkpoint()
+        self.resource.checkpoint()
+
+    def crash(self):
+        """Kill the process: abandon write-behind buffers, keep only what
+        was durably committed."""
+        self.login.store.close(flush=False)
+        self.resource.store.close(flush=False)
+
+    def shutdown(self):
+        self.login.store.close()
+        self.resource.store.close()
+
+    def resume(self):
+        """A fresh process: new broker/registry, services rebuilt from
+        their stores."""
+        self.broker = EventBroker()
+        self.registry = ServiceRegistry()
+        self.login = OasisService.resume(
+            SqliteRecordStore(self.paths["login"],
+                              codec=ServiceStateCodec()),
+            login_policy(), self.broker, self.registry)
+        self.resource = OasisService.resume(
+            SqliteRecordStore(self.paths["resource"],
+                              codec=ServiceStateCodec()),
+            resource_policy(), self.broker, self.registry)
+        self.resource.register_method("use", lambda user: f"ok[{user}]")
+
+    def crash_publishes_after(self, allowed):
+        """Let ``allowed`` publish_batch calls through, then 'crash'."""
+        original = self.broker.publish_batch
+        state = {"calls": 0}
+
+        def dying_publish(events):
+            state["calls"] += 1
+            if state["calls"] > allowed:
+                raise SimulatedCrash()
+            return original(events)
+
+        self.broker.publish_batch = dying_publish
+
+    def revocation_audit(self, service):
+        return [(rec.principal, rec.subject, rec.reason)
+                for rec in service.access_log
+                if rec.kind == AccessKind.REVOCATION]
+
+    def statuses(self, service):
+        return {record.ref: (record.status, record.revoked_reason)
+                for record in service._records.values()}
+
+
+@pytest.fixture
+def secrets():
+    return ServiceSecret.generate(), ServiceSecret.generate()
+
+
+@pytest.fixture
+def uninterrupted(tmp_path, secrets):
+    world = World(tmp_path, "twin", *secrets)
+    world.login.revoke(world.roots[0].ref, "logout")
+    yield world
+    world.shutdown()
+
+
+def assert_converged(resumed, twin):
+    """The resumed world's final credential and audit state equals the
+    uninterrupted twin's."""
+    assert resumed.statuses(resumed.login) == twin.statuses(twin.login)
+    assert resumed.statuses(resumed.resource) == \
+        twin.statuses(twin.resource)
+    assert resumed.revocation_audit(resumed.login) == \
+        twin.revocation_audit(twin.login)
+    assert resumed.revocation_audit(resumed.resource) == \
+        twin.revocation_audit(twin.resource)
+
+
+class TestKillAndResume:
+    def test_crash_before_publish_reemits_cascade(self, tmp_path, secrets,
+                                                  uninterrupted):
+        """Crash after the journal commit, before ANY event reached the
+        broker: the revocation survives, the cascade completes on replay."""
+        world = World(tmp_path, "crashed", *secrets)
+        world.checkpoint()
+        world.crash_publishes_after(0)
+        with pytest.raises(SimulatedCrash):
+            world.login.revoke(world.roots[0].ref, "logout")
+        world.crash()
+
+        world.resume()
+        # The journalled revocation was applied during load — even before
+        # replay, the dead credential answers with its reason.
+        record = world.login.credential_record(world.roots[0].ref)
+        assert record is not None and not record.active
+        assert record.revoked_reason == "logout"
+        # Re-emission pushes the cut cascade through the resumed broker;
+        # the resource service collapses mid+leaf exactly as live.
+        assert world.login.replay_pending() == 1
+        assert world.resource.replay_pending() == 0
+        assert_converged(world, uninterrupted)
+        world.shutdown()
+
+    def test_crash_mid_cascade_converges(self, tmp_path, secrets,
+                                         uninterrupted):
+        """Crash deeper in: the root's events published and the resource
+        service journalled its own sub-cascade, but died before publishing
+        it.  Both services replay; re-delivered events no-op."""
+        world = World(tmp_path, "crashed", *secrets)
+        world.checkpoint()
+        world.crash_publishes_after(1)
+        with pytest.raises(SimulatedCrash):
+            world.login.revoke(world.roots[0].ref, "logout")
+        world.crash()
+
+        world.resume()
+        # The resource's own journal already revoked mid and leaf on load:
+        # no access for the revoked chain even before replay.
+        with pytest.raises(CredentialRevoked):
+            world.resource.invoke(
+                PrincipalId("p0"), "use", ["p0"],
+                credentials=[Presentation(world.leaves[0])])
+        replayed = world.login.replay_pending() + \
+            world.resource.replay_pending()
+        assert replayed >= 1
+        assert_converged(world, uninterrupted)
+        world.shutdown()
+
+    def test_no_access_after_revocation_survives_restart(self, tmp_path,
+                                                         secrets):
+        """The property the protocol exists for: once revoked, never again
+        usable — across any crash point and restart."""
+        world = World(tmp_path, "prop", *secrets)
+        world.checkpoint()
+        world.crash_publishes_after(0)
+        with pytest.raises(SimulatedCrash):
+            world.login.revoke(world.roots[0].ref, "logout")
+        world.crash()
+        world.resume()
+        world.login.replay_pending()
+        world.resource.replay_pending()
+        with pytest.raises(CredentialRevoked):
+            world.resource.invoke(
+                PrincipalId("p0"), "use", ["p0"],
+                credentials=[Presentation(world.leaves[0])])
+        # Unaffected principals keep working: the restored secret verifies
+        # certificates signed before the crash.
+        assert world.resource.invoke(
+            PrincipalId("p1"), "use", ["p1"],
+            credentials=[Presentation(world.leaves[1])]) == "ok[p1]"
+        world.shutdown()
+
+    def test_resumed_allocator_never_reissues_serials(self, tmp_path,
+                                                      secrets):
+        """Write-behind installs may be lost, but their serials are
+        watermarked: post-resume issuance starts past everything that may
+        have escaped in a signed certificate."""
+        world = World(tmp_path, "serials", *secrets)
+        escaped = [root.ref.serial for root in world.roots]
+        # None of the records were flushed; this install dies entirely.
+        lost = world.login.activate_role(PrincipalId("lost"), "root",
+                                         ["lost"], [])
+        world.crash()
+        world.resume()
+        # The lost credential fails closed...
+        with pytest.raises(CredentialInvalid):
+            world.resource.activate_role(PrincipalId("lost"), "mid", None,
+                                         [Presentation(lost)])
+        # ...and its serial is never handed out again.
+        fresh = world.login.activate_role(PrincipalId("new"), "root",
+                                          ["new"], [])
+        assert fresh.ref.serial > lost.ref.serial
+        assert fresh.ref.serial > max(escaped)
+        world.shutdown()
+
+    def test_sessions_survive_restart(self, tmp_path, secrets):
+        """Session liveness is derived from the records, so it rides the
+        store for free."""
+        world = World(tmp_path, "sessions", *secrets)
+        world.login.checkpoint()
+        before = world.login.live_sessions()
+        assert before == {f"s{i}" for i in range(N_PRINCIPALS)}
+        world.crash()
+        world.resume()
+        assert world.login.live_sessions() == before
+        creds = world.login.session_credentials("s1")
+        assert [record.ref for record in creds] == [world.roots[1].ref]
+        world.shutdown()

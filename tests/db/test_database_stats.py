@@ -1,0 +1,76 @@
+"""Database-wide lookup-cost aggregation (`Database.stats`) and resets."""
+
+from repro.db import Database
+
+
+def build_db():
+    db = Database("hospital-db")
+    db.create_table("registered", ["doctor", "patient"])
+    db.create_table("excluded", ["patient", "doctor"])
+    db.table("registered").create_index("doctor")
+    for index in range(4):
+        db.insert("registered", doctor=f"d{index}", patient=f"p{index}")
+    db.insert("excluded", patient="p0", doctor="d9")
+    return db
+
+
+class TestDatabaseStats:
+    def test_aggregates_per_table_and_totals(self):
+        db = build_db()
+        db.select("registered", doctor="d1")        # index probe
+        db.select("excluded", patient="p0")         # full scan, 1 row
+        stats = db.stats()
+        assert stats["name"] == "hospital-db"
+        assert sorted(stats["tables"]) == ["excluded", "registered"]
+        registered = stats["tables"]["registered"]
+        assert registered["rows"] == 4
+        assert registered["indexed_columns"] == ["doctor"]
+        assert registered["index_probes"] == 1
+        assert registered["indexes_built"] == 1
+        excluded = stats["tables"]["excluded"]
+        assert excluded["rows_scanned"] == 1
+        totals = stats["totals"]
+        for counter in ("rows_scanned", "index_probes", "indexes_built"):
+            assert totals[counter] == sum(
+                entry[counter] for entry in stats["tables"].values())
+        assert totals["rows"] == 5
+
+    def test_stats_is_a_defensive_copy(self):
+        """Mirrors the ServiceStats.snapshot() regression guard: a caller
+        may freely mutate a returned snapshot (benchmarks diff two of
+        them) without corrupting the live counters."""
+        db = build_db()
+        db.select("registered", doctor="d1")
+        stats = db.stats()
+        probes = stats["tables"]["registered"]["index_probes"]
+        stats["tables"]["registered"]["index_probes"] = 999_999
+        stats["tables"].clear()
+        stats["totals"]["rows_scanned"] = -1
+        fresh = db.stats()
+        assert fresh["tables"]["registered"]["index_probes"] == probes
+        assert sorted(fresh["tables"]) == ["excluded", "registered"]
+
+    def test_reset_stats_zeros_counters_keeps_indexes(self):
+        db = build_db()
+        db.select("registered", doctor="d1")
+        db.select("excluded", patient="p0")
+        db.reset_stats()
+        stats = db.stats()
+        assert stats["totals"]["rows_scanned"] == 0
+        assert stats["totals"]["index_probes"] == 0
+        assert stats["totals"]["indexes_built"] == 0
+        # Rows and the index set are state, not counters: untouched.
+        assert stats["totals"]["rows"] == 5
+        assert stats["tables"]["registered"]["indexed_columns"] == ["doctor"]
+        # The index still answers selects (probe counter restarts from 0).
+        assert db.select("registered", doctor="d2")
+        assert db.stats()["tables"]["registered"]["index_probes"] == 1
+
+    def test_table_reset_stats(self):
+        db = build_db()
+        table = db.table("registered")
+        db.select("registered", doctor="d1")
+        assert table.index_probes == 1
+        table.reset_stats()
+        assert (table.rows_scanned, table.index_probes,
+                table.indexes_built) == (0, 0, 0)

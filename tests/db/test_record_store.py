@@ -1,0 +1,238 @@
+"""The keyed-record store contract, over both backends.
+
+Every backend must speak the same five verbs (get/put/delete/scan +
+log-append) with read-your-writes semantics; the SQLite backend
+additionally gets its write-behind / durable-log behaviour pinned down —
+that asymmetry (memory-speed records, synchronous revocation journal) is
+the crash-consistency design of docs/persistence.md.
+"""
+
+import pytest
+
+from repro.core import (
+    CredentialRecord,
+    CredentialRef,
+    PrincipalId,
+    ServiceId,
+)
+from repro.core.state import RECORDS, ServiceStateCodec
+from repro.db import MemoryRecordStore, SqliteRecordStore, completed_log_seqs
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        made = MemoryRecordStore()
+    else:
+        made = SqliteRecordStore(str(tmp_path / "store.db"))
+    yield made
+    made.close()
+
+
+class TestRecordVerbs:
+    def test_put_get_roundtrip(self, store):
+        store.put("b", "k", {"v": 1})
+        assert store.get("b", "k") == {"v": 1}
+        assert store.get("b", "missing") is None
+        assert store.get("b", "missing", default=0) == 0
+        assert store.get("other", "k") is None
+
+    def test_put_overwrites(self, store):
+        store.put("b", "k", {"v": 1})
+        store.put("b", "k", {"v": 2})
+        assert store.get("b", "k") == {"v": 2}
+        assert store.count("b") == 1
+
+    def test_delete(self, store):
+        store.put("b", "k", {"v": 1})
+        assert store.delete("b", "k") is True
+        assert store.get("b", "k") is None
+        assert store.delete("b", "k") is False
+        assert store.delete("b", "never-existed") is False
+
+    def test_scan_sees_all_pairs(self, store):
+        for index in range(5):
+            store.put("b", f"k{index}", {"v": index})
+        store.put("other", "x", {"v": 99})
+        scanned = dict(store.scan("b"))
+        assert scanned == {f"k{index}": {"v": index} for index in range(5)}
+        assert store.count("b") == 5
+        assert store.count("other") == 1
+        assert store.count("empty") == 0
+
+    def test_batch_variants(self, store):
+        assert store.put_many(
+            "b", [(f"k{index}", {"v": index}) for index in range(4)]) == 4
+        assert store.get_many("b", ["k1", "k3", "nope"]) == \
+            [{"v": 1}, {"v": 3}, None]
+        assert store.delete_many("b", ["k0", "k2", "nope"]) == 2
+        assert store.count("b") == 2
+
+    def test_buckets_are_disjoint_namespaces(self, store):
+        store.put("a", "k", {"v": "a"})
+        store.put("b", "k", {"v": "b"})
+        assert store.delete("a", "k") is True
+        assert store.get("b", "k") == {"v": "b"}
+
+
+class TestAppendLog:
+    def test_append_returns_increasing_seqs(self, store):
+        first = store.log_append({"op": "cascade", "events": []})
+        second = store.log_append({"op": "x"}, durable=True)
+        assert second > first
+        entries = store.log_entries()
+        assert [seq for seq, _ in entries] == [first, second]
+        assert entries[0][1]["op"] == "cascade"
+
+    def test_flush_prunes_completed_cascades(self, store):
+        cascade = store.log_append({"op": "cascade", "events": []},
+                                   durable=True)
+        orphan = store.log_append({"op": "cascade", "events": []},
+                                  durable=True)
+        store.log_append({"op": "cascade-done", "cascade_seq": cascade},
+                         durable=True)
+        store.flush()
+        remaining = [seq for seq, _ in store.log_entries()]
+        assert remaining == [orphan]
+
+    def test_flush_keeps_newest_serial_reserve_only(self, store):
+        store.log_append({"op": "serial-reserve", "value": 1024})
+        store.log_append({"op": "serial-reserve", "value": 2048})
+        newest = store.log_append({"op": "serial-reserve", "value": 4096})
+        store.flush()
+        assert [seq for seq, _ in store.log_entries()] == [newest]
+
+
+class TestStats:
+    def test_ops_counted_and_resettable(self, store):
+        store.put("b", "k", {"v": 1})
+        store.get("b", "k")
+        store.delete("b", "k")
+        list(store.scan("b"))
+        store.log_append({"op": "x"}, durable=True)
+        stats = store.stats()
+        assert stats["backend"] in ("memory", "sqlite")
+        assert stats["ops"]["puts"] == 1
+        assert stats["ops"]["gets"] == 1
+        assert stats["ops"]["deletes"] == 1
+        assert stats["ops"]["scans"] == 1
+        assert stats["ops"]["log_appends"] == 1
+        assert stats["ops"]["durable_commits"] == 1
+        store.reset_stats()
+        fresh = store.stats()
+        assert all(value == 0 for value in fresh["ops"].values())
+
+    def test_stats_is_a_copy(self, store):
+        store.put("b", "k", {"v": 1})
+        stats = store.stats()
+        stats["ops"]["puts"] = 999
+        assert store.stats()["ops"]["puts"] == 1
+
+
+class TestCompletedLogSeqs:
+    def test_matched_pairs_and_stale_reserves(self):
+        entries = [
+            (1, {"op": "cascade", "events": []}),
+            (2, {"op": "cascade-done", "cascade_seq": 1}),
+            (3, {"op": "cascade", "events": []}),        # no done marker
+            (4, {"op": "serial-reserve", "value": 1024}),
+            (5, {"op": "serial-reserve", "value": 2048}),
+        ]
+        assert completed_log_seqs(entries) == {1, 2, 4}
+
+    def test_empty(self):
+        assert completed_log_seqs([]) == set()
+
+
+class TestSqliteWriteBehind:
+    """The durability asymmetry: records buffered, log committed."""
+
+    def test_reads_merge_pending_buffer(self, tmp_path):
+        store = SqliteRecordStore(str(tmp_path / "wb.db"), flush_every=10_000)
+        store.put("b", "k", {"v": 1})
+        assert store.stats()["pending_writes"] == 1
+        assert store.get("b", "k") == {"v": 1}          # read-your-writes
+        assert dict(store.scan("b")) == {"k": {"v": 1}}
+        assert store.count("b") == 1
+        store.flush()
+        assert store.stats()["pending_writes"] == 0
+        assert store.get("b", "k") == {"v": 1}
+        store.close()
+
+    def test_buffered_value_is_a_live_reference(self, tmp_path):
+        """A record mutated after ``put`` but before ``flush`` serialises
+        once, in its final state — how a revoked record's terminal status
+        reaches disk without a second put."""
+        store = SqliteRecordStore(str(tmp_path / "ref.db"),
+                                  flush_every=10_000)
+        value = {"status": "active"}
+        store.put("b", "k", value)
+        value["status"] = "revoked"
+        store.flush()
+        store.close()
+        reopened = SqliteRecordStore(str(tmp_path / "ref.db"))
+        assert reopened.get("b", "k") == {"status": "revoked"}
+        reopened.close()
+
+    def test_auto_flush_at_threshold(self, tmp_path):
+        store = SqliteRecordStore(str(tmp_path / "auto.db"), flush_every=4)
+        for index in range(4):
+            store.put("b", f"k{index}", {"v": index})
+        assert store.stats()["pending_writes"] == 0     # threshold hit
+        assert store.flushes >= 1
+        store.close()
+
+    def test_delete_of_flushed_row_is_buffered(self, tmp_path):
+        store = SqliteRecordStore(str(tmp_path / "del.db"))
+        store.put("b", "k", {"v": 1})
+        store.flush()
+        assert store.delete("b", "k") is True
+        assert store.get("b", "k") is None              # buffered delete
+        assert store.count("b") == 0
+        store.flush()
+        store.close()
+        reopened = SqliteRecordStore(str(tmp_path / "del.db"))
+        assert reopened.get("b", "k") is None
+        reopened.close()
+
+    def test_crash_close_loses_buffer_keeps_durable_log(self, tmp_path):
+        """``close(flush=False)`` is the crash switch: write-behind record
+        puts die with the process, durable log appends survive."""
+        path = str(tmp_path / "crash.db")
+        store = SqliteRecordStore(path, flush_every=10_000)
+        store.put("b", "flushed", {"v": 1})
+        store.flush()
+        store.put("b", "buffered", {"v": 2})
+        seq = store.log_append({"op": "cascade", "events": []}, durable=True)
+        store.log_append({"op": "never-committed"}, durable=False)
+        store.close(flush=False)
+        survivor = SqliteRecordStore(path)
+        assert survivor.get("b", "flushed") == {"v": 1}
+        assert survivor.get("b", "buffered") is None
+        assert [s for s, _ in survivor.log_entries()] == [seq]
+        survivor.close()
+
+    def test_codec_roundtrips_credential_records(self, tmp_path):
+        codec = ServiceStateCodec()
+        path = str(tmp_path / "codec.db")
+        store = SqliteRecordStore(path, codec=codec)
+        dependency = CredentialRef(ServiceId("d", "login"), 1)
+        record = CredentialRecord(
+            ref=CredentialRef(ServiceId("d", "svc"), 7), kind="rmc",
+            principal=PrincipalId("alice"), issued_at=3.5,
+            membership_dependencies=(dependency,), session_id="s1")
+        record.revoke("logout", at=9.0)
+        store.put(RECORDS, record.ref.qualified, record)
+        store.flush()
+        store.close()
+        reopened = SqliteRecordStore(path, codec=codec)
+        loaded = reopened.get(RECORDS, record.ref.qualified)
+        assert loaded == record
+        assert loaded.ref.qualified == record.ref.qualified
+        assert loaded.membership_dependencies == (dependency,)
+        assert loaded.revoked_reason == "logout"
+        reopened.close()
+
+    def test_flush_every_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SqliteRecordStore(flush_every=0)

@@ -1,0 +1,116 @@
+"""Storage-layer counters surfaced through the metrics registry.
+
+The ``oasis_store_*`` families export the Table/Database lookup-cost
+counters (rows scanned, index probes, indexes built) per attached
+database and table; services running over a record store additionally
+export the store's operation counters and write-behind gauges.  All of it
+is pulled at export time from defensive-copy snapshots, so collecting
+never perturbs the live counters.
+"""
+
+from repro.core import (
+    ActivationRule,
+    OasisService,
+    Principal,
+    RoleTemplate,
+    ServiceId,
+    ServicePolicy,
+    ServiceRegistry,
+    Var,
+)
+from repro.db import MemoryRecordStore
+from repro.events import EventBroker
+from repro.obs.runtime import observed
+
+from tests.conftest import build_hospital
+
+
+def families_by_name(obs):
+    return {family["name"]: family for family in obs.metrics.collect()}
+
+
+def samples(family):
+    return {tuple(sorted(sample["labels"].items())): sample["value"]
+            for sample in family["samples"]}
+
+
+class TestStoreLookupCounters:
+    def test_table_counters_exported_per_database_and_table(self):
+        with observed() as obs:
+            hospital = build_hospital()
+            doctor = hospital.new_doctor("dr-jones", "pat-1")
+            session = doctor.start_session(hospital.login, "logged_in_user",
+                                           ["dr-jones"])
+            session.activate(hospital.records, "treating_doctor",
+                             use_appointments=doctor.appointments())
+            families = families_by_name(obs)
+        for counter in ("oasis_store_rows_scanned",
+                        "oasis_store_index_probes",
+                        "oasis_store_indexes_built"):
+            assert counter in families, counter
+            assert families[counter]["type"] == "counter"
+        probes = samples(families["oasis_store_index_probes"])
+        key = (("database", "main"), ("service", "hospital/records"),
+               ("table", "registered"))
+        # The treating_doctor membership constraint consulted the
+        # registration table at least once, through an index.
+        assert probes[key] >= 1
+        # The per-table sample mirrors the live counter exactly.
+        live = hospital.db.table("registered").index_probes
+        assert probes[key] == live
+
+    def test_collecting_does_not_perturb_live_counters(self):
+        """Regression guard in the spirit of the ServiceStats.snapshot()
+        defensive-copy tests: exports sample copies, never live state."""
+        with observed() as obs:
+            hospital = build_hospital()
+            doctor = hospital.new_doctor("dr-jones", "pat-1")
+            session = doctor.start_session(hospital.login, "logged_in_user",
+                                           ["dr-jones"])
+            session.activate(hospital.records, "treating_doctor",
+                             use_appointments=doctor.appointments())
+            before = hospital.db.stats()["totals"]
+            first = samples(families_by_name(obs)
+                            ["oasis_store_rows_scanned"])
+            # Mutating collected output must not reach the live tables...
+            for family in obs.metrics.collect():
+                for sample in family["samples"]:
+                    sample["value"] = -1
+                    sample["labels"]["injected"] = True
+            second = samples(families_by_name(obs)
+                             ["oasis_store_rows_scanned"])
+        assert first == second
+        assert hospital.db.stats()["totals"] == before
+
+
+class TestRecordStoreCounters:
+    def test_store_ops_and_gauges_exported(self):
+        store = MemoryRecordStore()
+        policy = ServicePolicy(ServiceId("obs", "login"))
+        role = policy.define_role("user", 1)
+        policy.add_activation_rule(
+            ActivationRule(RoleTemplate(role, (Var("u"),))))
+        with observed() as obs:
+            service = OasisService(policy, EventBroker(), ServiceRegistry(),
+                                   store=store)
+            Principal("alice").start_session(service, "user", ["alice"])
+            families = families_by_name(obs)
+        ops = samples(families["oasis_record_store_ops"])
+        # At least the stored secret and the RMC's record were written.
+        assert ops[(("backend", "memory"), ("op", "puts"),
+                    ("service", "obs/login"))] >= 2
+        pending = samples(families["oasis_record_store_pending_writes"])
+        assert pending[(("backend", "memory"),
+                        ("service", "obs/login"))] == 0
+        assert "oasis_record_store_log_entries" in families
+
+    def test_storeless_service_exports_no_store_families(self, monkeypatch):
+        # Force the storeless default even when the suite runs under an
+        # OASIS_STORE_BACKEND matrix entry — this test is *about* the
+        # storeless configuration.
+        monkeypatch.delenv("OASIS_STORE_BACKEND", raising=False)
+        with observed() as obs:
+            build_hospital()
+            families = families_by_name(obs)
+        assert "oasis_record_store_ops" not in families
+        assert "oasis_record_store_pending_writes" not in families
