@@ -1014,31 +1014,38 @@ class OasisService:
             return self._revoke_observed(record, ref, reason)
         self.stats.revocations += 1
         if self._batched_cascades:
-            events = self._collapse_subtree([(record, reason)])
-            self._publish_cascade(events)
+            events, flipped = self._collapse_subtree([(record, reason)])
+            self._publish_cascade(events, flipped)
             return True
         self._audit(AccessKind.REVOCATION,
                     record.principal.value if record.principal else "-",
                     str(ref), reason=reason)
-        self._state.mark_revoked(record)
         self._teardown_watch(ref)
         for subscription in self._dependency_subs.pop(ref, []):
             subscription.cancel()
         self._publish_cascade([self._revocation_event(ref, reason)],
-                              single=True)
+                              [record], single=True)
         return True
 
     def _publish_cascade(self, events: List[Event],
+                         records: Sequence[CredentialRecord] = (),
                          single: bool = False) -> None:
         """Publish a cascade's revocation events, crash-consistently.
 
         With a store attached the events are journalled with ONE durable
-        append *before* anything reaches the broker — the commit point at
-        which the revocation survives a crash — and a ``cascade-done``
-        marker lands after the batch drains.  A crash between the two
-        leaves the journal tail that :meth:`resume` replays and
-        :meth:`replay_pending` re-emits.  Storeless, this is exactly the
-        pre-refactor publish.
+        append *before* anything else — the commit point at which the
+        revocation survives a crash — then the flipped ``records`` are
+        mirrored to the store (write-behind on SQLite), the events are
+        published, and a ``cascade-done`` marker lands after the batch
+        drains.  The journal MUST come first: record mirroring can
+        auto-flush a full write-behind buffer, and a REVOKED record that
+        reaches disk before its journal entry would leave a crash with a
+        partially-revoked durable subtree that :meth:`resume` cannot see
+        (no ``cascade`` entry to replay) — dependents would stay active
+        forever.  Journalled first, a crash at any later point is
+        recoverable: the log-tail replay re-applies every flip and
+        :meth:`replay_pending` re-emits the events.  Storeless, this is
+        exactly the pre-refactor publish.
         """
         if not events:
             return
@@ -1050,6 +1057,8 @@ class OasisService:
                 self.broker.publish_batch(events)
             return
         seq = self._state.log_cascade(events)
+        for record in records:
+            self._state.mark_revoked(record)
         if single:
             self.broker.publish(events[0])
         else:
@@ -1071,8 +1080,8 @@ class OasisService:
         try:
             self.stats.revocations += 1
             if self._batched_cascades:
-                events = self._collapse_subtree([(record, reason)])
-                self._publish_cascade(events)
+                events, flipped = self._collapse_subtree([(record, reason)])
+                self._publish_cascade(events, flipped)
                 return True
             self._audit(AccessKind.REVOCATION,
                         record.principal.value if record.principal else "-",
@@ -1081,19 +1090,18 @@ class OasisService:
                 "revocation", "revoked",
                 record.principal.value if record.principal else "-",
                 str(ref), reason=reason, span=span)
-            self._state.mark_revoked(record)
             self._teardown_watch(ref)
             for subscription in self._dependency_subs.pop(ref, []):
                 subscription.cancel()
             self._publish_cascade([self._revocation_event(ref, reason)],
-                                  single=True)
+                                  [record], single=True)
             return True
         finally:
             span.finish(self.clock())
 
     def _collapse_subtree(self, revoked: List[Tuple[CredentialRecord, str]],
                           parent_ctx: Optional[SpanContext] = None,
-                          ) -> List[Event]:
+                          ) -> Tuple[List[Event], List[CredentialRecord]]:
         """Collapse the local dependent subtree of already-revoked roots.
 
         Breadth-first over the reverse dependency index; every reached
@@ -1102,6 +1110,11 @@ class OasisService:
         channel closes here), matching the per-credential event count of
         the unbatched reference path.  Cost is O(collapsed subtree), not
         O(live credentials).
+
+        Returns the events and the flipped records.  The traversal itself
+        never touches the store — :meth:`_publish_cascade` mirrors the
+        records only after the cascade journal entry is durably committed
+        (see its docstring for why the order matters).
         """
         # Dual loop, same trick as the engine's dual solve closures: the
         # common disabled-pipeline path runs the lean two-tuple loop below
@@ -1110,7 +1123,11 @@ class OasisService:
         if self._obs is not None:
             return self._collapse_subtree_observed(revoked, parent_ctx)
         events: List[Event] = []
-        persist = self._persist
+        flipped: List[CredentialRecord] = []
+        # Storeless (the default) skips flip collection entirely — the
+        # per-record branch keeps this hot loop's cost identical to the
+        # pre-refactor body (the memory_backend_overhead bench gate).
+        collect = flipped.append if self._persist is not None else None
         queue = deque(revoked)
         while queue:
             record, reason = queue.popleft()
@@ -1120,10 +1137,8 @@ class OasisService:
                         str(ref), reason=reason)
             self._teardown_watch(ref)
             self._unlink_dependencies(record)
-            if persist is not None:
-                # Every record reached by the traversal was just flipped;
-                # mirror its terminal state (write-behind on SQLite).
-                persist.put(RECORDS, ref.qualified, record)
+            if collect is not None:
+                collect(record)
             events.append(self._revocation_event(ref, reason))
             dependents = self._dependents.get(ref.qualified)
             if not dependents:
@@ -1138,11 +1153,12 @@ class OasisService:
                 self.stats.revocations += 1
                 self.stats.cascade_revocations += 1
                 queue.append((dependent, dependent_reason))
-        return events
+        return events, flipped
 
     def _collapse_subtree_observed(
             self, revoked: List[Tuple[CredentialRecord, str]],
-            parent_ctx: Optional[SpanContext] = None) -> List[Event]:
+            parent_ctx: Optional[SpanContext] = None,
+            ) -> Tuple[List[Event], List[CredentialRecord]]:
         """Span-carrying variant of :meth:`_collapse_subtree`.
 
         Every collapsed credential gets a ``cascade.revoke`` span parented
@@ -1157,7 +1173,8 @@ class OasisService:
             # active (the ``revoke`` root span, or a caller's span).
             parent_ctx = tracer.current_context()
         events: List[Event] = []
-        persist = self._persist
+        flipped: List[CredentialRecord] = []
+        collect = flipped.append if self._persist is not None else None
         width = 0
         max_depth = 1
         queue: deque = deque((record, reason, parent_ctx, 1)
@@ -1165,8 +1182,8 @@ class OasisService:
         while queue:
             record, reason, ctx, depth = queue.popleft()
             ref = record.ref
-            if persist is not None:
-                persist.put(RECORDS, ref.qualified, record)
+            if collect is not None:
+                collect(record)
             span = tracer.start_span(
                 "cascade.revoke", timestamp=self.clock(), parent=ctx,
                 activate=False, service=str(self.id),
@@ -1208,7 +1225,7 @@ class OasisService:
         if width:
             self._obs_cascade_width.observe(width)
             self._obs_cascade_depth.observe(max_depth)
-        return events
+        return events, flipped
 
     def _revocation_event(self, ref: CredentialRef, reason: str) -> Event:
         """The CREDENTIAL_REVOKED event for ``ref``'s Fig. 5 channel.
@@ -1270,8 +1287,8 @@ class OasisService:
                     # Stitch: the publishing service put its cascade span's
                     # context on the event; our local subtree hangs off it.
                     parent_ctx = SpanContext(trace_id, span_id)
-            events = self._collapse_subtree(seeds, parent_ctx)
-            self._publish_cascade(events)
+            events, flipped = self._collapse_subtree(seeds, parent_ctx)
+            self._publish_cascade(events, flipped)
 
     def _on_dependency_revoked(self, dependent: CredentialRef,
                                event: Event) -> None:
@@ -1609,6 +1626,12 @@ class OasisService:
         service is resumed to re-emit their ``CREDENTIAL_REVOKED`` events
         so the cross-service cascade cut by the crash completes.
         """
+        if network is not None:
+            # The crashed instance's validation endpoint may still be
+            # registered on the network (the process died, the simulated
+            # network did not); clear it so the constructor's bind does
+            # not trip the duplicate-registration error.
+            ValidationTransport(network).unbind(policy.service)
         service = cls(policy, broker, registry, clock=clock,
                       databases=databases, network=network,
                       cache_validations=cache_validations, secret=None,

@@ -28,8 +28,11 @@ them durable would buy nothing but serialisation cost.
 
 Crash-consistency protocol (see docs/persistence.md): a revocation
 cascade's events are journalled to the store's append log with one durable
-``{"op": "cascade", "events": [...]}`` entry *before* the broker publishes
-anything, and a ``{"op": "cascade-done"}`` marker after the batch drains.
+``{"op": "cascade", "events": [...]}`` entry *before* any flipped record
+is mirrored to the store and before the broker publishes anything (the
+mirror can auto-flush the write-behind buffer, so journal-first is what
+keeps every durable REVOKED record covered by a replayable log entry),
+and a ``{"op": "cascade-done"}`` marker lands after the batch drains.
 :meth:`ServiceState.load` replays the log tail — applying every journalled
 revocation to the rebuilt records — and surfaces cascades that never
 reached their done marker so the service can re-emit them
@@ -318,8 +321,11 @@ class ServiceState:
     def log_cascade(self, events: Sequence[Event]) -> Optional[int]:
         """Durably journal a cascade's events; returns the log seq.
 
-        MUST be called before the events are published: the commit is the
-        point at which the revocation is guaranteed to survive a crash.
+        MUST be called before the events are published AND before any of
+        the flipped records is mirrored via :meth:`mark_revoked`: the
+        commit is the point at which the revocation is guaranteed to
+        survive a crash, and a record flip that reached disk (via an
+        auto-flush) ahead of it would be durable yet unreplayable.
         """
         store = self.store
         if store is None:

@@ -13,10 +13,13 @@ ability to revoke ... is the essence of active security".  So:
   consistent within the process.
 * **the append log is write-through on demand**: ``log_append(durable=True)``
   commits synchronously, which is how a revocation cascade gets its
-  journal entry onto disk *before* any event reaches the broker.  A crash
-  after the commit but before (or during) publish leaves a ``cascade``
-  entry with no ``cascade-done`` marker — the recovery tail
-  ``OasisService.resume`` replays and re-emits.
+  journal entry onto disk *before* any event reaches the broker — and
+  before any flipped record is mirrored into the buffer, so an
+  auto-flush triggered by the mirroring can never durably commit a
+  REVOKED record the log does not cover.  A crash after the commit but
+  before (or during) publish leaves a ``cascade`` entry with no
+  ``cascade-done`` marker — the recovery tail ``OasisService.resume``
+  replays and re-emits.
 
 Buffering deliberately holds *references*, not copies: a credential record
 that is installed and later revoked before the next flush serialises once,
@@ -110,13 +113,23 @@ class SqliteRecordStore(RecordStore):
 
     def delete(self, bucket: str, key: str) -> bool:
         self.deletes += 1
-        existed = self._pending.pop((bucket, key), DELETED) is not DELETED
+        pending = self._pending
+        slot = (bucket, key)
+        if slot in pending:
+            # The buffer already answers — no disk probe.  A buffered
+            # tombstone means the key is gone (a second delete returns
+            # False, matching MemoryRecordStore); a buffered value is
+            # tombstoned so the flush also removes any older disk row.
+            if pending[slot] is DELETED:
+                return False
+            pending[slot] = DELETED
+            return True
         on_disk = self._conn.execute(
             "SELECT 1 FROM records WHERE bucket=? AND key=?",
             (bucket, key)).fetchone() is not None
         if on_disk:
-            self._pending[(bucket, key)] = DELETED
-        return existed or on_disk
+            pending[slot] = DELETED
+        return on_disk
 
     def scan(self, bucket: str) -> Iterator[Tuple[str, Any]]:
         self.scans += 1
@@ -150,9 +163,12 @@ class SqliteRecordStore(RecordStore):
     # -- append log -----------------------------------------------------
     def log_append(self, entry: Dict[str, Any], durable: bool = False) -> int:
         self.log_appends += 1
+        # No ``default=`` fallback: a journal entry that cannot survive
+        # the JSON round trip type-faithfully must fail loudly here, at
+        # journal time, not decode differently at replay.
         cursor = self._conn.execute(
             "INSERT INTO log (payload) VALUES (?)",
-            (json.dumps(entry, default=str),))
+            (json.dumps(entry),))
         if durable:
             self._conn.commit()
             self.durable_commits += 1

@@ -30,6 +30,11 @@ CREDENTIAL_REISSUED = "credential.reissued"
 CREDENTIAL_HEARTBEAT = "credential.heartbeat"
 ROLE_DEACTIVATED = "role.deactivated"
 
+#: Attribute value types that survive a JSON journal round trip with
+#: their Python type intact (``bool`` is an ``int`` subclass; listing it
+#: is documentation).  ``to_payload`` enforces this.
+_JSON_SCALARS = (str, int, float, bool, type(None))
+
 
 @dataclass(frozen=True)
 class Event:
@@ -78,9 +83,18 @@ class Event:
 
         Used by the crash-consistent revocation path: a cascade's events
         are journalled to the record store's append log *before* they are
-        published, and a resumed service re-emits them byte-identically
-        (topic, attributes and timestamp all survive the round trip).
+        published, and a resumed service re-emits them with topic,
+        attributes and timestamp intact.  That round trip is only
+        type-faithful for JSON-native scalar attribute values, so
+        anything else is rejected *here* — at journal time — rather than
+        silently replayed as a string after a restart.
         """
+        for name, value in self.attributes:
+            if not isinstance(value, _JSON_SCALARS):
+                raise TypeError(
+                    f"event attribute {name!r} has non-JSON-native value "
+                    f"of type {type(value).__name__}; journalled events "
+                    f"must round-trip without type loss")
         return {
             "topic": self.topic,
             "timestamp": self.timestamp,

@@ -46,20 +46,17 @@ class ValidationTransport:
              handler: Callable[..., Any]) -> None:
         """Expose ``handler`` as ``service_id``'s validation endpoint.
 
-        A resumed service re-binds here; the simulated network treats a
-        duplicate registration as an error, so recovery unbinds first.
+        The simulated network treats a duplicate registration as an
+        error, so a resumed service must clear the crashed instance's
+        stale registration first — ``OasisService.resume`` calls
+        :meth:`unbind` before constructing the service that binds here.
         """
         self.network.register(service_id.domain, endpoint_name(service_id),
                               handler)
 
     def unbind(self, service_id: Any) -> None:
+        """Drop ``service_id``'s registration; a no-op when absent."""
         self.network.unregister(service_id.domain, endpoint_name(service_id))
-
-    def rebind(self, service_id: Any,
-               handler: Callable[..., Any]) -> None:
-        """Replace any stale registration (crash recovery path)."""
-        self.unbind(service_id)
-        self.bind(service_id, handler)
 
     def reaches(self, issuer: Any) -> bool:
         """Whether ``issuer`` exposes a validation endpoint on this

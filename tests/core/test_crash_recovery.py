@@ -31,6 +31,7 @@ from repro.core.state import ServiceStateCodec
 from repro.crypto import ServiceSecret
 from repro.db import SqliteRecordStore
 from repro.events import EventBroker
+from repro.net.sim import SimNetwork
 
 N_PRINCIPALS = 4
 
@@ -67,7 +68,8 @@ def resource_policy():
 class World:
     """login (root) -> resource (mid -> leaf), both SQLite-file backed."""
 
-    def __init__(self, tmp_path, tag, login_secret, resource_secret):
+    def __init__(self, tmp_path, tag, login_secret, resource_secret,
+                 flush_every=1024):
         self.paths = {"login": str(tmp_path / f"{tag}-login.db"),
                       "resource": str(tmp_path / f"{tag}-resource.db")}
         self.broker = EventBroker()
@@ -76,12 +78,14 @@ class World:
             login_policy(), self.broker, self.registry,
             secret=login_secret,
             store=SqliteRecordStore(self.paths["login"],
-                                    codec=ServiceStateCodec()))
+                                    codec=ServiceStateCodec(),
+                                    flush_every=flush_every))
         self.resource = OasisService(
             resource_policy(), self.broker, self.registry,
             secret=resource_secret,
             store=SqliteRecordStore(self.paths["resource"],
-                                    codec=ServiceStateCodec()))
+                                    codec=ServiceStateCodec(),
+                                    flush_every=flush_every))
         self.resource.register_method("use", lambda user: f"ok[{user}]")
         self.roots, self.mids, self.leaves = [], [], []
         for index in range(N_PRINCIPALS):
@@ -274,6 +278,111 @@ class TestKillAndResume:
         assert fresh.ref.serial > lost.ref.serial
         assert fresh.ref.serial > max(escaped)
         world.shutdown()
+
+    def test_journal_precedes_record_flips_in_store(self, tmp_path,
+                                                    secrets):
+        """Ordering invariant: during a cascade, the durable ``cascade``
+        journal entry reaches the store before ANY revoked record does.
+
+        ``flush_every=1`` makes every mirrored put commit durably at
+        once, so any put of a REVOKED record ahead of the journal append
+        would be exactly the unreplayable window: a crash there leaves a
+        durably revoked parent whose dependents can never be cascaded.
+        """
+        world = World(tmp_path, "order", *secrets, flush_every=1)
+        trail = []
+        store = world.login.store
+        original_put, original_append = store.put, store.log_append
+
+        def spying_put(bucket, key, value):
+            if bucket == "records" and not value.active:
+                trail.append(("put-revoked", key))
+            return original_put(bucket, key, value)
+
+        def spying_append(entry, durable=False):
+            trail.append(("log", entry.get("op")))
+            return original_append(entry, durable=durable)
+
+        store.put = spying_put
+        store.log_append = spying_append
+        world.login.revoke(world.roots[0].ref, "logout")
+        flip_positions = [index for index, (kind, _) in enumerate(trail)
+                          if kind == "put-revoked"]
+        journal_position = trail.index(("log", "cascade"))
+        assert flip_positions, "cascade mirrored no revoked record"
+        assert journal_position < min(flip_positions)
+        world.shutdown()
+
+    def test_autoflush_mid_cascade_converges(self, tmp_path, secrets,
+                                             uninterrupted):
+        """A crash while the cascade's record flips are auto-flushing
+        durably (buffer full at every put) still converges: the journal
+        committed first, so every durable flip is covered by a
+        replayable entry."""
+        world = World(tmp_path, "autoflush", *secrets, flush_every=1)
+        world.crash_publishes_after(0)
+        with pytest.raises(SimulatedCrash):
+            world.login.revoke(world.roots[0].ref, "logout")
+        world.crash()
+
+        world.resume()
+        assert world.login.replay_pending() == 1
+        world.resource.replay_pending()
+        assert_converged(world, uninterrupted)
+        world.shutdown()
+
+    def test_crash_at_journal_write_leaves_no_durable_trace(self, tmp_path,
+                                                            secrets):
+        """Dying inside the journal append itself aborts atomically: no
+        record flip was mirrored yet, so resume sees the pre-revocation
+        world (the caller saw revoke() raise and knows it never took)."""
+        world = World(tmp_path, "atomic", *secrets)
+        world.checkpoint()
+        store = world.login.store
+
+        def dying_append(entry, durable=False):
+            raise SimulatedCrash()
+
+        store.log_append = dying_append
+        with pytest.raises(SimulatedCrash):
+            world.login.revoke(world.roots[0].ref, "logout")
+        world.crash()
+
+        world.resume()
+        assert world.login.replay_pending() == 0
+        record = world.login.credential_record(world.roots[0].ref)
+        assert record is not None and record.active
+        assert world.resource.invoke(
+            PrincipalId("p0"), "use", ["p0"],
+            credentials=[Presentation(world.leaves[0])]) == "ok[p0]"
+        world.shutdown()
+
+    def test_resume_against_same_network(self, tmp_path, secrets):
+        """Resuming on a network that still holds the crashed instance's
+        endpoint registration must re-bind, not raise the simulated
+        network's duplicate-registration error."""
+        network = SimNetwork()
+        broker = EventBroker()
+        registry = ServiceRegistry()
+        path = str(tmp_path / "net-login.db")
+        login = OasisService(
+            login_policy(), broker, registry, network=network,
+            secret=secrets[0],
+            store=SqliteRecordStore(path, codec=ServiceStateCodec()))
+        root = login.activate_role(PrincipalId("p0"), "root", ["p0"], [])
+        login.checkpoint()
+        login.store.close(flush=False)
+        # The process "died"; its registration survives on the network.
+        assert network.has_endpoint("crash", "oasis.validate/login")
+
+        resumed = OasisService.resume(
+            SqliteRecordStore(path, codec=ServiceStateCodec()),
+            login_policy(), EventBroker(), ServiceRegistry(),
+            network=network)
+        assert network.has_endpoint("crash", "oasis.validate/login")
+        record = resumed.credential_record(root.ref)
+        assert record is not None and record.active
+        resumed.store.close()
 
     def test_sessions_survive_restart(self, tmp_path, secrets):
         """Session liveness is derived from the records, so it rides the

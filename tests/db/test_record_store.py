@@ -195,6 +195,54 @@ class TestSqliteWriteBehind:
         assert reopened.get("b", "k") is None
         reopened.close()
 
+    def test_second_delete_of_flushed_row_returns_false(self, tmp_path):
+        """A buffered DELETED tombstone answers repeat deletes: the key
+        is gone even though the row is still on disk until the next
+        flush — matching MemoryRecordStore's False on a second delete."""
+        store = SqliteRecordStore(str(tmp_path / "wb.db"))
+        store.put("b", "k", {"v": 1})
+        store.flush()
+        assert store.delete("b", "k") is True
+        assert store.delete("b", "k") is False
+        store.flush()
+        assert store.delete("b", "k") is False
+        store.close()
+
+    def test_delete_answers_from_buffer_without_disk_probe(self, tmp_path):
+        store = SqliteRecordStore(str(tmp_path / "wb.db"))
+        store.put("b", "k", {"v": 1})
+        store.flush()
+        store.delete("b", "k")
+        probes = []
+        connection = store._conn
+
+        class SpyingConnection:
+            def execute(self, sql, *args):
+                if sql.lstrip().startswith("SELECT"):
+                    probes.append(sql)
+                return connection.execute(sql, *args)
+
+            def __getattr__(self, name):
+                return getattr(connection, name)
+
+        store._conn = SpyingConnection()
+        assert store.delete("b", "k") is False
+        assert probes == []
+        store._conn = connection
+        store.close()
+
+    def test_reput_after_tombstone_is_deletable_again(self, tmp_path):
+        store = SqliteRecordStore(str(tmp_path / "wb.db"))
+        store.put("b", "k", {"v": 1})
+        store.flush()
+        assert store.delete("b", "k") is True
+        store.put("b", "k", {"v": 2})
+        assert store.get("b", "k") == {"v": 2}
+        assert store.delete("b", "k") is True
+        assert store.delete("b", "k") is False
+        assert store.get("b", "k") is None
+        store.close()
+
     def test_crash_close_loses_buffer_keeps_durable_log(self, tmp_path):
         """``close(flush=False)`` is the crash switch: write-behind record
         puts die with the process, durable log appends survive."""

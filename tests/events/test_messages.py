@@ -1,0 +1,61 @@
+"""Event payload round trips: journalled events must not lose types.
+
+A cascade's events are serialised with ``Event.to_payload`` into the
+record store's append log and rebuilt with ``Event.from_payload`` after
+a restart.  The round trip is only type-faithful for JSON-native scalar
+attribute values, so ``to_payload`` rejects anything else at journal
+time — a type-lossy event must fail loudly when journalled, not replay
+silently with stringified attributes.
+"""
+
+import pytest
+
+from repro.db import SqliteRecordStore
+from repro.events import Event
+
+
+class TestPayloadRoundTrip:
+    def test_native_scalars_survive_with_types_intact(self):
+        event = Event.make(
+            "credential.revoked", timestamp=4.5,
+            credential_ref="crash/login#7", reason="logout",
+            depth=3, ratio=0.25, urgent=True, detail=None)
+        rebuilt = Event.from_payload(event.to_payload())
+        assert rebuilt == event
+        assert rebuilt.attrs == event.attrs
+        for name, value in event.attributes:
+            assert type(rebuilt.attrs[name]) is type(value)
+
+    @pytest.mark.parametrize("bad", [
+        ("refs", ("a", "b")),
+        ("holder", object()),
+        ("window", {"since": 0}),
+        ("deps", ["x"]),
+    ])
+    def test_non_native_attribute_rejected_at_payload_time(self, bad):
+        name, value = bad
+        event = Event.make("t", **{name: value})
+        with pytest.raises(TypeError, match=name):
+            event.to_payload()
+
+    def test_sqlite_journal_round_trip_is_type_faithful(self, tmp_path):
+        """End to end through the append log: what resume replays is
+        attribute-for-attribute what was journalled, types included."""
+        store = SqliteRecordStore(str(tmp_path / "journal.db"))
+        event = Event.make("credential.revoked", timestamp=1.0,
+                           credential_ref="a#1", reason="r", depth=2)
+        store.log_append({"op": "cascade",
+                          "events": [event.to_payload()]}, durable=True)
+        ((_, entry),) = store.log_entries()
+        replayed = Event.from_payload(entry["events"][0])
+        assert replayed == event
+        assert type(replayed.attrs["depth"]) is int
+        store.close()
+
+    def test_sqlite_journal_rejects_unserialisable_entries(self, tmp_path):
+        """No silent ``default=str`` fallback in the log: an entry that
+        cannot survive the JSON round trip fails at journal time."""
+        store = SqliteRecordStore(str(tmp_path / "journal.db"))
+        with pytest.raises(TypeError):
+            store.log_append({"op": "cascade", "events": [object()]})
+        store.close()
