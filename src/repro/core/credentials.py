@@ -274,6 +274,11 @@ class CredentialRefAllocator:
         self._next_serial = 1
         self._counter = itertools.count(1)
 
+    @property
+    def service(self) -> ServiceId:
+        """The service this allocator mints refs for."""
+        return self._service
+
     def next(self) -> CredentialRef:
         serial = next(self._counter)
         self._next_serial = serial + 1

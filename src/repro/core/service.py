@@ -209,7 +209,8 @@ class OasisService:
                  heartbeat_timeout: Optional[float] = None,
                  access_log: Optional[AccessLog] = None,
                  batched_cascades: bool = True,
-                 store: Optional[RecordStore] = _STORE_UNSET) -> None:
+                 store: Optional[RecordStore] = _STORE_UNSET,
+                 allocator: Optional[CredentialRefAllocator] = None) -> None:
         self.policy = policy
         self.id: ServiceId = policy.service
         self.broker = broker
@@ -227,7 +228,15 @@ class OasisService:
         self.context = EvaluationContext(clock=clock,
                                          databases=dict(databases or {}))
         self._engine = RuleEngine(self.context)
-        self._refs = CredentialRefAllocator(self.id)
+        # Serial allocation is pluggable: the sharding layer passes a
+        # ShardedRefAllocator so each worker process mints only serials
+        # whose CredentialRef hash lands on its own shard (ownership by
+        # ref hash is then true by construction).
+        if allocator is not None and allocator.service != self.id:
+            raise ValueError(f"allocator is for {allocator.service}, "
+                             f"not {self.id}")
+        self._refs = allocator if allocator is not None \
+            else CredentialRefAllocator(self.id)
         # The state core (see repro.core.state): every dict of issuer-side
         # security state lives there and mutates through it, mirrored to
         # the keyed-record store when one is attached.  Passing no
@@ -236,7 +245,7 @@ class OasisService:
         # dicts ARE the in-memory backend, and every mirror call below is
         # short-circuited by a single ``is None`` test.
         if store is _STORE_UNSET:
-            store = default_store(ServiceStateCodec())
+            store = default_store(ServiceStateCodec(), service=str(self.id))
         self._state = ServiceState(self.id, store)
         self._persist = store
         self._serials_reserved = 0

@@ -69,8 +69,13 @@ class Observability:
     """
 
     def __init__(self, span_capacity: Optional[int] = 100_000,
-                 decision_capacity: Optional[int] = 10_000) -> None:
-        self.tracer = Tracer(capacity=span_capacity)
+                 decision_capacity: Optional[int] = 10_000,
+                 trace_id_prefix: str = "") -> None:
+        # ``trace_id_prefix`` namespaces span/trace ids, so pipelines in
+        # different shard workers mint globally unique ids that a
+        # coordinator can merge (see Tracer.adopt and repro.shard).
+        self.tracer = Tracer(capacity=span_capacity,
+                             id_prefix=trace_id_prefix)
         self.metrics = MetricsRegistry()
         self.decisions = DecisionLog(capacity=decision_capacity)
         self.metrics.register_collector(_collect_intern_pools)

@@ -21,7 +21,7 @@ Fig. 5 experiments reason about.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, NamedTuple, Optional
+from typing import Any, Dict, Iterable, Iterator, List, NamedTuple, Optional
 
 __all__ = ["SpanContext", "Span", "SpanTree", "Tracer"]
 
@@ -146,12 +146,20 @@ class Tracer:
       remote span whose event they are processing.
     * ``capacity`` bounds memory exactly like the access and event logs:
       oldest spans are discarded first.
+    * ``id_prefix`` namespaces the generated ids (``w0.t0001`` instead of
+      ``t0001``).  Ids are deterministic *per tracer*, so two tracers in
+      different worker processes would mint colliding ids; giving each
+      worker its shard index as a prefix keeps ids globally unique and a
+      coordinator can merge worker spans into one tracer via
+      :meth:`adopt` without ambiguity.
     """
 
-    def __init__(self, capacity: Optional[int] = 100_000) -> None:
+    def __init__(self, capacity: Optional[int] = 100_000,
+                 id_prefix: str = "") -> None:
         if capacity is not None and capacity <= 0:
             raise ValueError("capacity must be positive")
         self._capacity = capacity
+        self._id_prefix = id_prefix
         self._spans: List[Span] = []
         self._stack: List[Span] = []
         self._trace_seq = 0
@@ -176,11 +184,11 @@ class Tracer:
             parent_id = current.span_id
         else:
             self._trace_seq += 1
-            trace_id = f"t{self._trace_seq:04d}"
+            trace_id = f"{self._id_prefix}t{self._trace_seq:04d}"
             parent_id = None
         self._span_seq += 1
-        span = Span(self, trace_id, f"s{self._span_seq:04d}", parent_id,
-                    name, timestamp, attrs)
+        span = Span(self, trace_id, f"{self._id_prefix}s{self._span_seq:04d}",
+                    parent_id, name, timestamp, attrs)
         self._spans.append(span)
         if self._capacity is not None and len(self._spans) > self._capacity:
             overflow = len(self._spans) - self._capacity
@@ -249,6 +257,37 @@ class Tracer:
             node.children.sort(key=key)
         roots.sort(key=key)
         return roots
+
+    def adopt(self, span_dicts: Iterable[Dict[str, Any]]) -> int:
+        """Merge spans exported elsewhere (:meth:`Span.to_dict` payloads).
+
+        This is the coordinator half of cross-process stitching: workers
+        export their spans as dicts over a pipe, the coordinator adopts
+        them all into one tracer, and :meth:`tree` reconstructs the
+        multi-process cascade as a single tree (provided the workers used
+        distinct ``id_prefix`` values).  Already-present span ids are
+        skipped so repeated exports are idempotent.  Returns the number of
+        spans adopted.
+        """
+        present = {span.span_id for span in self._spans}
+        adopted = 0
+        for payload in span_dicts:
+            if payload["span_id"] in present:
+                continue
+            span = Span(self, payload["trace_id"], payload["span_id"],
+                        payload.get("parent_id"), payload["name"],
+                        payload.get("start", 0.0),
+                        dict(payload.get("attrs", {})))
+            span.end = payload.get("end")
+            span.status = payload.get("status", "ok")
+            present.add(span.span_id)
+            self._spans.append(span)
+            adopted += 1
+        if self._capacity is not None and len(self._spans) > self._capacity:
+            overflow = len(self._spans) - self._capacity
+            del self._spans[:overflow]
+            self.discarded += overflow
+        return adopted
 
     def reset(self) -> None:
         self._spans.clear()

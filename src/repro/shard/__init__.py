@@ -1,0 +1,41 @@
+"""Horizontal scale-out: sharded multi-worker OASIS (ROADMAP item 3).
+
+Partitions credential records and live sessions across N worker
+processes by ``CredentialRef`` hash and routes revocation cascades
+across shard boundaries as coalesced event batches, preserving the
+single-process observable semantics (same grants, same cascade
+completeness, same per-service audit streams).  See docs/scaling.md.
+
+Layers:
+
+* :mod:`repro.shard.partition` — stable hashing, ownership, and the
+  rejection-sampling serial allocator that makes issuance agree with
+  ownership.
+* :mod:`repro.shard.bus` — remote dependency links and the forwarding
+  broker (:class:`CrossShardBus`/:class:`ShardBroker`).
+* :mod:`repro.shard.worker` — the per-process worker
+  (:class:`ShardWorker`/:class:`ShardContext`).
+* :mod:`repro.shard.router` — the coordinator
+  (:class:`ShardRouter`), metric and trace merging.
+* :mod:`repro.shard.worlds` — module-level world factories for
+  benchmarks and tests.
+"""
+
+from .bus import CrossShardBus, ShardBroker
+from .partition import (ShardedRefAllocator, shard_of_key, shard_of_ref,
+                        stable_hash)
+from .router import ShardRequestError, ShardRouter
+from .worker import ShardContext, ShardWorker
+
+__all__ = [
+    "CrossShardBus",
+    "ShardBroker",
+    "ShardedRefAllocator",
+    "shard_of_key",
+    "shard_of_ref",
+    "stable_hash",
+    "ShardRequestError",
+    "ShardRouter",
+    "ShardContext",
+    "ShardWorker",
+]

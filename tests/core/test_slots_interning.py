@@ -9,6 +9,7 @@ the constructor).
 """
 
 import copy
+import multiprocessing
 import pickle
 import sys
 
@@ -127,6 +128,69 @@ class TestFrozenSemantics:
     def test_ordering_preserved(self, svc):
         assert CredentialRef(svc, 1) < CredentialRef(svc, 2)
         assert ServiceId("a", "a") < ServiceId("a", "b")
+
+
+def _cross_process_probe(conn):
+    """Spawned-child end of the cross-process round-trip test.
+
+    The child starts with *empty* intern pools (spawn re-imports
+    everything), so the first unpickle through the pipe is what seeds
+    them — a fresh canonical construction afterwards must land ``is``-
+    identical to the ids that arrived over the wire.  Results go back as
+    plain booleans so assertion failures surface in the parent.
+    """
+    try:
+        svc, ref, rmc = conn.recv()
+        canonical_svc = ServiceId(svc.domain, svc.name)
+        canonical_name = RoleName(canonical_svc, rmc.role.role_name.name)
+        conn.send({
+            "svc_is_canonical": svc is canonical_svc,
+            "ref_service_is_canonical": ref.service is canonical_svc,
+            "ref_equal": ref == CredentialRef(canonical_svc, ref.serial),
+            "rmc_issuer_is_canonical": rmc.issuer is canonical_svc,
+            "rmc_role_name_is_canonical":
+                rmc.role.role_name is canonical_name,
+            "rmc_qualified": rmc.ref.qualified,
+        })
+    except BaseException as exc:  # surfaced as a dict, not a hung pipe
+        conn.send({"error": repr(exc)})
+    finally:
+        conn.close()
+
+
+class TestCrossProcessRoundTrips:
+    """Sharded workers exchange certificates and refs over
+    ``multiprocessing`` pipes; interned identifiers must re-intern on
+    arrival in a process that never constructed them before."""
+
+    def test_pipe_round_trip_reinterns_in_spawned_child(self, svc):
+        secret = ServiceSecret.generate()
+        role = Role(RoleName(svc, "doctor"), ("d1",))
+        ref = CredentialRef(svc, 42)
+        rmc = RoleMembershipCertificate.issue(
+            secret, svc, role, CredentialRef(svc, 7),
+            PrincipalId("alice"), 1.0)
+
+        ctx = multiprocessing.get_context("spawn")
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        child = ctx.Process(target=_cross_process_probe,
+                            args=(child_conn,), daemon=True)
+        child.start()
+        child_conn.close()
+        try:
+            parent_conn.send((svc, ref, rmc))
+            results = parent_conn.recv()
+        finally:
+            parent_conn.close()
+            child.join(timeout=30)
+            if child.is_alive():
+                child.terminate()
+
+        assert "error" not in results, results
+        assert results["rmc_qualified"] == rmc.ref.qualified
+        for key, value in results.items():
+            if key != "rmc_qualified":
+                assert value is True, (key, results)
 
 
 @pytest.mark.skipif(not SLOTTED, reason="dataclass slots need Python 3.10+")
