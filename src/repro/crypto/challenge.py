@@ -24,8 +24,9 @@ from __future__ import annotations
 
 import hashlib
 import secrets
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from .keys import KeyPair
 from .nonce import NonceFactory, NonceRegistry
@@ -65,23 +66,76 @@ class IssuedChallenge:
 
 
 class ChallengeResponseServer:
-    """Server side: issue challenges against a presented public key."""
+    """Server side: issue challenges against a presented public key.
+
+    Pending challenges are *bounded*: a real listener issues one per
+    half-open handshake, so an unbounded ``_pending`` map is a trivial
+    memory DoS — any peer able to reach the port could park millions of
+    abandoned challenges.  Two independent limits apply:
+
+    * ``ttl`` — a challenge not answered within this many seconds (by the
+      server's ``clock``) is expired; expiry is enforced lazily on
+      :meth:`issue`/:meth:`verify`, so no sweeper thread is needed.
+    * ``max_pending`` — a hard cap on simultaneously pending challenges;
+      issuing past it evicts the *oldest* pending challenge (the one most
+      likely abandoned), never the newest.
+
+    Both kinds of removal are counted (:attr:`expired_count`,
+    :attr:`evicted_count`) so a deployment can alarm on handshake floods.
+    """
+
+    #: Defaults sized for an interactive handshake: answering takes one
+    #: round trip, so 30 simulated/real seconds is generous, and 1024
+    #: half-open handshakes per listener is far beyond honest load.
+    DEFAULT_TTL = 30.0
+    DEFAULT_MAX_PENDING = 1024
 
     def __init__(self, challenge_size: int = 16,
-                 nonce_registry: Optional[NonceRegistry] = None) -> None:
+                 nonce_registry: Optional[NonceRegistry] = None,
+                 ttl: Optional[float] = DEFAULT_TTL,
+                 max_pending: int = DEFAULT_MAX_PENDING,
+                 clock: Callable[[], float] = lambda: 0.0) -> None:
         if challenge_size < 8:
             raise ValueError("challenge must be at least 8 bytes")
+        if ttl is not None and ttl <= 0:
+            raise ValueError("challenge ttl must be positive (or None)")
+        if max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
         self._challenge_size = challenge_size
         self._nonces = NonceFactory()
         self._registry = nonce_registry or NonceRegistry()
-        self._pending: Dict[str, Tuple[bytes, bytes]] = {}
+        self._ttl = ttl
+        self._max_pending = max_pending
+        self._clock = clock
+        # challenge_id -> (challenge, nonce, issued_at); insertion order is
+        # issuance order, so the front entry is always the oldest.
+        self._pending: "OrderedDict[str, Tuple[bytes, bytes, float]]" = \
+            OrderedDict()
+        self.expired_count = 0
+        self.evicted_count = 0
 
     @property
     def pending_count(self) -> int:
         return len(self._pending)
 
+    def _expire(self, now: float) -> None:
+        if self._ttl is None:
+            return
+        horizon = now - self._ttl
+        while self._pending:
+            oldest_id = next(iter(self._pending))
+            if self._pending[oldest_id][2] > horizon:
+                break
+            del self._pending[oldest_id]
+            self.expired_count += 1
+
     def issue(self, presented_key: RSAPublicKey) -> IssuedChallenge:
         """Issue a fresh challenge encrypted under ``presented_key``."""
+        now = self._clock()
+        self._expire(now)
+        while len(self._pending) >= self._max_pending:
+            self._pending.popitem(last=False)
+            self.evicted_count += 1
         challenge = secrets.token_bytes(self._challenge_size)
         nonce = self._nonces.new()
         if not self._registry.check_and_register(nonce):
@@ -89,7 +143,7 @@ class ChallengeResponseServer:
             nonce = self._nonces.new()
             self._registry.check_and_register(nonce)
         challenge_id = secrets.token_hex(8)
-        self._pending[challenge_id] = (challenge, nonce)
+        self._pending[challenge_id] = (challenge, nonce, now)
         return IssuedChallenge(
             challenge_id=challenge_id,
             encrypted_challenge=rsa_encrypt_bytes(presented_key, challenge),
@@ -98,10 +152,11 @@ class ChallengeResponseServer:
 
     def verify(self, challenge_id: str, response: bytes) -> bool:
         """Check a response; the challenge is consumed either way."""
+        self._expire(self._clock())
         entry = self._pending.pop(challenge_id, None)
         if entry is None:
             return False
-        challenge, nonce = entry
+        challenge, nonce, _ = entry
         recovered = symmetric_transform(nonce, response)
         return secrets.compare_digest(recovered, challenge)
 

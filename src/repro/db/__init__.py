@@ -62,6 +62,7 @@ __all__ = [
     "configured_backend",
     "configured_path",
     "resolve_store_path",
+    "served_store_path",
     "make_store",
     "default_store",
 ]
@@ -146,9 +147,17 @@ def make_store(backend: str, codec: Optional[StoreCodec] = None,
                      f"(expected memory, memory-mirror or sqlite)")
 
 
+def served_store_path(state_dir: str, service: Optional[str]) -> str:
+    """The on-disk default for one served service under ``state_dir``."""
+    filename = f"{_sanitize(service) if service else 'service'}.sqlite"
+    return os.path.join(state_dir, filename)
+
+
 def default_store(codec: Optional[StoreCodec] = None, *,
                   shard: Optional[int] = None,
-                  service: Optional[str] = None) -> Optional[RecordStore]:
+                  service: Optional[str] = None,
+                  state_dir: Optional[str] = None
+                  ) -> Optional[RecordStore]:
     """The store a service gets when none is passed explicitly.
 
     ``shard`` is set by shard workers (:mod:`repro.shard`) and switches on
@@ -158,6 +167,15 @@ def default_store(codec: Optional[StoreCodec] = None, *,
     on the floor, so ``OASIS_STORE_BACKEND=sqlite`` always yielded an
     in-memory sqlite store — only the no-path single-process case keeps
     that behaviour, as the test-suite backend matrix depends on it.
+
+    ``state_dir`` is set by *served* deployments (``repro serve``,
+    :mod:`repro.netd`): a long-lived server selecting sqlite without an
+    explicit ``OASIS_STORE_PATH`` must NOT silently land on ``:memory:``
+    — that would discard every credential record on restart while
+    claiming durability.  With a state directory, the no-path sqlite
+    case resolves to a stable per-service file under it
+    (:func:`served_store_path`), so kill-and-resume works out of the
+    box.  An explicit ``OASIS_STORE_PATH`` still wins.
     """
     backend = configured_backend()
     template = configured_path()
@@ -167,6 +185,10 @@ def default_store(codec: Optional[StoreCodec] = None, *,
                 f"{BACKEND_ENV}=sqlite in sharded mode requires a durable "
                 f"{PATH_ENV}; without one every worker would get a private "
                 f"throwaway :memory: store and crash consistency is lost")
+        if backend == "sqlite" and state_dir is not None:
+            os.makedirs(state_dir, exist_ok=True)
+            return make_store(backend, codec,
+                              served_store_path(state_dir, service))
         return make_store(backend, codec)
     path = resolve_store_path(template, shard=shard, service=service)
     return make_store(backend, codec, path)

@@ -71,7 +71,12 @@ class SqliteRecordStore(RecordStore):
             raise ValueError("flush_every must be >= 1")
         self.path = path
         self.flush_every = flush_every
-        self._conn = sqlite3.connect(path)
+        # check_same_thread=False: access is serialized by construction
+        # (one service thread), but the *constructing* thread may differ
+        # from the serving thread — repro.netd builds worlds on the
+        # process main thread and then runs every op on the server's
+        # single worker slot.  Concurrent use is still excluded.
+        self._conn = sqlite3.connect(path, check_same_thread=False)
         self._conn.executescript(_SCHEMA)
         self._conn.execute("PRAGMA synchronous=NORMAL")
         self._conn.commit()

@@ -374,6 +374,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                          default="prometheus", help="export format")
     metrics.set_defaults(func=_cmd_metrics)
 
+    # ``serve`` hosts services over TCP (repro.netd).  The subparser is
+    # registered by the netd package; the import is local so the policy
+    # tooling path stays importable without the runtime stack.
+    from ..netd.cli import add_serve_parser
+    add_serve_parser(sub)
+
     args = parser.parse_args(argv)
     try:
         return args.func(args)

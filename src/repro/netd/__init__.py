@@ -1,0 +1,67 @@
+"""Real asyncio transport: OASIS services over TCP sockets (ROADMAP 1).
+
+Everything before this package ran in one Python process over the
+simulated substrate (:mod:`repro.net.sim`).  ``repro.netd`` is where the
+paper's *widely distributed* claim becomes literal: an
+:class:`~repro.netd.server.OasisServer` hosts one or more
+:class:`~repro.core.service.OasisService` instances behind a
+length-prefixed JSON protocol (:mod:`repro.netd.protocol`) carrying the
+existing :mod:`repro.core.wire` certificate encodings, gated by the
+Sect. 4.1 challenge–response handshake; an async
+:class:`~repro.netd.client.AsyncOasisClient` (plus a synchronous facade
+and a :class:`~repro.netd.client.RemoteNetwork` satisfying the
+:class:`~repro.net.adapter.ValidationTransport` surface) talks to it; and
+:mod:`repro.netd.events` pushes coalesced ``CREDENTIAL_REVOKED`` batches
+— span context included — over persistent connections, so a Fig. 5
+revocation cascade crosses OS process boundaries without polling and
+still stitches into ONE trace tree.
+
+``repro serve`` (:mod:`repro.netd.cli`) boots one server process from a
+world-factory spec; :mod:`repro.netd.deploy` supervises several of them,
+and ``examples/serve_ehr.py`` runs the Fig. 3 hospital / national-EHR
+scenario as three separate OS processes over real sockets.
+
+See docs/networking.md for the wire format, handshake sequence,
+event-channel semantics and failure modes.
+"""
+
+from .protocol import (
+    ConnectionLost,
+    FrameDecoder,
+    FrameTooLarge,
+    HandshakeError,
+    MAX_FRAME,
+    OasisNetError,
+    ProtocolError,
+    RpcError,
+    RpcTimeout,
+    encode_frame,
+    read_frame,
+    send_frame,
+)
+from .client import AsyncOasisClient, OasisClient, RemoteNetwork
+from .events import EventChannel, EventPump
+from .server import OasisServer
+from .runtime import LoopThread
+
+__all__ = [
+    "AsyncOasisClient",
+    "ConnectionLost",
+    "EventChannel",
+    "EventPump",
+    "FrameDecoder",
+    "FrameTooLarge",
+    "HandshakeError",
+    "LoopThread",
+    "MAX_FRAME",
+    "OasisClient",
+    "OasisNetError",
+    "OasisServer",
+    "ProtocolError",
+    "RemoteNetwork",
+    "RpcError",
+    "RpcTimeout",
+    "encode_frame",
+    "read_frame",
+    "send_frame",
+]

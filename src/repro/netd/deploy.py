@@ -1,0 +1,277 @@
+"""Serve bootstrap and multi-process supervisor.
+
+:func:`serve_node` is what ``repro serve`` runs: build one node's world
+on a :class:`~repro.netd.worlds.NodeContext`, host it in an
+:class:`~repro.netd.server.OasisServer`, open
+:class:`~repro.netd.events.EventChannel` subscriptions to the peers
+named in the spec, print a ``OASIS-READY`` line and serve until a
+client sends ``shutdown`` (or the process is killed — which is exactly
+what the kill-and-resume path is for: with a sqlite state directory the
+next incarnation resumes from the store).
+
+:class:`Supervisor` turns a list of :class:`NodeSpec` into real OS
+processes (``python -m repro serve ...``), waits for readiness by
+pinging each port, hands out :class:`~repro.netd.client.OasisClient`
+connections, and can kill/restart individual nodes for fault drills.
+``examples/serve_ehr.py`` and the netd integration tests drive it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.service import ServiceRegistry
+from ..events import EventBroker
+from ..obs.runtime import Observability, disable, enable
+from .client import OasisClient, RemoteNetwork
+from .events import EventChannel
+from .protocol import OasisNetError
+from .runtime import LoopThread
+from .server import OasisServer
+from .worlds import NodeContext, resolve_factory
+
+__all__ = ["NodeSpec", "serve_node", "Supervisor", "free_port"]
+
+#: Printed (and flushed) by a served process once its port is accepting.
+READY_BANNER = "OASIS-READY"
+
+
+def free_port() -> int:
+    """An OS-assigned free TCP port (racy by nature, fine for demos and
+    tests that bind immediately after)."""
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+@dataclass
+class NodeSpec:
+    """Everything one served process needs to boot."""
+
+    name: str
+    port: int
+    world: str  # "package.module:factory"
+    host: str = "127.0.0.1"
+    args: Tuple[str, ...] = ()
+    #: name -> (host, port): peers reachable for callback validation.
+    peers: Dict[str, Tuple[str, int]] = field(default_factory=dict)
+    #: Peer names whose event streams this node subscribes to (the
+    #: Fig. 5 dependency direction: subscribe to your issuers).
+    subscribe: Tuple[str, ...] = ()
+    state_dir: Optional[str] = None
+    observed: bool = False
+    require_handshake: bool = False
+
+    def argv(self) -> List[str]:
+        """The ``python -m repro serve`` command line for this spec."""
+        argv = [sys.executable, "-m", "repro", "serve",
+                "--node", self.name, "--host", self.host,
+                "--port", str(self.port), "--world", self.world]
+        for arg in self.args:
+            argv += ["--world-arg", arg]
+        for peer, (host, port) in self.peers.items():
+            argv += ["--peer", f"{peer}={host}:{port}"]
+        for peer in self.subscribe:
+            argv += ["--subscribe", peer]
+        if self.state_dir:
+            argv += ["--state-dir", self.state_dir]
+        if self.observed:
+            argv.append("--observed")
+        if self.require_handshake:
+            argv.append("--require-handshake")
+        return argv
+
+
+def serve_node(spec: NodeSpec) -> None:
+    """Run one served node to completion (blocking)."""
+    pipeline: Optional[Observability] = None
+    if spec.observed:
+        # Node-prefixed span ids: each process mints globally unique ids
+        # a driver can merge with Tracer.adopt (same scheme as shards).
+        pipeline = Observability(trace_id_prefix=f"{spec.name}.")
+        enable(pipeline)
+    try:
+        broker = EventBroker()
+        registry = ServiceRegistry()
+        network = RemoteNetwork(spec.name, peers=spec.peers)
+        ctx = NodeContext(spec.name, broker, registry, network,
+                          state_dir=spec.state_dir)
+        world = resolve_factory(spec.world)(ctx, *spec.args)
+        # Make boot-time state (notably each service's signing secret)
+        # durable before accepting traffic: stores are write-behind, and
+        # a SIGKILL before the first flush would otherwise resume as a
+        # *fresh* service whose new secret rejects every outstanding
+        # certificate.
+        for service in world.services.values():
+            service.checkpoint()
+    finally:
+        if spec.observed:
+            # Services snapshot the pipeline at construction; the global
+            # need not stay set.
+            disable()
+    server = OasisServer(
+        spec.name, world.services, broker=broker, network=network,
+        handlers=dict(getattr(world, "handlers", None) or {}),
+        host=spec.host, port=spec.port,
+        require_handshake=spec.require_handshake, pipeline=pipeline)
+    try:
+        asyncio.run(_serve(spec, server, broker))
+    finally:
+        network.close()
+
+
+async def _serve(spec: NodeSpec, server: OasisServer,
+                 broker: EventBroker) -> None:
+    await server.start()
+    channels: List[EventChannel] = []
+    for peer in spec.subscribe:
+        host, port = spec.peers[peer]
+        channel = EventChannel(
+            peer, host, port,
+            # Remote batches enter the local broker on the service worker
+            # thread — same single-threaded discipline as RPC dispatch.
+            lambda events: server.submit(broker.publish_batch, events))
+        channel.start()
+        channels.append(channel)
+        server.channels[peer] = channel
+    print(f"{READY_BANNER} node={spec.name} port={server.port}",
+          flush=True)
+    try:
+        await server.serve_until_shutdown()
+    finally:
+        for channel in channels:
+            await channel.stop()
+
+
+class Supervisor:
+    """Spawn, monitor and stop a fleet of served nodes."""
+
+    def __init__(self, specs: Sequence[NodeSpec],
+                 ready_timeout: float = 30.0) -> None:
+        self.specs: Dict[str, NodeSpec] = {spec.name: spec
+                                           for spec in specs}
+        self.ready_timeout = ready_timeout
+        self._procs: Dict[str, subprocess.Popen] = {}
+        self._clients: Dict[str, OasisClient] = {}
+        self._loop = LoopThread("oasis-supervisor")
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self, *names: str) -> "Supervisor":
+        """Launch the named nodes (all of them by default) and wait until
+        each answers ``ping``."""
+        targets = list(names) or list(self.specs)
+        for name in targets:
+            self._spawn(name)
+        deadline = time.monotonic() + self.ready_timeout
+        for name in targets:
+            self._wait_ready(name, deadline)
+        return self
+
+    def _spawn(self, name: str) -> None:
+        spec = self.specs[name]
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))), "")
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src.rstrip(os.sep), env.get("PYTHONPATH")) if p)
+        self._procs[name] = subprocess.Popen(spec.argv(), env=env)
+
+    def _wait_ready(self, name: str, deadline: float) -> None:
+        spec = self.specs[name]
+        last_error: Optional[Exception] = None
+        while time.monotonic() < deadline:
+            proc = self._procs.get(name)
+            if proc is not None and proc.poll() is not None:
+                raise RuntimeError(
+                    f"node {name} exited with {proc.returncode} "
+                    f"before becoming ready")
+            try:
+                pong = self.client(name).ping()
+                # Ready means *subscribed*, not just listening: an event
+                # channel still reconnecting would miss cascade events
+                # published in the gap (subscriptions are not replayed).
+                channels = pong.get("channels", {})
+                if all(channels.get(peer, True)
+                       for peer in spec.subscribe):
+                    return
+                last_error = RuntimeError(
+                    f"event channels not yet connected: "
+                    f"{[p for p in spec.subscribe if not channels.get(p)]}")
+                time.sleep(0.05)
+            except OasisNetError as error:
+                last_error = error
+                self._drop_client(name)
+                time.sleep(0.05)
+        raise TimeoutError(
+            f"node {name} not ready on {spec.host}:{spec.port} within "
+            f"{self.ready_timeout}s: {last_error}")
+
+    # -- clients ------------------------------------------------------------
+    def client(self, name: str) -> OasisClient:
+        client = self._clients.get(name)
+        if client is None:
+            spec = self.specs[name]
+            client = OasisClient(spec.host, spec.port, peer=name,
+                                 loop=self._loop.start())
+            self._clients[name] = client
+        return client
+
+    def _drop_client(self, name: str) -> None:
+        client = self._clients.pop(name, None)
+        if client is not None:
+            try:
+                client.close()
+            except OasisNetError:
+                pass
+
+    # -- fault drills -------------------------------------------------------
+    def kill(self, name: str) -> None:
+        """Hard-kill a node (SIGKILL): the crash in kill-and-resume."""
+        proc = self._procs.pop(name, None)
+        if proc is not None and proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+        self._drop_client(name)
+
+    def restart(self, name: str) -> None:
+        """Relaunch a node (after :meth:`kill`) and wait for readiness."""
+        self._spawn(name)
+        self._wait_ready(name, time.monotonic() + self.ready_timeout)
+
+    # -- teardown -----------------------------------------------------------
+    def stop(self) -> None:
+        """Graceful fleet shutdown: ask politely, then escalate."""
+        for name in list(self._procs):
+            try:
+                self.client(name).shutdown()
+            except OasisNetError:
+                pass
+        for name, proc in list(self._procs.items()):
+            if proc.poll() is None:
+                try:
+                    proc.wait(timeout=5)
+                except subprocess.TimeoutExpired:
+                    proc.send_signal(signal.SIGTERM)
+                    try:
+                        proc.wait(timeout=5)
+                    except subprocess.TimeoutExpired:
+                        proc.kill()
+                        proc.wait(timeout=5)
+            self._procs.pop(name, None)
+        for name in list(self._clients):
+            self._drop_client(name)
+        self._loop.stop()
+
+    def __enter__(self) -> "Supervisor":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

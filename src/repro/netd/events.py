@@ -1,0 +1,247 @@
+"""Cross-process event channel: Fig. 5 revocation over real sockets.
+
+Two halves:
+
+* :class:`EventPump` — server side.  Taps the process-local
+  :class:`~repro.events.EventBroker` and pushes every *locally-minted*
+  event to subscribed connections as coalesced
+  ``{"push": "events", ...}`` frames.  Events whose attributes carry
+  ``net_origin`` arrived from another process and are **not** forwarded
+  — that single rule is the loop-breaker that lets two servers
+  subscribe to each other (or a chain P1→P2→P3 relay hop by hop)
+  without an event ping-ponging forever: each process re-broadcasts
+  only the *consequences* it computed locally (its own cascade
+  revocations), never the stimulus it received.
+
+* :class:`EventChannel` — client side.  Holds a persistent connection
+  to one peer server, issues ``subscribe_events``, and republishes every
+  pushed event into a local delivery function after stamping
+  ``net_origin=<peer>``.  The span context riding on the events
+  (``trace_id``/``span_id`` attributes) crosses untouched, which is what
+  lets a multi-process cascade stitch into ONE trace tree.  On
+  connection loss the channel reconnects with exponential backoff and
+  resubscribes — a restarted issuer keeps feeding its dependants
+  without operator action.
+
+Both halves deal only in :meth:`~repro.events.messages.Event.to_payload`
+dicts on the wire — the same JSON-faithful encoding the crash journal
+uses, so anything that can be journalled can cross a process boundary.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+from ..events import Event, EventBroker
+from .protocol import MAX_FRAME, OasisNetError, read_frame, send_frame
+
+__all__ = ["NET_ORIGIN", "EventPump", "EventChannel"]
+
+#: Attribute stamped on republished remote events; its presence means
+#: "arrived over the wire — do not forward again".
+NET_ORIGIN = "net_origin"
+
+
+class EventPump:
+    """Collects locally-minted broker events and pushes them to
+    subscribed connections in coalesced batches.
+
+    The broker delivers on the server's worker thread (service handlers
+    run there); the pump only *appends to a list* on that thread and
+    schedules one flush on the event loop, so the tap adds O(1) work to
+    the revocation hot path regardless of subscriber count.
+
+    ``coalesce_window`` delays the flush a few milliseconds so a
+    synchronous cascade's whole event batch lands in ONE push frame
+    instead of racing the loop into per-event frames; it is the latency
+    cost of batching and deliberately tiny.
+    """
+
+    def __init__(self, node: str, loop: asyncio.AbstractEventLoop,
+                 max_frame: int = MAX_FRAME,
+                 coalesce_window: float = 0.005) -> None:
+        self.node = node
+        self._loop = loop
+        self._max_frame = max_frame
+        self._coalesce_window = coalesce_window
+        self._lock = threading.Lock()
+        self._pending: List[Dict[str, Any]] = []
+        self._flush_scheduled = False
+        self._senders: Dict[int, Callable[[Dict[str, Any]],
+                                          "asyncio.Future[Any]"]] = {}
+        self._next_key = 0
+        self._untap: Optional[Callable[[], None]] = None
+        self.pushed_events = 0
+        self.pushed_batches = 0
+        self.skipped_events = 0
+
+    def attach(self, broker: EventBroker) -> None:
+        self._untap = broker.add_tap(self._tap)
+
+    def detach(self) -> None:
+        if self._untap is not None:
+            self._untap()
+            self._untap = None
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._senders)
+
+    def subscribe(self, sender: Callable[[Dict[str, Any]],
+                                         "asyncio.Future[Any]"]) -> int:
+        """Register an async send callable; returns an unsubscribe key."""
+        self._next_key += 1
+        self._senders[self._next_key] = sender
+        return self._next_key
+
+    def unsubscribe(self, key: int) -> None:
+        self._senders.pop(key, None)
+
+    # -- broker tap (worker thread) -----------------------------------------
+    def _tap(self, event: Event) -> None:
+        if event.get(NET_ORIGIN) is not None:
+            self.skipped_events += 1
+            return
+        try:
+            payload = dict(event.to_payload())
+        except TypeError:
+            # Non-JSON-native attribute values cannot cross a process
+            # boundary; such events are process-local by construction.
+            self.skipped_events += 1
+            return
+        with self._lock:
+            self._pending.append(payload)
+            if self._flush_scheduled:
+                return
+            self._flush_scheduled = True
+        self._loop.call_soon_threadsafe(self._schedule_flush)
+
+    # -- flush (event loop) -------------------------------------------------
+    def _schedule_flush(self) -> None:
+        self._loop.call_later(self._coalesce_window,
+                              lambda: self._loop.create_task(self.flush()))
+
+    async def flush(self) -> int:
+        """Push everything pending as one batch; returns events pushed."""
+        with self._lock:
+            batch = self._pending
+            self._pending = []
+            self._flush_scheduled = False
+        if not batch or not self._senders:
+            return 0
+        push = {"push": "events", "origin": self.node, "events": batch}
+        self.pushed_events += len(batch)
+        self.pushed_batches += 1
+        for key, sender in list(self._senders.items()):
+            try:
+                await sender(push)
+            except (OasisNetError, ConnectionError, OSError):
+                # The connection handler notices the dead socket itself;
+                # dropping the sender here just stops repeat failures.
+                self._senders.pop(key, None)
+        return len(batch)
+
+
+class EventChannel:
+    """A persistent subscription to one peer's event stream.
+
+    ``deliver`` receives each pushed batch as a list of
+    :class:`~repro.events.Event` objects already stamped with
+    ``net_origin=<peer name>``; it runs on the channel's event loop, so
+    a server embeds the channel by submitting the batch to its worker
+    thread (keeping the broker single-threaded), while tests may deliver
+    straight into a local broker.
+    """
+
+    def __init__(self, peer: str, host: str, port: int,
+                 deliver: Callable[[List[Event]], Any],
+                 reconnect_delay: float = 0.1,
+                 max_reconnect_delay: float = 2.0,
+                 max_frame: int = MAX_FRAME) -> None:
+        self.peer = peer
+        self.host = host
+        self.port = port
+        self._deliver = deliver
+        self._reconnect_delay = reconnect_delay
+        self._max_reconnect_delay = max_reconnect_delay
+        self._max_frame = max_frame
+        self._task: Optional["asyncio.Task[None]"] = None
+        self._stopping = asyncio.Event()
+        self.connected = asyncio.Event()
+        self.delivered_events = 0
+        self.subscribes = 0
+
+    def start(self) -> None:
+        """Begin the subscription; must run on the owning event loop."""
+        if self._task is None:
+            self._stopping.clear()
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        self._stopping.set()
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+            self._task = None
+        self.connected.clear()
+
+    async def wait_connected(self, timeout: float = 10.0) -> None:
+        await asyncio.wait_for(self.connected.wait(), timeout)
+
+    async def _run(self) -> None:
+        delay = self._reconnect_delay
+        while not self._stopping.is_set():
+            try:
+                await self._session()
+                delay = self._reconnect_delay  # clean session: reset backoff
+            except asyncio.CancelledError:
+                raise
+            except (OasisNetError, ConnectionError, OSError):
+                pass
+            self.connected.clear()
+            if self._stopping.is_set():
+                return
+            await asyncio.sleep(delay)
+            delay = min(delay * 2, self._max_reconnect_delay)
+
+    async def _session(self) -> None:
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            # Request id 0 is reserved for the subscription on this
+            # connection — nothing else is ever sent on it, so the single
+            # expected response needs no dispatcher.
+            await send_frame(writer,
+                             {"id": 0, "op": "subscribe_events"},
+                             self._max_frame)
+            ack = await read_frame(reader, self._max_frame)
+            if ack is None or not ack.get("ok", False):
+                raise OasisNetError(
+                    f"peer {self.peer} refused event subscription: {ack!r}")
+            self.subscribes += 1
+            self.connected.set()
+            while True:
+                frame = await read_frame(reader, self._max_frame)
+                if frame is None:
+                    return  # graceful peer shutdown; reconnect loop decides
+                if frame.get("push") != "events":
+                    continue
+                origin = frame.get("origin", self.peer)
+                events = [
+                    Event.from_payload(payload).with_attributes(
+                        net_origin=origin)
+                    for payload in frame.get("events", ())
+                ]
+                if events:
+                    self.delivered_events += len(events)
+                    self._deliver(events)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass

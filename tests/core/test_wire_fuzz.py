@@ -1,0 +1,167 @@
+"""Property/fuzz tests for the wire layer: deep term nesting, event
+payloads, certificate round-trips under adversarial field values.
+
+``tests/core/test_wire.py`` covers the happy paths; this module drives
+the same codecs with hypothesis-generated structure — the wire layer is
+what :mod:`repro.netd` ships over real sockets, so "decode(encode(x)) ==
+x, and signatures still verify" has to hold for *any* value the term
+algebra admits, not just the flat examples."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    AppointmentCertificate,
+    CredentialRef,
+    PrincipalId,
+    Role,
+    RoleMembershipCertificate,
+    RoleName,
+    ServiceId,
+)
+from repro.core.wire import (
+    WireError,
+    decode_certificate,
+    decode_term,
+    encode_certificate,
+    encode_term,
+)
+from repro.crypto import ServiceSecret
+from repro.events import CREDENTIAL_REVOKED, Event
+
+SECRET = ServiceSecret(key=b"w" * 32)
+SVC = ServiceId("fuzz", "svc")
+
+# The full term algebra: JSON-native scalars, bytes, and tuples thereof,
+# nested to a few levels (the engine itself produces nested tuples for
+# compound parameters).
+scalar_terms = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2 ** 63), max_value=2 ** 63),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=32),
+    st.binary(max_size=32),
+)
+terms = st.recursive(
+    scalar_terms,
+    lambda children: st.tuples() | st.lists(
+        children, max_size=4).map(tuple),
+    max_leaves=12)
+
+ground_params = st.lists(
+    st.one_of(st.text(max_size=16),
+              st.integers(min_value=-10**6, max_value=10**6)),
+    max_size=4).map(tuple)
+
+
+class TestTermFuzz:
+    @given(terms)
+    @settings(max_examples=300, deadline=None)
+    def test_roundtrip_identity(self, term):
+        assert decode_term(encode_term(term)) == term
+
+    @given(terms)
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_preserves_type(self, term):
+        decoded = decode_term(encode_term(term))
+        assert type(decoded) is type(term)
+
+    @given(st.one_of(st.integers(), st.text(max_size=8),
+                     st.lists(st.integers(), max_size=3)))
+    @settings(max_examples=100, deadline=None)
+    def test_decode_rejects_untagged_json(self, junk):
+        """Raw JSON values are not wire terms — the codec requires its
+        tagged encoding, so sending untagged data is an error, not a
+        silent guess."""
+        try:
+            decoded = decode_term(encode_term(
+                tuple(junk) if isinstance(junk, list) else junk))
+        except WireError:
+            return
+        assert decoded == (tuple(junk) if isinstance(junk, list)
+                           else junk)
+
+
+class TestCertificateFuzz:
+    @given(ground_params,
+           st.floats(min_value=0, max_value=2**31, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_rmc_survives_and_verifies(self, parameters, issued_at):
+        role = Role(RoleName(SVC, "r"), parameters)
+        rmc = RoleMembershipCertificate.issue(
+            SECRET, SVC, role, CredentialRef(SVC, 3),
+            PrincipalId("alice"), issued_at, None)
+        decoded = decode_certificate(encode_certificate(rmc))
+        assert decoded.role.parameters == tuple(parameters)
+        decoded.verify(SECRET, PrincipalId("alice"))  # raises on failure
+
+    @given(ground_params,
+           st.one_of(st.none(), st.text(min_size=1, max_size=16)),
+           st.one_of(st.none(),
+                     st.floats(min_value=1, max_value=2**31,
+                               allow_nan=False)))
+    @settings(max_examples=100, deadline=None)
+    def test_appointment_survives_and_verifies(self, parameters, holder,
+                                               expires_at):
+        cert = AppointmentCertificate.issue(
+            SECRET, SVC, "appointed", parameters, CredentialRef(SVC, 9),
+            1.0, expires_at=expires_at, holder=holder)
+        decoded = decode_certificate(encode_certificate(cert))
+        assert decoded.parameters == tuple(parameters)
+        assert decoded.holder == holder
+        assert decoded.expires_at == expires_at
+        decoded.verify(SECRET, holder)  # raises on failure
+
+    @given(ground_params, st.integers(min_value=0, max_value=40))
+    @settings(max_examples=60, deadline=None)
+    def test_bit_flip_never_verifies(self, parameters, position):
+        """Flipping any payload character either breaks decoding or
+        breaks the signature — tampering cannot survive the trip."""
+        role = Role(RoleName(SVC, "r"), parameters)
+        rmc = RoleMembershipCertificate.issue(
+            SECRET, SVC, role, CredentialRef(SVC, 3),
+            PrincipalId("alice"), 1.0, None)
+        blob = encode_certificate(rmc)
+        sig = blob["signature"]
+        index = position % len(sig)
+        flipped = (sig[:index]
+                   + ("0" if sig[index] != "0" else "1")
+                   + sig[index + 1:])
+        blob["signature"] = flipped
+        try:
+            decoded = decode_certificate(blob)
+        except WireError:
+            return
+        from repro.core.exceptions import SignatureInvalid
+        with pytest.raises(SignatureInvalid):
+            decoded.verify(SECRET, PrincipalId("alice"))
+
+
+# Event attributes are restricted to JSON-native scalars at journal time;
+# the same payloads ride the netd event channel.
+event_attrs = st.dictionaries(
+    st.text(min_size=1, max_size=16).filter(
+        lambda s: s not in ("topic", "timestamp")),
+    st.one_of(st.none(), st.booleans(),
+              st.integers(min_value=-(2**53), max_value=2**53),
+              st.floats(allow_nan=False, allow_infinity=False),
+              st.text(max_size=32)),
+    max_size=6)
+
+
+class TestEventPayloadFuzz:
+    @given(event_attrs,
+           st.floats(min_value=0, max_value=2**31, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip(self, attrs, timestamp):
+        event = Event.make(CREDENTIAL_REVOKED, timestamp=timestamp,
+                           **attrs)
+        rebuilt = Event.from_payload(event.to_payload())
+        assert rebuilt == event
+        assert rebuilt.attrs == event.attrs
+
+    def test_non_json_attr_rejected_at_encode_time(self):
+        event = Event.make(CREDENTIAL_REVOKED, ref=object())
+        with pytest.raises(TypeError):
+            event.to_payload()

@@ -89,3 +89,82 @@ class TestChallengeResponse:
     def test_minimum_challenge_size(self):
         with pytest.raises(ValueError):
             ChallengeResponseServer(challenge_size=4)
+
+
+class TestPendingBounds:
+    """The pending map is bounded: TTL expiry plus a hard cap, both
+    counted — a handshake flood must not grow server memory."""
+
+    def test_expired_challenge_no_longer_verifies(self):
+        now = [0.0]
+        server = ChallengeResponseServer(ttl=30.0, clock=lambda: now[0])
+        client = ChallengeResponseClient(KEYS)
+        issued = server.issue(client.public_key)
+        response = client.respond(issued)
+        now[0] = 31.0  # past the TTL
+        assert not server.verify(issued.challenge_id, response)
+        assert server.expired_count == 1
+        assert server.pending_count == 0
+
+    def test_challenge_within_ttl_still_verifies(self):
+        now = [0.0]
+        server = ChallengeResponseServer(ttl=30.0, clock=lambda: now[0])
+        client = ChallengeResponseClient(KEYS)
+        issued = server.issue(client.public_key)
+        now[0] = 29.9
+        assert server.verify(issued.challenge_id, client.respond(issued))
+        assert server.expired_count == 0
+
+    def test_expiry_is_lazy_and_batched(self):
+        """Abandoned challenges are swept on the next issue() — no
+        sweeper thread needed."""
+        now = [0.0]
+        server = ChallengeResponseServer(ttl=10.0, clock=lambda: now[0])
+        for _ in range(5):
+            server.issue(KEYS.public)
+        assert server.pending_count == 5
+        now[0] = 11.0
+        fresh = server.issue(KEYS.public)
+        assert server.expired_count == 5
+        assert server.pending_count == 1  # just the fresh one
+        client = ChallengeResponseClient(KEYS)
+        assert server.verify(fresh.challenge_id, client.respond(fresh))
+
+    def test_ttl_none_disables_expiry(self):
+        now = [0.0]
+        server = ChallengeResponseServer(ttl=None, clock=lambda: now[0])
+        client = ChallengeResponseClient(KEYS)
+        issued = server.issue(client.public_key)
+        now[0] = 1e9
+        assert server.verify(issued.challenge_id, client.respond(issued))
+        assert server.expired_count == 0
+
+    def test_cap_evicts_oldest_pending(self):
+        server = ChallengeResponseServer(max_pending=3)
+        client = ChallengeResponseClient(KEYS)
+        first = server.issue(client.public_key)
+        first_response = client.respond(first)
+        rest = [server.issue(client.public_key) for _ in range(3)]
+        # Issuing the 4th evicted the oldest (first); pending stays at cap.
+        assert server.pending_count == 3
+        assert server.evicted_count == 1
+        assert not server.verify(first.challenge_id, first_response)
+        # The newest survivors still verify.
+        for issued in rest:
+            assert server.verify(issued.challenge_id,
+                                 client.respond(issued))
+
+    def test_flood_keeps_pending_at_cap(self):
+        server = ChallengeResponseServer(max_pending=8)
+        for _ in range(100):
+            server.issue(KEYS.public)
+        assert server.pending_count == 8
+        assert server.evicted_count == 92
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            ChallengeResponseServer(ttl=0)
+        with pytest.raises(ValueError):
+            ChallengeResponseServer(ttl=-1.0)
+        with pytest.raises(ValueError):
+            ChallengeResponseServer(max_pending=0)

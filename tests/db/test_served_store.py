@@ -1,0 +1,98 @@
+"""``state_dir`` routing in ``default_store`` for served deployments.
+
+A long-lived ``repro serve`` process selecting the sqlite backend with no
+explicit ``OASIS_STORE_PATH`` must not silently land on ``:memory:`` —
+that would discard every credential record on restart while claiming
+durability.  With a state directory, the no-path sqlite case resolves to
+a stable per-service on-disk file (:func:`repro.db.served_store_path`),
+so kill-and-resume works out of the box; an explicit path still wins.
+"""
+
+import os
+
+import pytest
+
+from repro.db import (BACKEND_ENV, PATH_ENV, SqliteRecordStore,
+                      default_store, served_store_path)
+
+
+class TestServedStorePath:
+    def test_stable_per_service_filename(self, tmp_path):
+        path = served_store_path(str(tmp_path), "ehr/records")
+        assert path == os.path.join(str(tmp_path), "ehr-records.sqlite")
+        # Stable: the restarted process computes the same file.
+        assert served_store_path(str(tmp_path), "ehr/records") == path
+
+    def test_distinct_services_get_distinct_files(self, tmp_path):
+        # META keys (e.g. the signing secret) are store-local; two
+        # services must never share one file.
+        assert served_store_path(str(tmp_path), "ehr/front") != \
+            served_store_path(str(tmp_path), "ehr/records")
+
+    def test_no_service_falls_back_to_generic_name(self, tmp_path):
+        assert served_store_path(str(tmp_path), None).endswith(
+            "service.sqlite")
+
+
+class TestDefaultStoreStateDir:
+    def test_served_sqlite_without_path_lands_on_disk(self, monkeypatch,
+                                                      tmp_path):
+        monkeypatch.setenv(BACKEND_ENV, "sqlite")
+        monkeypatch.delenv(PATH_ENV, raising=False)
+        state_dir = str(tmp_path / "state")
+        store = default_store(service="ehr/records", state_dir=state_dir)
+        assert isinstance(store, SqliteRecordStore)
+        assert store.path == served_store_path(state_dir, "ehr/records")
+        store.put("b", "k", {"v": 1})
+        store.close()
+        assert os.path.exists(store.path), "store not on disk"
+        # A second incarnation opens the SAME file and sees the record.
+        resumed = default_store(service="ehr/records",
+                                state_dir=state_dir)
+        assert resumed.get("b", "k") == {"v": 1}
+        resumed.close()
+
+    def test_explicit_path_template_wins_over_state_dir(self, monkeypatch,
+                                                        tmp_path):
+        monkeypatch.setenv(BACKEND_ENV, "sqlite")
+        monkeypatch.setenv(PATH_ENV, str(tmp_path / "explicit.db"))
+        store = default_store(service="dom/svc",
+                              state_dir=str(tmp_path / "ignored"))
+        assert store.path == str(tmp_path / "explicit.db") + ".dom-svc"
+        store.close()
+        assert not (tmp_path / "ignored").exists()
+
+    def test_state_dir_is_created_on_demand(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(BACKEND_ENV, "sqlite")
+        monkeypatch.delenv(PATH_ENV, raising=False)
+        state_dir = tmp_path / "deep" / "state"
+        assert not state_dir.exists()
+        store = default_store(service="s", state_dir=str(state_dir))
+        store.close()
+        assert state_dir.is_dir()
+
+    def test_memory_backend_ignores_state_dir(self, monkeypatch,
+                                              tmp_path):
+        monkeypatch.setenv(BACKEND_ENV, "memory")
+        state_dir = tmp_path / "state"
+        assert default_store(service="s",
+                             state_dir=str(state_dir)) is None
+        assert not state_dir.exists()
+
+    def test_no_state_dir_keeps_in_memory_default(self, monkeypatch):
+        # The test-suite backend matrix depends on this: sqlite with no
+        # durable path and no state dir stays file-free.
+        monkeypatch.setenv(BACKEND_ENV, "sqlite")
+        monkeypatch.delenv(PATH_ENV, raising=False)
+        store = default_store(service="dom/svc")
+        assert isinstance(store, SqliteRecordStore)
+        assert store.path == ":memory:"
+        store.close()
+
+    def test_served_sharded_combination_still_strict(self, monkeypatch,
+                                                     tmp_path):
+        monkeypatch.setenv(BACKEND_ENV, "sqlite")
+        monkeypatch.delenv(PATH_ENV, raising=False)
+        with pytest.raises(RuntimeError, match="sharded"):
+            default_store(shard=0, service="s",
+                          state_dir=str(tmp_path / "state"))

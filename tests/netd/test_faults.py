@@ -1,0 +1,174 @@
+"""Transport fault injection: every failure mode surfaces as a typed
+error (mirroring the shard transport's contract), never a hang.
+
+* peer closes the connection mid-RPC  -> ConnectionLost
+* peer accepts but never responds    -> RpcTimeout
+* event channel peer restarts        -> reconnect + resubscribe
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.events import CREDENTIAL_REVOKED, Event
+from repro.netd.client import OasisClient
+from repro.netd.events import EventChannel
+from repro.netd.protocol import (
+    ConnectionLost,
+    OasisNetError,
+    ProtocolError,
+    RpcTimeout,
+    read_frame,
+    send_frame,
+)
+from repro.netd.worlds import bench_world
+
+from netd_helpers import Node
+from test_events import Collector
+
+
+class FaultyServer:
+    """A raw TCP server with a scripted behaviour per connection."""
+
+    def __init__(self, loop, behaviour):
+        self.loop = loop
+        self.behaviour = behaviour
+        self.server = None
+        self.port = None
+
+    def start(self):
+        async def boot():
+            self.server = await asyncio.start_server(
+                self.behaviour, "127.0.0.1", 0)
+            return self.server.sockets[0].getsockname()[1]
+        self.port = self.loop.run(boot())
+        return self
+
+    def stop(self):
+        async def halt():
+            self.server.close()
+            await self.server.wait_closed()
+        self.loop.run(halt())
+
+
+class TestClientFaults:
+    def test_peer_closing_mid_rpc_raises_connection_lost(self, loop):
+        async def slam(reader, writer):
+            await read_frame(reader)  # swallow the request...
+            writer.close()            # ...and hang up without answering
+
+        faulty = FaultyServer(loop, slam).start()
+        try:
+            client = OasisClient("127.0.0.1", faulty.port, peer="evil",
+                                 loop=loop, timeout=5.0).connect()
+            with pytest.raises(ConnectionLost):
+                client.ping()
+            client.close()
+        finally:
+            faulty.stop()
+
+    def test_stalled_peer_raises_timeout_not_hang(self, loop):
+        async def stall(reader, writer):
+            await read_frame(reader)
+            await asyncio.sleep(3600)  # never answer
+
+        faulty = FaultyServer(loop, stall).start()
+        try:
+            client = OasisClient("127.0.0.1", faulty.port, peer="tar",
+                                 loop=loop, timeout=0.5).connect()
+            started = time.monotonic()
+            with pytest.raises(RpcTimeout):
+                client.ping()
+            assert time.monotonic() - started < 5
+            client.close()
+        finally:
+            faulty.stop()
+
+    def test_connect_refused_is_typed(self, loop):
+        # Nothing listens on the probe port (it was bound and released).
+        from repro.netd.deploy import free_port
+        client = OasisClient("127.0.0.1", free_port(), peer="ghost",
+                             loop=loop, timeout=2.0)
+        with pytest.raises(OasisNetError):
+            client.connect()
+
+    def test_oversized_response_rejected(self, loop):
+        async def blast(reader, writer):
+            await read_frame(reader)
+            await send_frame(writer, {"id": 1, "ok": True,
+                                      "value": {"blob": "x" * 4096}})
+
+        faulty = FaultyServer(loop, blast).start()
+        try:
+            client = OasisClient("127.0.0.1", faulty.port, peer="fat",
+                                 loop=loop, timeout=5.0,
+                                 max_frame=256).connect()
+            with pytest.raises((ProtocolError, ConnectionLost)):
+                client.ping()
+            client.close()
+        finally:
+            faulty.stop()
+
+    def test_server_rejects_malformed_frame_without_dying(self, bench_node):
+        """A garbage frame kills that connection only; the server keeps
+        serving others."""
+        async def poke(port):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", port)
+            writer.write(b"\x00\x00\x00\x04nope")
+            await writer.drain()
+            reply = await read_frame(reader)
+            writer.close()
+            return reply
+        reply = bench_node.loop.run(poke(bench_node.port))
+        assert reply is not None and reply["ok"] is False
+        # Server is still alive for well-formed clients.
+        client = bench_node.client()
+        assert client.ping()["node"] == "bench"
+        client.close()
+
+
+class TestEventChannelReconnect:
+    def test_reconnect_and_resubscribe_after_peer_restart(self, loop):
+        node = Node("flappy", bench_world, loop)
+        port = node.port
+        sink = Collector()
+        channel = EventChannel("flappy", "127.0.0.1", port, sink,
+                               reconnect_delay=0.05)
+        try:
+            loop.run(self._start(channel))
+            loop.run(channel.wait_connected(5))
+            node.server.submit(
+                node.broker.publish,
+                Event.make(CREDENTIAL_REVOKED,
+                           credential_ref="svc#1")).result(5)
+            assert len(sink.wait(1)) >= 1
+
+            # Kill the server, then bring a fresh one up on the SAME port
+            # (a restarted process).  The channel must reconnect and
+            # resubscribe by itself.
+            node.close()
+            node2 = Node("flappy", bench_world, loop, port=port)
+            try:
+                deadline = time.monotonic() + 10
+                while (time.monotonic() < deadline
+                       and channel.subscribes < 2):
+                    time.sleep(0.05)
+                assert channel.subscribes >= 2, \
+                    "channel did not resubscribe after restart"
+                node2.server.submit(
+                    node2.broker.publish,
+                    Event.make(CREDENTIAL_REVOKED,
+                               credential_ref="svc#2")).result(5)
+                events = sink.wait(2)
+                assert any(e.get("credential_ref") == "svc#2"
+                           for e in events)
+            finally:
+                node2.close()
+        finally:
+            loop.run(channel.stop())
+
+    @staticmethod
+    async def _start(channel):
+        channel.start()

@@ -1,0 +1,170 @@
+"""OasisServer RPC surface: ops, handshake gating, remote errors,
+graceful shutdown — all over a real loopback socket."""
+
+import pytest
+
+from repro.core import wire
+from repro.core.exceptions import (
+    CredentialRevoked,
+    InvocationDenied,
+    UnknownRole,
+)
+from repro.crypto import generate_keypair
+from repro.netd.protocol import HandshakeError, OasisNetError, RpcError
+from repro.netd.worlds import bench_world
+
+from netd_helpers import Node
+
+
+class TestBasicOps:
+    def test_ping_names_node_and_services(self, bench_node):
+        client = bench_node.client()
+        pong = client.ping()
+        assert pong["node"] == "bench"
+        assert pong["services"] == ["svc"]
+        client.close()
+
+    def test_activate_invoke_revoke_cycle(self, bench_node):
+        client = bench_node.client()
+        rmc = client.activate("svc", "alice", "user", ["alice"])
+        assert rmc.role.role_name.name == "user"
+        assert client.is_active(rmc.ref)
+        assert client.invoke("svc", "alice", "echo", ["hi"],
+                             credentials=[rmc]) == "hi"
+        assert client.revoke(rmc.ref, "done")
+        assert not client.is_active(rmc.ref)
+        client.close()
+
+    def test_invoke_without_credentials_denied(self, bench_node):
+        client = bench_node.client()
+        with pytest.raises(InvocationDenied):
+            client.invoke("svc", "mallory", "echo", ["hi"])
+        client.close()
+
+    def test_remote_domain_exception_reraised_as_itself(self, bench_node):
+        client = bench_node.client()
+        with pytest.raises(UnknownRole):
+            client.activate("svc", "alice", "no_such_role", ["alice"])
+        client.close()
+
+    def test_unknown_op_is_rpc_error(self, bench_node):
+        client = bench_node.client()
+        with pytest.raises(RpcError) as info:
+            client.call("definitely_not_an_op")
+        assert info.value.node == "bench"
+        client.close()
+
+    def test_unknown_service_key(self, bench_node):
+        client = bench_node.client()
+        with pytest.raises(RpcError):
+            client.activate("nope", "alice", "user", ["alice"])
+        client.close()
+
+    def test_stats_shape(self, bench_node):
+        client = bench_node.client()
+        client.activate("svc", "alice", "user", ["alice"])
+        stats = client.stats()
+        assert stats["node"] == "bench"
+        assert stats["services"]["svc"]["rmcs_issued"] >= 1
+        client.close()
+
+    def test_record_roundtrip(self, bench_node):
+        client = bench_node.client()
+        rmc = client.activate("svc", "alice", "user", ["alice"])
+        record = client.record(rmc.ref)
+        assert record["status"] == "active"
+        client.close()
+
+    def test_sequential_requests_one_connection(self, bench_node):
+        client = bench_node.client()
+        refs = [client.activate("svc", f"u{i}", "user", [f"u{i}"]).ref
+                for i in range(20)]
+        assert len({str(r) for r in refs}) == 20
+        client.close()
+
+
+class TestHandshakeGating:
+    def test_state_ops_refused_before_handshake(self, loop):
+        node = Node("gated", bench_world, loop, require_handshake=True)
+        try:
+            client = node.client()
+            client.ping()  # liveness is ungated
+            with pytest.raises(HandshakeError):
+                client.activate("svc", "alice", "user", ["alice"])
+            client.close()
+        finally:
+            node.close()
+
+    def test_handshake_unlocks_and_names_principal(self, loop):
+        node = Node("gated2", bench_world, loop, require_handshake=True)
+        try:
+            client = node.client()
+            keys = generate_keypair(bits=512)
+            principal = client.handshake(keys)
+            assert principal == f"key:{keys.public.fingerprint()}"
+            rmc = client.activate("svc", "alice", "user", ["alice"])
+            assert client.is_active(rmc.ref)
+            client.close()
+        finally:
+            node.close()
+
+    def test_identity_bound_to_hello_key(self, loop):
+        """The principal the server binds comes from the key presented
+        at hello — a prover cannot claim a different identity, because
+        the fingerprint is never read from the prove frame."""
+        node = Node("gated3", bench_world, loop, require_handshake=True)
+        try:
+            client = node.client()
+            keys = generate_keypair(bits=512)
+            assert client.handshake(keys) == \
+                f"key:{keys.public.fingerprint()}"
+            client.close()
+        finally:
+            node.close()
+
+
+class TestValidateOp:
+    def test_validation_endpoint_reachable_over_wire(self, bench_node):
+        """The ``validate`` op dispatches into the service's callback
+        validation handler — the path remote issuers use."""
+        client = bench_node.client()
+        rmc = client.activate("svc", "alice", "user", ["alice"])
+        value = client.call(
+            "validate", domain="bench", endpoint="oasis.validate/svc",
+            cert=wire.encode_certificate(rmc), principal="alice",
+            holder=None)
+        assert value.get("valid", True)
+        client.close()
+
+    def test_revoked_credential_fails_validation(self, bench_node):
+        client = bench_node.client()
+        rmc = client.activate("svc", "alice", "user", ["alice"])
+        client.revoke(rmc.ref, "gone")
+        with pytest.raises(CredentialRevoked):
+            client.call(
+                "validate", domain="bench",
+                endpoint="oasis.validate/svc",
+                cert=wire.encode_certificate(rmc), principal="alice",
+                holder=None)
+        client.close()
+
+
+class TestShutdown:
+    def test_shutdown_op_stops_server(self, loop):
+        node = Node("bye", bench_world, loop)
+        waiter = loop.spawn(node.server.serve_until_shutdown())
+        client = node.client()
+        client.shutdown()
+        waiter.result(timeout=10)  # serve loop exits on its own
+        client.close()
+        node.network.close()
+
+    def test_graceful_close_surfaces_typed_error(self, bench_node):
+        client = bench_node.client()
+        client.activate("svc", "alice", "user", ["alice"])
+        bench_node.loop.run(bench_node.server.close())
+        # Connection is gone; a fresh call raises the transport's own
+        # error instead of hanging.
+        with pytest.raises(OasisNetError):
+            client.ping()
+        client.close()
